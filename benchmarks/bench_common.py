@@ -1,0 +1,68 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_*`` module regenerates one table or figure of the paper
+(scaled-down inputs, simulated platform timings — see DESIGN.md §4) and
+additionally micro-benchmarks the real NumPy kernels with pytest-benchmark.
+The regenerated rows/series are printed and written to
+``benchmarks/results/<experiment>.txt`` so they survive output capturing.
+"""
+
+from __future__ import annotations
+
+import functools
+from pathlib import Path
+
+import numpy as np
+
+from repro.formats import SparseVector
+from repro.graphs import Graph, grid_2d, rmat
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: thread counts used for the Edison-style scaling experiments (x-axis of Figs. 2, 4, 6)
+EDISON_THREADS = [1, 2, 4, 8, 16, 24]
+#: thread counts used for the KNL-style scaling experiments (x-axis of Fig. 5)
+KNL_THREADS = [1, 4, 16, 64]
+
+ALGORITHMS = ["bucket", "combblas_spa", "combblas_heap", "graphmat"]
+
+
+def emit(experiment: str, text: str) -> str:
+    """Print a report and persist it under ``benchmarks/results/``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{experiment}.txt"
+    path.write_text(text + "\n")
+    print(text)
+    return text
+
+
+@functools.lru_cache(maxsize=None)
+def scale_free_graph(scale: int = 17, edge_factor: int = 16) -> Graph:
+    """The ljournal-2008 stand-in used by Figs. 2, 3 and 6 (scaled down ~40x).
+
+    131K vertices / ~3.7M stored entries: large enough that the O(m) SPA
+    initialization of CombBLAS-SPA and the O(nzc) column scan of GraphMat are
+    clearly visible against the bucket algorithm's O(d·f) work, which is what
+    the paper's Fig. 2/3/6 measure.
+    """
+    return Graph(rmat(scale=scale, edge_factor=edge_factor, seed=11), name="ljournal-like")
+
+
+@functools.lru_cache(maxsize=None)
+def high_diameter_graph(side: int = 150) -> Graph:
+    """The hugetric-00020 stand-in (triangulated 2-D mesh)."""
+    return Graph(grid_2d(side, side, diagonal=True, seed=18), name="hugetric-like")
+
+
+def random_frontier(graph: Graph, nnz: int, seed: int = 0) -> SparseVector:
+    """A random sparse vector with the requested number of nonzeros."""
+    rng = np.random.default_rng(seed)
+    n = graph.num_vertices
+    nnz = min(nnz, n)
+    idx = np.sort(rng.choice(n, size=nnz, replace=False))
+    return SparseVector(n, idx, rng.random(nnz) + 0.1)
+
+
+def good_source(graph: Graph) -> int:
+    """A well-connected BFS source (the paper always reuses the same source)."""
+    return int(np.argmax(graph.out_degrees()))

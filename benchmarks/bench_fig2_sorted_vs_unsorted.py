@@ -1,0 +1,53 @@
+"""Figure 2: SpMSpV-bucket runtime with and without sorted input/output vectors.
+
+The paper multiplies the ljournal-2008 adjacency matrix by vectors with 10K
+and 2.5M nonzeros (0.19% and 47% of n) on 1-24 Edison cores.  We use the
+ljournal-like stand-in and the same two *relative* densities.
+"""
+
+import pytest
+
+from repro.analysis import format_series, scale_spmspv
+from repro.core import spmspv_bucket
+from repro.parallel import default_context
+
+from bench_common import EDISON_THREADS, emit, random_frontier, scale_free_graph
+
+
+def _figure2_report() -> str:
+    graph = scale_free_graph()
+    matrix = graph.matrix
+    n = graph.num_vertices
+    lines = ["Figure 2: SpMSpV-bucket with vs without sorted vectors "
+             f"({graph.name}, n={n}, Edison preset)"]
+    for label, frac in (("sparse (0.2% of n, paper: nnz=10K)", 0.002),
+                        ("dense (47% of n, paper: nnz=2.5M)", 0.47)):
+        nnz = max(1, int(frac * n))
+        x = random_frontier(graph, nnz, seed=21)
+        for sorted_vectors in (True, False):
+            series = scale_spmspv(matrix, x, sorted_vectors=sorted_vectors,
+                                  thread_counts=EDISON_THREADS,
+                                  problem_name=graph.name)
+            name = f"nnz(x)={nnz} {'with' if sorted_vectors else 'without'} sorting"
+            lines.append(format_series(f"{label} | {name}",
+                                       series.thread_counts(),
+                                       [series.times_ms[t] for t in series.thread_counts()],
+                                       x_label="cores", y_label="ms"))
+    return "\n".join(lines)
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_sorted_vs_unsorted_report(benchmark):
+    report = benchmark.pedantic(_figure2_report, rounds=1, iterations=1)
+    emit("fig2_sorted_vs_unsorted", report)
+
+
+@pytest.mark.benchmark(group="fig2-kernel")
+@pytest.mark.parametrize("sorted_vectors", [True, False])
+def test_fig2_kernel_wall_time(benchmark, sorted_vectors):
+    """Wall-clock micro-benchmark of the real bucket kernel, sorted vs unsorted input."""
+    graph = scale_free_graph()
+    x = random_frontier(graph, graph.num_vertices // 10, seed=22)
+    x = x if sorted_vectors else x.shuffled()
+    ctx = default_context(num_threads=4, sorted_vectors=sorted_vectors)
+    benchmark(lambda: spmspv_bucket(graph.matrix, x, ctx, sorted_output=sorted_vectors))

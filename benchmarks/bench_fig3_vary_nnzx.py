@@ -1,0 +1,69 @@
+"""Figure 3: runtime of the four SpMSpV algorithms as nnz(x) varies.
+
+The paper uses BFS frontiers of ljournal-2008 with 1 to ~1.9M nonzeros on 1
+and 12 Edison threads, and quotes headline ratios at nnz(x)=50 and 1100
+(bucket 200x/81x/744x faster than CombBLAS-SPA / CombBLAS-heap / GraphMat at
+nnz=50 on one thread).  We sweep the same relative sparsity range on the
+ljournal-like stand-in and print the same ratio rows.
+"""
+
+import pytest
+
+from repro.analysis import format_table, ratio
+from repro.core import spmspv
+from repro.machine import EDISON, cost_model_for
+from repro.parallel import default_context
+
+from bench_common import ALGORITHMS, emit, random_frontier, scale_free_graph
+
+NNZ_VALUES = [1, 16, 50, 256, 1100, 4096, 16384, 65536]
+
+
+def _figure3_report() -> str:
+    graph = scale_free_graph()
+    matrix = graph.matrix
+    model = cost_model_for(EDISON)
+    blocks = []
+    ratio_rows = []
+    for threads in (1, 12):
+        rows = []
+        for nnz in NNZ_VALUES:
+            nnz = min(nnz, graph.num_vertices)
+            x = random_frontier(graph, nnz, seed=31)
+            times = {}
+            for algorithm in ALGORITHMS:
+                result = spmspv(matrix, x, default_context(num_threads=threads),
+                                algorithm=algorithm)
+                times[algorithm] = model.record_time_ms(result.record)
+            rows.append([nnz] + [round(times[a], 4) for a in ALGORITHMS])
+            if threads == 1 and nnz in (50, 1100):
+                ratio_rows.append([nnz,
+                                   round(ratio(times["combblas_spa"], times["bucket"]), 1),
+                                   round(ratio(times["combblas_heap"], times["bucket"]), 1),
+                                   round(ratio(times["graphmat"], times["bucket"]), 1)])
+        blocks.append(format_table(
+            ["nnz(x)"] + ALGORITHMS, rows,
+            title=f"Figure 3{'a' if threads == 1 else 'b'}: SpMSpV time (ms, simulated "
+                  f"Edison) vs nnz(x), {threads} thread(s), {graph.name}"))
+    blocks.append(format_table(
+        ["nnz(x)", "CombBLAS-SPA / bucket", "CombBLAS-heap / bucket", "GraphMat / bucket"],
+        ratio_rows,
+        title="Headline ratios of Section IV-C (paper at full scale: 200x / 81x / 744x "
+              "at nnz=50 and 68x / 21x / 191x at nnz=1100)"))
+    return "\n\n".join(blocks)
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_vary_nnzx_report(benchmark):
+    report = benchmark.pedantic(_figure3_report, rounds=1, iterations=1)
+    emit("fig3_vary_nnzx", report)
+
+
+@pytest.mark.benchmark(group="fig3-kernel")
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig3_kernel_wall_time(benchmark, algorithm):
+    """Wall-clock micro-benchmark of each real kernel at a mid-range frontier size."""
+    graph = scale_free_graph()
+    x = random_frontier(graph, 4096, seed=32)
+    ctx = default_context(num_threads=4)
+    benchmark(lambda: spmspv(graph.matrix, x, ctx, algorithm=algorithm))

@@ -1,0 +1,76 @@
+"""Figure 4: strong scaling of the four SpMSpV algorithms inside BFS (Edison).
+
+The paper runs BFS on eleven graphs at 1-24 Edison cores and reports the
+summed SpMSpV time per run; SpMSpV-bucket is the fastest everywhere and its
+advantage is largest on the high-diameter graphs.  We reproduce the
+experiment on four class-matched stand-ins (two scale-free, two mesh-like)
+and print the §IV-D style speedup summary.
+"""
+
+import pytest
+
+from repro.algorithms import bfs
+from repro.analysis import compare_algorithms_bfs, format_series, format_table, \
+    speedup_summary
+from repro.graphs import Graph, grid_2d, rmat
+from repro.machine import EDISON
+from repro.parallel import default_context
+
+from bench_common import ALGORITHMS, emit, good_source, high_diameter_graph, \
+    scale_free_graph
+
+THREADS = [1, 4, 12, 24]
+
+
+def _problems():
+    return [
+        scale_free_graph(),                                             # ljournal-like
+        Graph(rmat(scale=14, edge_factor=6, a=0.6, b=0.19, c=0.15, seed=13),
+              name="webgoogle-like"),
+        high_diameter_graph(),                                          # hugetric-like
+        Graph(grid_2d(110, 220, diagonal=True, seed=19), name="hugetrace-like"),
+    ]
+
+
+def _figure4_report() -> str:
+    blocks = []
+    per_algorithm_series = {alg: {} for alg in ALGORITHMS}
+    for graph in _problems():
+        source = good_source(graph)
+        series = compare_algorithms_bfs(graph, source, algorithms=ALGORITHMS,
+                                        platform=EDISON, thread_counts=THREADS,
+                                        problem_name=graph.name)
+        rows = []
+        for alg in ALGORITHMS:
+            s = series[alg]
+            rows.append([alg] + [round(s.times_ms[t], 3) for t in THREADS] +
+                        [round(s.speedup(max(THREADS)), 1)])
+            per_algorithm_series[alg][graph.name] = s
+        blocks.append(format_table(
+            ["algorithm"] + [f"t={t}" for t in THREADS] + ["speedup@24"],
+            rows, title=f"Figure 4 [{graph.name}]: BFS SpMSpV time (ms, simulated Edison)"))
+    summary_rows = []
+    for alg in ALGORITHMS:
+        s = speedup_summary(per_algorithm_series[alg])
+        summary_rows.append([alg, round(s["avg"], 1), round(s["max"], 1), round(s["min"], 1)])
+    blocks.append(format_table(
+        ["algorithm", "avg speedup@24", "max", "min"], summary_rows,
+        title="Section IV-D speedup summary (paper: bucket 11x avg, CombBLAS-SPA 6x, "
+              "CombBLAS-heap 12x, GraphMat 11x)"))
+    return "\n\n".join(blocks)
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_bfs_scaling_edison_report(benchmark):
+    report = benchmark.pedantic(_figure4_report, rounds=1, iterations=1)
+    emit("fig4_bfs_scaling_edison", report)
+
+
+@pytest.mark.benchmark(group="fig4-kernel")
+def test_fig4_bfs_wall_time_bucket(benchmark):
+    """Wall-clock micro-benchmark: one full BFS with the bucket kernel."""
+    graph = scale_free_graph()
+    source = good_source(graph)
+    ctx = default_context(num_threads=4)
+    benchmark.pedantic(lambda: bfs(graph, source, ctx, algorithm="bucket"),
+                       rounds=3, iterations=1)

@@ -1,0 +1,61 @@
+"""Figure 5: strong scaling of three SpMSpV algorithms inside BFS on the KNL preset.
+
+As in the paper, GraphMat is omitted on KNL ("we were unable to run GraphMat
+on KNL") and the thread count goes up to 64.  The paper's summary: bucket
+32x average speedup (max 49x), CombBLAS-SPA 12x, CombBLAS-heap 20x.
+"""
+
+import pytest
+
+from repro.analysis import compare_algorithms_bfs, format_table, speedup_summary
+from repro.graphs import Graph, rmat
+from repro.machine import KNL
+
+from bench_common import KNL_THREADS, emit, good_source, high_diameter_graph, \
+    scale_free_graph
+
+KNL_ALGORITHMS = ["bucket", "combblas_spa", "combblas_heap"]
+
+
+def _problems():
+    return [
+        scale_free_graph(),
+        Graph(rmat(scale=14, edge_factor=6, a=0.6, b=0.19, c=0.15, seed=13),
+              name="webgoogle-like"),
+        Graph(rmat(scale=14, edge_factor=15, seed=14), name="wikipedia-like"),
+        high_diameter_graph(120),
+    ]
+
+
+def _figure5_report() -> str:
+    blocks = []
+    per_algorithm_series = {alg: {} for alg in KNL_ALGORITHMS}
+    for graph in _problems():
+        source = good_source(graph)
+        series = compare_algorithms_bfs(graph, source, algorithms=KNL_ALGORITHMS,
+                                        platform=KNL, thread_counts=KNL_THREADS,
+                                        problem_name=graph.name)
+        rows = []
+        for alg in KNL_ALGORITHMS:
+            s = series[alg]
+            rows.append([alg] + [round(s.times_ms[t], 3) for t in KNL_THREADS] +
+                        [round(s.speedup(max(KNL_THREADS)), 1)])
+            per_algorithm_series[alg][graph.name] = s
+        blocks.append(format_table(
+            ["algorithm"] + [f"t={t}" for t in KNL_THREADS] + ["speedup@64"],
+            rows, title=f"Figure 5 [{graph.name}]: BFS SpMSpV time (ms, simulated KNL)"))
+    summary_rows = []
+    for alg in KNL_ALGORITHMS:
+        s = speedup_summary(per_algorithm_series[alg])
+        summary_rows.append([alg, round(s["avg"], 1), round(s["max"], 1), round(s["min"], 1)])
+    blocks.append(format_table(
+        ["algorithm", "avg speedup@64", "max", "min"], summary_rows,
+        title="Section IV-E speedup summary (paper: bucket 32x avg/49x max, "
+              "CombBLAS-SPA 12x, CombBLAS-heap 20x)"))
+    return "\n\n".join(blocks)
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_bfs_scaling_knl_report(benchmark):
+    report = benchmark.pedantic(_figure5_report, rounds=1, iterations=1)
+    emit("fig5_bfs_scaling_knl", report)

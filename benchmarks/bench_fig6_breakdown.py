@@ -1,0 +1,61 @@
+"""Figure 6: per-step breakdown of the SpMSpV-bucket algorithm across cores.
+
+The paper decomposes the runtime into the four steps (estimate buckets,
+bucketing, SPA-merge, output) for input vectors with 200, 10K and 2.5M
+nonzeros on ljournal-2008 and reports (a) that SPA-merge dominates the
+sequential runtime, (b) that bucketing catches up as the vector gets denser,
+and (c) the per-step speedups at 24 cores (merge scales best, bucketing and
+output are limited by irregular memory traffic).
+"""
+
+import pytest
+
+from repro.analysis import STEP_NAMES, breakdown, format_table
+from repro.core import spmspv_bucket
+from repro.parallel import default_context
+
+from bench_common import EDISON_THREADS, emit, random_frontier, scale_free_graph
+
+#: relative densities matching the paper's nnz(x) = 200, 10K, 2.5M on n = 5.36M
+RELATIVE_DENSITIES = [("nnz(x)~200 (0.004% of n)", 0.00004),
+                      ("nnz(x)~10K (0.19% of n)", 0.0019),
+                      ("nnz(x)~2.5M (47% of n)", 0.47)]
+
+
+def _figure6_report() -> str:
+    graph = scale_free_graph()
+    matrix = graph.matrix
+    n = graph.num_vertices
+    blocks = []
+    for label, frac in RELATIVE_DENSITIES:
+        nnz = max(4, int(frac * n))
+        x = random_frontier(graph, nnz, seed=61)
+        result = breakdown(matrix, x, thread_counts=EDISON_THREADS,
+                           problem_name=graph.name)
+        rows = []
+        for phase, display in STEP_NAMES.items():
+            times = result.phase_times[phase]
+            rows.append([display] + [round(times[t], 4) for t in EDISON_THREADS] +
+                        [round(result.phase_speedup(phase, max(EDISON_THREADS)), 1),
+                         f"{100 * result.phase_fraction(phase, 1):.0f}%"])
+        blocks.append(format_table(
+            ["step"] + [f"t={t}" for t in EDISON_THREADS] + ["speedup@24", "% of 1t time"],
+            rows, title=f"Figure 6 [{label}, actual nnz(x)={nnz}]: per-step time "
+                        f"(ms, simulated Edison) on {graph.name}"))
+    return "\n\n".join(blocks)
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_breakdown_report(benchmark):
+    report = benchmark.pedantic(_figure6_report, rounds=1, iterations=1)
+    emit("fig6_breakdown", report)
+
+
+@pytest.mark.benchmark(group="fig6-kernel")
+@pytest.mark.parametrize("nnz", [200, 10_000])
+def test_fig6_kernel_wall_time(benchmark, nnz):
+    """Wall-clock micro-benchmark of the bucket kernel at the Fig. 6 sparsities."""
+    graph = scale_free_graph()
+    x = random_frontier(graph, nnz, seed=62)
+    ctx = default_context(num_threads=4)
+    benchmark(lambda: spmspv_bucket(graph.matrix, x, ctx))

@@ -1,0 +1,68 @@
+"""Micro-benchmarks of the real (wall-clock) NumPy kernels and substrates.
+
+These are not paper figures; they track the performance of this Python
+implementation itself (format conversions, gathers, SPA accumulation, the
+four SpMSpV kernels, and one BFS) so regressions in the library are visible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import bfs
+from repro.core import SparseAccumulator, spmspv
+from repro.formats import CSCMatrix, DCSCMatrix
+from repro.parallel import default_context
+
+from bench_common import ALGORITHMS, good_source, random_frontier, scale_free_graph
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_gather_columns_kernel(benchmark):
+    graph = scale_free_graph()
+    x = random_frontier(graph, 8192, seed=71)
+    benchmark(lambda: graph.matrix.gather_columns(x.indices))
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_csc_from_coo_conversion(benchmark):
+    coo = scale_free_graph().matrix.to_coo()
+    benchmark(lambda: CSCMatrix.from_coo(coo, sum_duplicates=False))
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_dcsc_construction(benchmark):
+    matrix = scale_free_graph().matrix
+    benchmark(lambda: DCSCMatrix.from_csc(matrix))
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_spa_accumulate_kernel(benchmark):
+    graph = scale_free_graph()
+    rows, vals, _ = graph.matrix.gather_columns(random_frontier(graph, 4096, seed=72).indices)
+    spa = SparseAccumulator(graph.num_vertices)
+
+    def run():
+        spa.reset()
+        spa.accumulate(rows, vals)
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="spmspv-wall")
+@pytest.mark.parametrize("algorithm", ALGORITHMS + ["sort"])
+def test_spmspv_wall_time(benchmark, algorithm):
+    graph = scale_free_graph()
+    x = random_frontier(graph, 2048, seed=73)
+    ctx = default_context(num_threads=4)
+    result = benchmark(lambda: spmspv(graph.matrix, x, ctx, algorithm=algorithm))
+    assert result.vector.nnz > 0
+
+
+@pytest.mark.benchmark(group="applications")
+def test_bfs_wall_time(benchmark):
+    graph = scale_free_graph()
+    source = good_source(graph)
+    result = benchmark.pedantic(
+        lambda: bfs(graph, source, default_context(num_threads=2), algorithm="bucket"),
+        rounds=3, iterations=1)
+    assert result.num_reached > 1

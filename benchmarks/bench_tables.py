@@ -1,0 +1,106 @@
+"""Regenerate Tables I-IV of the paper.
+
+* Table I  — classification of SpMSpV algorithms with measured total work
+             next to the analytical complexity.
+* Table II — characteristics of SPA-based algorithms: measured work growth
+             with the thread count and synchronization events.
+* Table III — the evaluated-platform presets.
+* Table IV — the benchmark-suite stand-ins with their measured sizes and
+             pseudo-diameters.
+"""
+
+import pytest
+
+from repro.analysis import (
+    TABLE1_PROFILES,
+    audit_all,
+    format_table,
+    lower_bound_ops,
+    table2_rows,
+)
+from repro.core import spmspv
+from repro.graphs import SUITE
+from repro.machine import EDISON, KNL
+from repro.parallel import default_context
+
+from bench_common import emit, random_frontier, scale_free_graph
+
+
+def _table1_report() -> str:
+    graph = scale_free_graph()
+    matrix = graph.matrix
+    x = random_frontier(graph, 2000, seed=1)
+    d = matrix.average_degree()
+    rows = []
+    for profile in TABLE1_PROFILES:
+        result = spmspv(matrix, x, default_context(num_threads=1), algorithm=profile.name)
+        work = result.record.total_work().total_operations()
+        rows.append([profile.display_name, profile.algo_class, profile.matrix_format,
+                     profile.vector_format, profile.merging,
+                     profile.sequential_complexity, profile.parallel_complexity,
+                     int(work), round(work / lower_bound_ops(d, x.nnz), 2)])
+    return format_table(
+        ["algorithm", "class", "matrix", "vector", "merging", "seq. complexity",
+         "par. complexity", "measured ops (1t)", "ops / (d*f)"],
+        rows, title="Table I: classification of SpMSpV algorithms (measured on "
+                    f"{graph.name}, nnz(x)={x.nnz})")
+
+
+def _table2_report() -> str:
+    graph = scale_free_graph()
+    x = random_frontier(graph, 2000, seed=2)
+    audits = audit_all(graph.matrix, x, [1, 4, 12, 24])
+    rows = [[r["algorithm"], r["claimed_work_efficient"], r["measured_work_growth"],
+             r["measured_work_efficient"], r["work_over_lower_bound_1t"],
+             r["sync_events_max_t"]] for r in table2_rows(audits)]
+    return format_table(
+        ["algorithm", "claimed work-efficient", "work growth 1->24t",
+         "measured work-efficient", "work/(d*f) at 1t", "sync events at 24t"],
+        rows, title="Table II: work-efficiency characteristics (measured)")
+
+
+def _table3_report() -> str:
+    rows = []
+    for platform in (KNL, EDISON):
+        rows.append([platform.name, platform.sockets, platform.cores_per_socket,
+                     platform.clock_ghz, platform.l1_kb, platform.l2_kb,
+                     platform.stream_bw_gbs, platform.dp_gflops_per_core])
+    return format_table(
+        ["platform", "sockets", "cores/socket", "GHz", "L1 KB", "L2 KB",
+         "STREAM GB/s", "DP GFlop/s/core"],
+        rows, title="Table III: evaluated platform presets")
+
+
+def _table4_report() -> str:
+    rows = []
+    for problem in SUITE:
+        graph = problem.build(max(2, problem.default_scale // 2))
+        rows.append([problem.graph_class, problem.name, problem.paper_counterpart,
+                     graph.num_vertices, graph.num_edges // 2, graph.pseudo_diameter()])
+    return format_table(
+        ["class", "graph", "stands in for", "#vertices", "#edges", "pseudo-diameter"],
+        rows, title="Table IV: benchmark suite (scaled-down stand-ins)")
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_classification(benchmark):
+    report = benchmark.pedantic(_table1_report, rounds=1, iterations=1)
+    emit("table1_classification", report)
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_characteristics(benchmark):
+    report = benchmark.pedantic(_table2_report, rounds=1, iterations=1)
+    emit("table2_characteristics", report)
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_platforms(benchmark):
+    report = benchmark.pedantic(_table3_report, rounds=1, iterations=1)
+    emit("table3_platforms", report)
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_suite(benchmark):
+    report = benchmark.pedantic(_table4_report, rounds=1, iterations=1)
+    emit("table4_suite", report)

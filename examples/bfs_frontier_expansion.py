@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""BFS frontier expansion: the paper's flagship application (§IV-D).
+
+Runs BFS on a scale-free graph and on a high-diameter mesh with every SpMSpV
+implementation, reproducing (at laptop scale) the observation that drives the
+paper: on high-diameter graphs most frontiers are tiny, so the matrix-driven
+GraphMat algorithm pays its O(nzc) overhead thousands of times while the
+vector-driven bucket algorithm only touches the frontier's columns.
+"""
+
+import numpy as np
+
+from repro import EDISON, default_context
+from repro.algorithms import bfs
+from repro.analysis import format_table
+from repro.graphs import Graph, grid_2d, rmat
+from repro.machine import cost_model_for, simulate_records
+
+ALGORITHMS = ["bucket", "combblas_spa", "combblas_heap", "graphmat"]
+
+
+def run_bfs_comparison(graph: Graph, source: int, threads: int = 4) -> None:
+    print(f"\n=== {graph.name}: {graph.num_vertices} vertices, "
+          f"{graph.num_edges // 2} edges ===")
+    ctx = default_context(num_threads=threads, platform=EDISON)
+    model = cost_model_for(EDISON)
+    rows = []
+    reference_levels = None
+    for algorithm in ALGORITHMS:
+        result = bfs(graph, source, ctx, algorithm=algorithm)
+        if reference_levels is None:
+            reference_levels = result.levels
+            print(f"BFS from {source}: reached {result.num_reached} vertices in "
+                  f"{result.max_level()} levels; frontier sizes "
+                  f"{result.frontier_sizes[:8]}{'...' if len(result.frontier_sizes) > 8 else ''}")
+        else:
+            assert np.array_equal(result.levels, reference_levels), \
+                "all SpMSpV algorithms must produce the same BFS"
+        run = simulate_records(result.records, EDISON, model)
+        rows.append([algorithm, len(result.records), round(run.time_ms, 3),
+                     f"{run.total_work_ops:,}"])
+    print(format_table(["algorithm", "SpMSpV calls", f"simulated ms ({threads}t)",
+                        "total ops"], rows))
+
+
+def main() -> None:
+    scale_free = Graph(rmat(scale=14, edge_factor=12, seed=1), name="scale-free (ljournal-like)")
+    mesh = Graph(grid_2d(180, 180, diagonal=True, seed=2), name="high-diameter mesh (hugetric-like)")
+
+    for graph in (scale_free, mesh):
+        source = int(np.argmax(graph.out_degrees()))
+        run_bfs_comparison(graph, source)
+
+    print("\nTakeaway: on the mesh the BFS consists of hundreds of very sparse frontiers,")
+    print("so the bucket algorithm does several times less work (and less simulated time)")
+    print("than the matrix-driven GraphMat — the behaviour Figure 4 reports for hugetric.")
+
+
+if __name__ == "__main__":
+    main()

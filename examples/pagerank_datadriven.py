@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Data-driven PageRank (§I of the paper).
+
+The paper argues that PageRank is "better implemented in a data-driven way
+using the SpMSpV primitive as opposed to using sparse matrix-dense vector
+multiplication", because vertices whose rank has converged can be dropped
+from the computation.  This example measures exactly that effect: the active
+set shrinks every iteration, and with it the work per SpMSpV.
+"""
+
+import numpy as np
+
+from repro import default_context
+from repro.algorithms import pagerank, pagerank_dense_reference
+from repro.analysis import format_table
+from repro.graphs import Graph, rmat
+
+
+def main() -> None:
+    graph = Graph(rmat(scale=13, edge_factor=10, seed=3), name="web-like")
+    print(f"graph: {graph.num_vertices} vertices, {graph.num_edges // 2} edges")
+
+    ctx = default_context(num_threads=8)
+    result = pagerank(graph, ctx, damping=0.85, tol=1e-9)
+    reference = pagerank_dense_reference(graph, damping=0.85)
+    error = np.abs(result.scores - reference).max()
+    print(f"\nconverged in {result.num_iterations} iterations, "
+          f"max |error| vs dense power iteration = {error:.2e}")
+
+    # The whole point of the sparse formulation: the active set shrinks.
+    sizes = result.active_sizes
+    checkpoints = [0, len(sizes) // 4, len(sizes) // 2, 3 * len(sizes) // 4, len(sizes) - 1]
+    rows = [[k, sizes[k], f"{100 * sizes[k] / graph.num_vertices:.1f}%"]
+            for k in checkpoints]
+    print(format_table(["iteration", "active vertices", "fraction of n"], rows,
+                       title="Active (still-changing) vertices per iteration"))
+
+    print("\nTop-10 vertices by PageRank:")
+    for vertex, score in result.top(10):
+        print(f"  vertex {vertex:6d}  score {score:.5f}  degree {graph.out_degrees()[vertex]}")
+
+    # Personalized PageRank keeps the active set small from the start.
+    seeds = np.array([int(np.argmax(graph.out_degrees()))])
+    personalized = pagerank(graph, ctx, personalization=seeds, tol=1e-9)
+    print(f"\npersonalized PageRank from vertex {seeds[0]}: "
+          f"{personalized.num_iterations} iterations, peak active set "
+          f"{max(personalized.active_sizes)} of {graph.num_vertices} vertices")
+
+
+if __name__ == "__main__":
+    main()

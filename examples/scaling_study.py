@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Strong-scaling study: regenerate the paper's scaling plots for your own problem.
+
+Uses the analysis layer to (a) strong-scale a single SpMSpV on the Edison and
+KNL presets, (b) compare all algorithms inside a BFS, and (c) print the
+per-step breakdown of the bucket algorithm (the Fig. 6 view).
+"""
+
+import numpy as np
+
+from repro.analysis import (
+    STEP_NAMES,
+    breakdown,
+    compare_algorithms_bfs,
+    format_series,
+    format_table,
+    scale_spmspv,
+)
+from repro.formats import SparseVector
+from repro.graphs import Graph, rmat
+from repro.machine import EDISON, KNL
+
+
+def main() -> None:
+    graph = Graph(rmat(scale=15, edge_factor=12, seed=5), name="scale-free")
+    matrix = graph.matrix
+    n = graph.num_vertices
+    rng = np.random.default_rng(0)
+    idx = np.sort(rng.choice(n, n // 100, replace=False))
+    x = SparseVector(n, idx, rng.random(len(idx)))
+    print(f"graph: {n} vertices, {graph.num_edges // 2} edges; nnz(x) = {x.nnz}")
+
+    # (a) one SpMSpV, strong-scaled on both platform presets
+    for platform in (EDISON, KNL):
+        series = scale_spmspv(matrix, x, platform=platform, problem_name=graph.name)
+        counts = series.thread_counts()
+        print("\n" + format_series(f"SpMSpV-bucket on {platform.name}", counts,
+                                   [series.times_ms[t] for t in counts],
+                                   x_label="cores", y_label="ms"))
+        print(f"  speedup at {counts[-1]} cores: {series.speedup(counts[-1]):.1f}x")
+
+    # (b) all algorithms inside a BFS (the Fig. 4 experiment for one graph)
+    source = int(np.argmax(graph.out_degrees()))
+    comparison = compare_algorithms_bfs(graph, source, thread_counts=[1, 4, 12, 24])
+    rows = [[alg] + [round(s.times_ms[t], 3) for t in [1, 4, 12, 24]]
+            for alg, s in comparison.items()]
+    print("\n" + format_table(["algorithm", "t=1", "t=4", "t=12", "t=24"], rows,
+                              title="BFS SpMSpV time (ms, simulated Edison)"))
+
+    # (c) per-step breakdown of the bucket algorithm (the Fig. 6 view)
+    result = breakdown(matrix, x, problem_name=graph.name)
+    counts = result.thread_counts()
+    rows = [[STEP_NAMES[phase]] + [round(result.phase_times[phase][t], 4) for t in counts]
+            for phase in STEP_NAMES]
+    print("\n" + format_table(["step"] + [f"t={t}" for t in counts], rows,
+                              title="SpMSpV-bucket per-step time (ms, simulated Edison)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The environment this reproduction targets has no ``wheel`` package and no
+network access, so PEP-660 editable installs (``pip install -e .``) cannot
+build a wheel.  ``python setup.py develop`` (or ``pip install -e . --no-build-isolation``
+where wheel is available) installs the package from ``src/`` instead.  All
+project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

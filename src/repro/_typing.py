@@ -1,0 +1,51 @@
+"""Shared typing aliases and small helpers used across the package.
+
+The library standardizes on:
+
+* ``INDEX_DTYPE`` (``int64``) for all index arrays (row ids, column pointers,
+  bucket ids, ...).  Sparse graph problems routinely exceed the ``int32``
+  range once edge counts approach a couple of billions, and the paper's
+  target problems (Table IV) go up to 165M edges; ``int64`` keeps the code
+  simple and correct at every scale we care about.
+* ``VALUE_DTYPE`` (``float64``) as the default numerical type.  All kernels
+  accept any real NumPy dtype and preserve it, but the constructors default
+  to double precision like CombBLAS does.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple, Union
+
+import numpy as np
+
+INDEX_DTYPE = np.int64
+VALUE_DTYPE = np.float64
+
+ArrayLike = Union[np.ndarray, Sequence[float], Sequence[int], Iterable[float]]
+Shape = Tuple[int, int]
+
+
+def as_index_array(data: ArrayLike) -> np.ndarray:
+    """Convert *data* to a contiguous ``int64`` index array."""
+    arr = np.ascontiguousarray(data, dtype=INDEX_DTYPE)
+    if arr.ndim != 1:
+        arr = arr.reshape(-1)
+    return arr
+
+
+def as_value_array(data: ArrayLike, dtype=None) -> np.ndarray:
+    """Convert *data* to a contiguous 1-D value array (default float64)."""
+    arr = np.ascontiguousarray(data, dtype=dtype if dtype is not None else VALUE_DTYPE)
+    if arr.ndim != 1:
+        arr = arr.reshape(-1)
+    return arr
+
+
+def check_shape(shape: Shape) -> Shape:
+    """Validate a matrix shape tuple and return it normalized to ``(int, int)``."""
+    if len(shape) != 2:
+        raise ValueError(f"matrix shape must be a pair, got {shape!r}")
+    m, n = int(shape[0]), int(shape[1])
+    if m < 0 or n < 0:
+        raise ValueError(f"matrix dimensions must be non-negative, got {shape!r}")
+    return m, n

@@ -1,0 +1,44 @@
+"""Graph algorithms built on the SpMSpV primitive (the applications of §I)."""
+
+from .bfs import BFSResult, bfs, validate_bfs_tree
+from .bipartite_matching import (
+    MatchingResult,
+    is_maximal_matching,
+    is_valid_matching,
+    maximal_bipartite_matching,
+)
+from .connected_components import ConnectedComponentsResult, connected_components
+from .local_clustering import LocalClusterResult, conductance, local_cluster
+from .mis import (
+    MISResult,
+    is_independent_set,
+    is_maximal_independent_set,
+    maximal_independent_set,
+)
+from .pagerank import PageRankResult, column_stochastic, pagerank, pagerank_dense_reference
+from .sssp import SSSPResult, sssp
+
+__all__ = [
+    "BFSResult",
+    "ConnectedComponentsResult",
+    "LocalClusterResult",
+    "MISResult",
+    "MatchingResult",
+    "PageRankResult",
+    "SSSPResult",
+    "bfs",
+    "column_stochastic",
+    "conductance",
+    "connected_components",
+    "is_independent_set",
+    "is_maximal_independent_set",
+    "is_maximal_matching",
+    "is_valid_matching",
+    "local_cluster",
+    "maximal_bipartite_matching",
+    "maximal_independent_set",
+    "pagerank",
+    "pagerank_dense_reference",
+    "sssp",
+    "validate_bfs_tree",
+]

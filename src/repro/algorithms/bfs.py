@@ -1,0 +1,153 @@
+"""Breadth-first search via repeated SpMSpV (the paper's flagship application, §IV-D).
+
+Each BFS level multiplies the adjacency matrix by the sparse *frontier*
+vector; the product, masked by the set of already-visited vertices, is the
+next frontier.  Using the ``MIN_SELECT2ND`` semiring with frontier values set
+to the frontier vertices' own ids makes the multiplication simultaneously
+compute a valid parent for every newly discovered vertex.
+
+The result carries the :class:`~repro.parallel.metrics.ExecutionRecord` of
+every SpMSpV performed, because the paper's Figures 4 and 5 report exactly
+"the runtime of SpMSpVs in all iterations omitting other costs of the BFS".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from .._typing import INDEX_DTYPE
+from ..core.dispatch import spmspv
+from ..core.result import SpMSpVResult
+from ..formats.csc import CSCMatrix
+from ..formats.sparse_vector import SparseVector
+from ..graphs.graph import Graph
+from ..parallel.context import ExecutionContext, default_context
+from ..parallel.metrics import ExecutionRecord
+from ..semiring import MIN_SELECT2ND
+
+
+@dataclass
+class BFSResult:
+    """Outcome of a breadth-first search."""
+
+    source: int
+    #: BFS level per vertex; -1 for unreachable vertices
+    levels: np.ndarray
+    #: BFS parent per vertex; -1 for unreachable vertices, ``source`` for the source
+    parents: np.ndarray
+    #: number of frontier-expansion iterations performed
+    num_iterations: int
+    #: nnz of the frontier at every level (the sparsity trajectory of Fig. 3)
+    frontier_sizes: List[int] = field(default_factory=list)
+    #: execution record of every SpMSpV call, in order
+    records: List[ExecutionRecord] = field(default_factory=list)
+
+    @property
+    def num_reached(self) -> int:
+        """Number of vertices reached from the source (including the source)."""
+        return int(np.count_nonzero(self.levels >= 0))
+
+    def max_level(self) -> int:
+        """Eccentricity of the source within its component."""
+        reached = self.levels[self.levels >= 0]
+        return int(reached.max()) if len(reached) else 0
+
+
+def bfs(graph: Graph | CSCMatrix, source: int,
+        ctx: Optional[ExecutionContext] = None, *,
+        algorithm: str = "bucket",
+        max_levels: Optional[int] = None,
+        collect_frontiers: bool = False) -> BFSResult:
+    """Run a frontier-expansion BFS from ``source``.
+
+    Parameters
+    ----------
+    graph:
+        A :class:`Graph` or a square adjacency matrix (``A(i, j) != 0`` means
+        an edge ``j -> i``).
+    source:
+        Start vertex.
+    ctx:
+        Execution context forwarded to every SpMSpV.
+    algorithm:
+        Which SpMSpV implementation expands the frontiers
+        (``'bucket' | 'combblas_spa' | 'combblas_heap' | 'graphmat' | 'sort' | 'auto'``).
+    max_levels:
+        Optional cap on the number of levels (useful for tests / truncated runs).
+    collect_frontiers:
+        When true, the returned result also keeps each frontier vector
+        (memory-heavy; used by the Fig. 3 benchmark to harvest realistic
+        frontiers of different sparsity).
+    """
+    matrix = graph.matrix if isinstance(graph, Graph) else graph
+    if matrix.nrows != matrix.ncols:
+        raise ValueError("BFS requires a square adjacency matrix")
+    n = matrix.ncols
+    if not (0 <= source < n):
+        raise IndexError(f"source {source} out of range for {n} vertices")
+    ctx = ctx if ctx is not None else default_context()
+
+    levels = np.full(n, -1, dtype=INDEX_DTYPE)
+    parents = np.full(n, -1, dtype=INDEX_DTYPE)
+    levels[source] = 0
+    parents[source] = source
+
+    frontier = SparseVector(n, np.array([source], dtype=INDEX_DTYPE),
+                            np.array([float(source)]), sorted=True, check=False)
+    visited_indices = [np.array([source], dtype=INDEX_DTYPE)]
+    records: List[ExecutionRecord] = []
+    frontier_sizes: List[int] = [frontier.nnz]
+    frontiers: List[SparseVector] = [frontier.copy()] if collect_frontiers else []
+
+    level = 0
+    while frontier.nnz:
+        if max_levels is not None and level >= max_levels:
+            break
+        level += 1
+        visited = SparseVector.full_like_indices(n, np.concatenate(visited_indices), 1.0)
+        result: SpMSpVResult = spmspv(matrix, frontier, ctx, algorithm=algorithm,
+                                      semiring=MIN_SELECT2ND, mask=visited,
+                                      mask_complement=True)
+        records.append(result.record)
+        reached = result.vector
+        if reached.nnz == 0:
+            break
+        levels[reached.indices] = level
+        parents[reached.indices] = reached.values.astype(INDEX_DTYPE)
+        visited_indices.append(reached.indices.copy())
+        # next frontier: the newly reached vertices carrying their own ids
+        frontier = SparseVector(n, reached.indices.copy(),
+                                reached.indices.astype(np.float64),
+                                sorted=reached.sorted, check=False)
+        frontier_sizes.append(frontier.nnz)
+        if collect_frontiers:
+            frontiers.append(frontier.copy())
+
+    result = BFSResult(source=source, levels=levels, parents=parents,
+                       num_iterations=level, frontier_sizes=frontier_sizes,
+                       records=records)
+    if collect_frontiers:
+        result.frontiers = frontiers  # type: ignore[attr-defined]
+    return result
+
+
+def validate_bfs_tree(graph: Graph | CSCMatrix, result: BFSResult) -> bool:
+    """Check internal consistency of a BFS result (parents one level up, edges exist)."""
+    matrix = graph.matrix if isinstance(graph, Graph) else graph
+    levels, parents = result.levels, result.parents
+    reached = np.flatnonzero(levels >= 0)
+    for v in reached.tolist():
+        if v == result.source:
+            if levels[v] != 0 or parents[v] != v:
+                return False
+            continue
+        p = int(parents[v])
+        if p < 0 or levels[p] != levels[v] - 1:
+            return False
+        rows, _vals = matrix.column(p)
+        if v not in rows:
+            return False
+    return True

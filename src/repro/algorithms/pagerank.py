@@ -1,0 +1,149 @@
+"""Data-driven (incremental) PageRank on SpMSpV.
+
+The paper argues (§I) that even PageRank "is better implemented in a
+data-driven way using the SpMSpV primitive as opposed to using sparse
+matrix-dense vector multiplication", because the sparsity of the input vector
+lets converged vertices drop out of the computation.
+
+We implement exactly that: the power iteration is run in *delta form*.  The
+vector multiplied at every step is the sparse vector of rank *changes* above
+the convergence tolerance; once a vertex's change falls below the tolerance
+it becomes inactive and stops contributing work.  A conventional dense power
+iteration is provided as the reference the tests compare against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from .._typing import INDEX_DTYPE
+from ..core.dispatch import spmspv
+from ..formats.coo import COOMatrix
+from ..formats.csc import CSCMatrix
+from ..formats.sparse_vector import SparseVector
+from ..graphs.graph import Graph
+from ..parallel.context import ExecutionContext, default_context
+from ..parallel.metrics import ExecutionRecord
+from ..semiring import PLUS_TIMES
+
+
+def column_stochastic(matrix: CSCMatrix) -> CSCMatrix:
+    """Normalize each column of the adjacency matrix to sum to one.
+
+    With the package's adjacency convention (``A(i, j)`` = edge ``j -> i``)
+    the normalized matrix is exactly the PageRank transition operator:
+    column ``j`` spreads vertex ``j``'s rank equally over its out-neighbours.
+    Empty columns (dangling vertices) are left empty; their rank mass is
+    redistributed uniformly by the iteration itself.
+    """
+    sums = np.zeros(matrix.ncols)
+    col_of = np.repeat(np.arange(matrix.ncols, dtype=INDEX_DTYPE),
+                       np.diff(matrix.indptr))
+    np.add.at(sums, col_of, matrix.data)
+    scale = np.where(sums > 0, 1.0 / np.where(sums > 0, sums, 1.0), 0.0)
+    new_data = matrix.data * scale[col_of]
+    return CSCMatrix(matrix.shape, matrix.indptr.copy(), matrix.indices.copy(), new_data,
+                     sorted_within_columns=matrix.sorted_within_columns, check=False)
+
+
+@dataclass
+class PageRankResult:
+    """Outcome of the data-driven PageRank computation."""
+
+    scores: np.ndarray
+    num_iterations: int
+    #: number of active (still-changing) vertices per iteration
+    active_sizes: List[int] = field(default_factory=list)
+    records: List[ExecutionRecord] = field(default_factory=list)
+
+    def top(self, k: int = 10) -> List[tuple]:
+        """The k highest-ranked vertices as (vertex, score) pairs."""
+        order = np.argsort(self.scores)[::-1][:k]
+        return [(int(v), float(self.scores[v])) for v in order]
+
+
+def pagerank(graph: Graph | CSCMatrix,
+             ctx: Optional[ExecutionContext] = None, *,
+             algorithm: str = "bucket",
+             damping: float = 0.85,
+             tol: float = 1e-8,
+             max_iterations: int = 200,
+             personalization: Optional[np.ndarray] = None) -> PageRankResult:
+    """Compute PageRank scores with the sparse delta (data-driven) iteration.
+
+    The returned scores sum to 1.  ``personalization`` restricts the teleport
+    distribution to the given vertices (personalized PageRank), which also
+    makes the active set — and therefore every SpMSpV — much sparser.
+    """
+    matrix = graph.matrix if isinstance(graph, Graph) else graph
+    if matrix.nrows != matrix.ncols:
+        raise ValueError("PageRank requires a square adjacency matrix")
+    n = matrix.ncols
+    ctx = ctx if ctx is not None else default_context()
+    transition = column_stochastic(matrix)
+    dangling = np.flatnonzero(np.diff(transition.indptr) == 0)
+
+    if personalization is None:
+        teleport = np.full(n, 1.0 / n)
+    else:
+        teleport = np.zeros(n)
+        teleport[np.asarray(personalization, dtype=INDEX_DTYPE)] = 1.0
+        teleport /= teleport.sum()
+
+    # rank starts at the teleport distribution; the initial "delta" is the whole vector
+    scores = teleport.copy()
+    delta = SparseVector.from_dense(teleport)
+    records: List[ExecutionRecord] = []
+    active_sizes: List[int] = []
+    iterations = 0
+
+    while delta.nnz and iterations < max_iterations:
+        iterations += 1
+        active_sizes.append(delta.nnz)
+        result = spmspv(transition, delta, ctx, algorithm=algorithm, semiring=PLUS_TIMES)
+        records.append(result.record)
+        spread = result.vector
+        new_delta_dense = np.zeros(n)
+        if spread.nnz:
+            new_delta_dense[spread.indices] = damping * spread.values
+        # dangling vertices spread their delta uniformly through the teleport vector
+        dangling_mass = float(delta.to_dense()[dangling].sum()) if len(dangling) else 0.0
+        if dangling_mass:
+            new_delta_dense += damping * dangling_mass * teleport
+        scores += new_delta_dense
+        active = np.flatnonzero(np.abs(new_delta_dense) > tol)
+        delta = SparseVector(n, active.astype(INDEX_DTYPE), new_delta_dense[active],
+                             sorted=True, check=False)
+
+    scores /= scores.sum()
+    return PageRankResult(scores=scores, num_iterations=iterations,
+                          active_sizes=active_sizes, records=records)
+
+
+def pagerank_dense_reference(graph: Graph | CSCMatrix, *, damping: float = 0.85,
+                             tol: float = 1e-10, max_iterations: int = 500,
+                             personalization: Optional[np.ndarray] = None) -> np.ndarray:
+    """Dense power-iteration reference (used by tests to validate the sparse version)."""
+    matrix = graph.matrix if isinstance(graph, Graph) else graph
+    n = matrix.ncols
+    transition = column_stochastic(matrix).to_dense()
+    dangling = np.flatnonzero(transition.sum(axis=0) == 0)
+    if personalization is None:
+        teleport = np.full(n, 1.0 / n)
+    else:
+        teleport = np.zeros(n)
+        teleport[np.asarray(personalization, dtype=INDEX_DTYPE)] = 1.0
+        teleport /= teleport.sum()
+    scores = teleport.copy()
+    for _ in range(max_iterations):
+        new_scores = damping * (transition @ scores) + (1 - damping) * teleport
+        if len(dangling):
+            new_scores += damping * scores[dangling].sum() * teleport
+        if np.abs(new_scores - scores).sum() < tol:
+            scores = new_scores
+            break
+        scores = new_scores
+    return scores / scores.sum()

@@ -1,0 +1,50 @@
+"""Analysis & reporting: complexity formulas, work-efficiency audit, scaling, breakdown."""
+
+from .breakdown import STEP_NAMES, BreakdownResult, breakdown
+from .complexity import (
+    PROFILES_BY_NAME,
+    TABLE1_PROFILES,
+    AlgorithmProfile,
+    lower_bound_ops,
+    measured_arithmetic_work,
+    measured_total_work,
+    work_efficiency_ratio,
+)
+from .reporting import banner, format_series, format_speedups, format_table, ratio
+from .scaling import (
+    ScalingSeries,
+    compare_algorithms_bfs,
+    default_thread_counts,
+    scale_bfs,
+    scale_spmspv,
+    speedup_summary,
+)
+from .work_efficiency import WorkAudit, audit_algorithm, audit_all, table2_rows
+
+__all__ = [
+    "AlgorithmProfile",
+    "BreakdownResult",
+    "PROFILES_BY_NAME",
+    "STEP_NAMES",
+    "ScalingSeries",
+    "TABLE1_PROFILES",
+    "WorkAudit",
+    "audit_algorithm",
+    "audit_all",
+    "banner",
+    "breakdown",
+    "compare_algorithms_bfs",
+    "default_thread_counts",
+    "format_series",
+    "format_speedups",
+    "format_table",
+    "lower_bound_ops",
+    "measured_arithmetic_work",
+    "measured_total_work",
+    "ratio",
+    "scale_bfs",
+    "scale_spmspv",
+    "speedup_summary",
+    "table2_rows",
+    "work_efficiency_ratio",
+]

@@ -1,0 +1,88 @@
+"""Per-step performance breakdown of the SpMSpV-bucket algorithm (Figure 6).
+
+The bucket algorithm has four steps — estimate, bucketing, SPA-merge, output —
+and §IV-F analyses how each contributes to the runtime and how each scales.
+The helpers here run the algorithm across thread counts and return the
+per-phase simulated times, ready to be printed as the Fig. 6 series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.spmspv_bucket import spmspv_bucket
+from ..formats.csc import CSCMatrix
+from ..formats.sparse_vector import SparseVector
+from ..machine.cost_model import cost_model_for
+from ..machine.platforms import EDISON, Platform
+from ..parallel.context import default_context
+from ..semiring import PLUS_TIMES, Semiring
+
+#: display order / names of the four steps, matching Fig. 6's legend
+STEP_NAMES = {
+    "estimate": "Estimate buckets",
+    "bucketing": "Bucketing",
+    "spa_merge": "SPA-merge",
+    "output": "Output",
+}
+
+
+@dataclass
+class BreakdownResult:
+    """Per-phase simulated times of the bucket algorithm across thread counts."""
+
+    problem: str
+    platform: str
+    #: phase -> {threads: time_ms}
+    phase_times: Dict[str, Dict[int, float]] = field(default_factory=dict)
+
+    def thread_counts(self) -> List[int]:
+        any_phase = next(iter(self.phase_times.values()), {})
+        return sorted(any_phase)
+
+    def total_times(self) -> Dict[int, float]:
+        """Total simulated time per thread count (sum of the phases)."""
+        totals: Dict[int, float] = {}
+        for times in self.phase_times.values():
+            for t, v in times.items():
+                totals[t] = totals.get(t, 0.0) + v
+        return totals
+
+    def phase_fraction(self, phase: str, threads: int) -> float:
+        """Fraction of the total time spent in one phase at one thread count."""
+        total = self.total_times().get(threads, 0.0)
+        if total <= 0:
+            return 0.0
+        return self.phase_times.get(phase, {}).get(threads, 0.0) / total
+
+    def phase_speedup(self, phase: str, threads: int) -> float:
+        """Speedup of one phase relative to its single-thread time."""
+        times = self.phase_times.get(phase, {})
+        if not times:
+            return 0.0
+        base = times[min(times)]
+        value = times.get(threads, 0.0)
+        return base / value if value > 0 else float("inf")
+
+
+def breakdown(matrix: CSCMatrix, x: SparseVector, *,
+              platform: Platform = EDISON,
+              thread_counts: Optional[Sequence[int]] = None,
+              semiring: Semiring = PLUS_TIMES,
+              problem_name: str = "problem") -> BreakdownResult:
+    """Measure the per-step simulated times of SpMSpV-bucket across thread counts."""
+    from .scaling import default_thread_counts
+
+    thread_counts = list(thread_counts) if thread_counts is not None \
+        else default_thread_counts(platform)
+    model = cost_model_for(platform)
+    result = BreakdownResult(problem=problem_name, platform=platform.name,
+                             phase_times={name: {} for name in STEP_NAMES})
+    for t in thread_counts:
+        ctx = default_context(num_threads=t, platform=platform)
+        run = spmspv_bucket(matrix, x, ctx, semiring=semiring)
+        per_phase = model.phase_times_ms(run.record)
+        for phase, time_ms in per_phase.items():
+            result.phase_times.setdefault(phase, {})[t] = time_ms
+    return result

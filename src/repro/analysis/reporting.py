@@ -1,0 +1,65 @@
+"""Plain-text reporting helpers for the benchmark harness.
+
+The benchmark modules regenerate the paper's tables and figure series as
+monospace text (printed to stdout and written into ``EXPERIMENTS.md`` /
+``bench_output.txt``).  These helpers format rows and series consistently.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], *,
+                 title: Optional[str] = None, floatfmt: str = "{:.4g}") -> str:
+    """Render a list of rows as an aligned monospace table."""
+    str_rows: List[List[str]] = []
+    for row in rows:
+        str_rows.append([floatfmt.format(c) if isinstance(c, float) else str(c) for c in row])
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence[object], ys: Sequence[float], *,
+                  x_label: str = "x", y_label: str = "y",
+                  floatfmt: str = "{:.4g}") -> str:
+    """Render one figure series as ``name: (x1, y1) (x2, y2) ...`` pairs."""
+    pairs = " ".join(f"({x}, {floatfmt.format(float(y))})" for x, y in zip(xs, ys))
+    return f"{name} [{x_label} -> {y_label}]: {pairs}"
+
+
+def format_speedups(times_by_threads: Dict[int, float], *, floatfmt: str = "{:.2f}"
+                    ) -> str:
+    """Render a {threads: time_ms} mapping as a speedup summary line."""
+    if not times_by_threads:
+        return "(no data)"
+    threads = sorted(times_by_threads)
+    base = times_by_threads[threads[0]]
+    parts = []
+    for t in threads:
+        speedup = base / times_by_threads[t] if times_by_threads[t] > 0 else float("inf")
+        parts.append(f"t={t}: {floatfmt.format(times_by_threads[t])} ms "
+                     f"({floatfmt.format(speedup)}x)")
+    return ", ".join(parts)
+
+
+def ratio(a: float, b: float) -> float:
+    """Safe a/b ratio (inf when b == 0)."""
+    return a / b if b else float("inf")
+
+
+def banner(text: str, *, char: str = "=") -> str:
+    """A separator banner used between experiments in the bench output."""
+    line = char * max(len(text) + 4, 40)
+    return f"\n{line}\n  {text}\n{line}"

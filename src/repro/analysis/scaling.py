@@ -1,0 +1,129 @@
+"""Strong-scaling studies (the machinery behind Figures 2-5).
+
+A scaling study runs one or more SpMSpV algorithms — either on a fixed
+(matrix, vector) pair or inside a full BFS — at a list of thread counts, and
+prices every run on a platform with the machine model.  The result objects
+expose the same series the paper plots: simulated time vs. cores, and the
+speedup summaries quoted in §IV-D / §IV-E.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..algorithms.bfs import bfs
+from ..core.dispatch import spmspv
+from ..formats.csc import CSCMatrix
+from ..formats.sparse_vector import SparseVector
+from ..graphs.graph import Graph
+from ..machine.cost_model import cost_model_for
+from ..machine.platforms import EDISON, Platform
+from ..machine.simulator import simulate_record, simulate_records
+from ..parallel.context import default_context
+from ..semiring import PLUS_TIMES, Semiring
+
+
+@dataclass
+class ScalingSeries:
+    """Simulated time versus thread count for one algorithm on one problem."""
+
+    algorithm: str
+    problem: str
+    platform: str
+    times_ms: Dict[int, float] = field(default_factory=dict)
+    wall_times_s: Dict[int, float] = field(default_factory=dict)
+
+    def speedup(self, threads: int) -> float:
+        base_t = min(self.times_ms)
+        base = self.times_ms[base_t]
+        return base / self.times_ms[threads] if self.times_ms[threads] else float("inf")
+
+    def max_speedup(self) -> float:
+        return max(self.speedup(t) for t in self.times_ms)
+
+    def thread_counts(self) -> List[int]:
+        return sorted(self.times_ms)
+
+
+def default_thread_counts(platform: Platform) -> List[int]:
+    """1, 2, 4, ... up to the platform core count (the x-axes of Figs. 2, 4-6)."""
+    counts = []
+    t = 1
+    while t <= platform.max_threads:
+        counts.append(t)
+        t *= 2
+    if counts[-1] != platform.max_threads:
+        counts.append(platform.max_threads)
+    return counts
+
+
+def scale_spmspv(matrix: CSCMatrix, x: SparseVector, *,
+                 algorithm: str = "bucket",
+                 platform: Platform = EDISON,
+                 thread_counts: Optional[Sequence[int]] = None,
+                 semiring: Semiring = PLUS_TIMES,
+                 sorted_vectors: bool = True,
+                 problem_name: str = "problem") -> ScalingSeries:
+    """Strong-scale a single SpMSpV (Fig. 2 / Fig. 6 style experiments)."""
+    thread_counts = list(thread_counts) if thread_counts is not None \
+        else default_thread_counts(platform)
+    model = cost_model_for(platform)
+    series = ScalingSeries(algorithm=algorithm, problem=problem_name, platform=platform.name)
+    for t in thread_counts:
+        ctx = default_context(num_threads=t, platform=platform,
+                              sorted_vectors=sorted_vectors)
+        x_run = x if sorted_vectors else x.shuffled()
+        result = spmspv(matrix, x_run, ctx, algorithm=algorithm, semiring=semiring,
+                        sorted_output=sorted_vectors)
+        run = simulate_record(result.record, platform, model)
+        series.times_ms[t] = run.time_ms
+        series.wall_times_s[t] = result.record.wall_time_s
+    return series
+
+
+def scale_bfs(graph: Graph | CSCMatrix, source: int, *,
+              algorithm: str = "bucket",
+              platform: Platform = EDISON,
+              thread_counts: Optional[Sequence[int]] = None,
+              problem_name: str = "graph") -> ScalingSeries:
+    """Strong-scale the SpMSpV time of a full BFS (Figs. 4 and 5).
+
+    As in the paper, only the SpMSpV invocations are timed; the same source
+    vertex is used at every thread count.
+    """
+    thread_counts = list(thread_counts) if thread_counts is not None \
+        else default_thread_counts(platform)
+    model = cost_model_for(platform)
+    series = ScalingSeries(algorithm=algorithm, problem=problem_name, platform=platform.name)
+    for t in thread_counts:
+        ctx = default_context(num_threads=t, platform=platform)
+        result = bfs(graph, source, ctx, algorithm=algorithm)
+        run = simulate_records(result.records, platform, model)
+        series.times_ms[t] = run.time_ms
+        series.wall_times_s[t] = run.wall_time_s
+    return series
+
+
+def compare_algorithms_bfs(graph: Graph | CSCMatrix, source: int, *,
+                           algorithms: Sequence[str] = ("bucket", "combblas_spa",
+                                                        "combblas_heap", "graphmat"),
+                           platform: Platform = EDISON,
+                           thread_counts: Optional[Sequence[int]] = None,
+                           problem_name: str = "graph") -> Dict[str, ScalingSeries]:
+    """Run :func:`scale_bfs` for several algorithms on the same graph/source."""
+    return {alg: scale_bfs(graph, source, algorithm=alg, platform=platform,
+                           thread_counts=thread_counts, problem_name=problem_name)
+            for alg in algorithms}
+
+
+def speedup_summary(series_by_problem: Dict[str, ScalingSeries]) -> Dict[str, float]:
+    """Average / max / min speedup at the largest thread count over a set of problems
+    (the §IV-D and §IV-E summary numbers)."""
+    finals = []
+    for series in series_by_problem.values():
+        t_max = max(series.times_ms)
+        finals.append(series.speedup(t_max))
+    if not finals:
+        return {"avg": 0.0, "max": 0.0, "min": 0.0}
+    return {"avg": sum(finals) / len(finals), "max": max(finals), "min": min(finals)}

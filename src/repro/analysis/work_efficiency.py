@@ -1,0 +1,106 @@
+"""Work-efficiency audit (the measured counterpart of Table II).
+
+The audit runs every registered SpMSpV algorithm on the same problem across
+a range of thread counts and records the *total work* performed by all
+threads.  A work-efficient algorithm's total work is (nearly) independent of
+the thread count; the row-split baselines' total work grows with ``t`` because
+of the per-thread whole-vector scan / full SPA initialization, and the
+matrix-driven baseline's work carries a ``t``-independent but huge ``nzc``
+term.  Synchronization behaviour is audited from the recorded barrier /
+sync-event counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.dispatch import spmspv
+from ..formats.csc import CSCMatrix
+from ..formats.sparse_vector import SparseVector
+from ..parallel.context import ExecutionContext, default_context
+from ..semiring import PLUS_TIMES, Semiring
+from .complexity import PROFILES_BY_NAME, lower_bound_ops
+
+
+@dataclass
+class WorkAudit:
+    """Measured work of one algorithm across thread counts on one problem."""
+
+    algorithm: str
+    thread_counts: List[int]
+    total_work: Dict[int, int] = field(default_factory=dict)
+    arithmetic_work: Dict[int, int] = field(default_factory=dict)
+    sync_events: Dict[int, int] = field(default_factory=dict)
+    lower_bound: float = 0.0
+
+    def work_growth(self) -> float:
+        """Total work at the largest thread count divided by the 1-thread work."""
+        t_min, t_max = min(self.thread_counts), max(self.thread_counts)
+        base = self.total_work[t_min]
+        return self.total_work[t_max] / base if base else float("inf")
+
+    def is_work_efficient(self, *, tolerance: float = 1.5) -> bool:
+        """Heuristic verdict: total work grows by less than ``tolerance``x across threads."""
+        return self.work_growth() <= tolerance
+
+    def efficiency_vs_lower_bound(self, threads: int) -> float:
+        """total work / (d·f) at the given thread count."""
+        if self.lower_bound <= 0:
+            return float("inf")
+        return self.total_work[threads] / self.lower_bound
+
+
+def audit_algorithm(algorithm: str, matrix: CSCMatrix, x: SparseVector,
+                    thread_counts: Sequence[int], *,
+                    semiring: Semiring = PLUS_TIMES,
+                    platform=None) -> WorkAudit:
+    """Run one algorithm at several thread counts and collect its work counters."""
+    from ..machine.platforms import EDISON
+
+    platform = platform if platform is not None else EDISON
+    d = matrix.average_degree()
+    audit = WorkAudit(algorithm=algorithm, thread_counts=list(thread_counts),
+                      lower_bound=lower_bound_ops(d, x.nnz))
+    for t in thread_counts:
+        ctx = default_context(num_threads=t, platform=platform)
+        result = spmspv(matrix, x, ctx, algorithm=algorithm, semiring=semiring)
+        work = result.record.total_work()
+        audit.total_work[t] = work.total_operations()
+        audit.arithmetic_work[t] = work.arithmetic_operations()
+        audit.sync_events[t] = result.record.total_sync_events()
+    return audit
+
+
+def audit_all(matrix: CSCMatrix, x: SparseVector, thread_counts: Sequence[int], *,
+              algorithms: Optional[Sequence[str]] = None,
+              semiring: Semiring = PLUS_TIMES, platform=None) -> Dict[str, WorkAudit]:
+    """Audit every (or the given) registered algorithm on the same problem."""
+    from ..core.dispatch import available_algorithms, get_algorithm  # noqa: F401
+
+    if algorithms is None:
+        algorithms = ["bucket", "combblas_spa", "combblas_heap", "graphmat", "sort"]
+    return {name: audit_algorithm(name, matrix, x, thread_counts,
+                                  semiring=semiring, platform=platform)
+            for name in algorithms}
+
+
+def table2_rows(audits: Dict[str, WorkAudit]) -> List[Dict[str, object]]:
+    """Build the measured Table II: per algorithm, the paper's qualitative claims
+    plus the measured work growth that justifies them."""
+    rows = []
+    for name, audit in audits.items():
+        profile = PROFILES_BY_NAME.get(name)
+        t_one = min(audit.thread_counts)
+        rows.append({
+            "algorithm": profile.display_name if profile else name,
+            "claimed_work_efficient": profile.work_efficient if profile else None,
+            "claimed_needs_sync": profile.needs_synchronization if profile else None,
+            "measured_work_growth": round(audit.work_growth(), 3),
+            "measured_work_efficient": audit.is_work_efficient(),
+            "work_over_lower_bound_1t": round(audit.efficiency_vs_lower_bound(t_one), 2),
+            "sync_events_max_t": audit.sync_events[max(audit.thread_counts)],
+        })
+    return rows

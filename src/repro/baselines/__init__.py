@@ -1,0 +1,21 @@
+"""Baseline SpMSpV implementations from Table I of the paper."""
+
+from .combblas_heap import spmspv_combblas_heap, spmspv_combblas_heap_reference
+from .combblas_spa import spmspv_combblas_spa, spmspv_combblas_spa_reference
+from .graphmat import spmspv_graphmat, spmspv_graphmat_reference
+from .sequential import spmspv_dict, spmspv_scipy, spmspv_sequential_spa
+from .spmspv_sort import spmspv_sort, spmspv_sort_reference
+
+__all__ = [
+    "spmspv_combblas_heap",
+    "spmspv_combblas_heap_reference",
+    "spmspv_combblas_spa",
+    "spmspv_combblas_spa_reference",
+    "spmspv_dict",
+    "spmspv_graphmat",
+    "spmspv_graphmat_reference",
+    "spmspv_scipy",
+    "spmspv_sequential_spa",
+    "spmspv_sort",
+    "spmspv_sort_reference",
+]

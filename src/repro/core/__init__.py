@@ -1,0 +1,48 @@
+"""Core: the SpMSpV-bucket algorithm and its supporting data structures."""
+
+from .buckets import BucketOffsets, BucketStore, bucket_of_rows, bucket_row_ranges, \
+    compute_offsets
+from .dispatch import (
+    AUTO_DENSITY_SWITCH,
+    available_algorithms,
+    get_algorithm,
+    register_algorithm,
+    spmspv,
+)
+from .left_multiply import spmspv_left, transpose_for_left_multiply
+from .result import SpMSpVResult
+from .spa import SparseAccumulator
+from .spmspv_bucket import spmspv_bucket, spmspv_bucket_reference
+from .vector_ops import (
+    assign_scalar,
+    ewise_add,
+    ewise_mult,
+    mask_vector,
+    reduce_vector,
+    where_values,
+)
+
+__all__ = [
+    "AUTO_DENSITY_SWITCH",
+    "BucketOffsets",
+    "BucketStore",
+    "SparseAccumulator",
+    "SpMSpVResult",
+    "assign_scalar",
+    "available_algorithms",
+    "bucket_of_rows",
+    "bucket_row_ranges",
+    "compute_offsets",
+    "ewise_add",
+    "ewise_mult",
+    "get_algorithm",
+    "mask_vector",
+    "reduce_vector",
+    "register_algorithm",
+    "spmspv",
+    "spmspv_bucket",
+    "spmspv_bucket_reference",
+    "spmspv_left",
+    "transpose_for_left_multiply",
+    "where_values",
+]

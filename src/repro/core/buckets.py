@@ -1,0 +1,165 @@
+"""Buckets and the ESTIMATE-BUCKETS preprocessing step (Algorithm 2).
+
+Step 1 of the SpMSpV-bucket algorithm stores every scaled matrix entry
+``(i, x(j)·A(i,j))`` in the bucket responsible for row ``i``
+(``bucket = ⌊i·nb/m⌋``).  Several threads may target the same bucket, so the
+paper first runs the ESTIMATE-BUCKETS pass (Algorithm 2) to count, for every
+(thread, bucket) pair, how many entries the thread will insert.  An exclusive
+prefix sum of those counts then gives each thread a private, disjoint write
+region inside each bucket, making Step 1 lock-free.
+
+:class:`BucketStore` is preallocated once (its capacity is bounded by
+``nnz(A)``, §III-A "Memory allocation") and reused across multiplications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from .._typing import INDEX_DTYPE, as_index_array
+from ..errors import ReproError
+
+
+def bucket_of_rows(rows: np.ndarray, num_buckets: int, num_rows: int) -> np.ndarray:
+    """Vectorized ``⌊i·nb/m⌋`` destination-bucket computation (Algorithm 1, line 5)."""
+    rows = as_index_array(rows)
+    if num_rows <= 0:
+        return np.zeros(len(rows), dtype=INDEX_DTYPE)
+    return (rows * num_buckets) // num_rows
+
+
+def bucket_row_ranges(num_buckets: int, num_rows: int) -> List[Tuple[int, int]]:
+    """The half-open row range covered by each bucket (inverse of :func:`bucket_of_rows`)."""
+    ranges = []
+    for k in range(num_buckets):
+        lo = -(-k * num_rows // num_buckets)           # ceil(k*m/nb)
+        hi = -(-(k + 1) * num_rows // num_buckets)     # ceil((k+1)*m/nb)
+        ranges.append((lo, hi))
+    return ranges
+
+
+@dataclass
+class BucketOffsets:
+    """Output of ESTIMATE-BUCKETS: per-(thread, bucket) counts and write offsets."""
+
+    #: counts[i, k] = number of entries thread i will insert into bucket k (Boffset of Alg. 2)
+    counts: np.ndarray
+    #: bucket_starts[k] = position where bucket k starts in the flat bucket store
+    bucket_starts: np.ndarray
+    #: write_starts[i, k] = first flat position thread i writes inside bucket k
+    write_starts: np.ndarray
+
+    @property
+    def num_threads(self) -> int:
+        return self.counts.shape[0]
+
+    @property
+    def num_buckets(self) -> int:
+        return self.counts.shape[1]
+
+    @property
+    def total_entries(self) -> int:
+        return int(self.counts.sum())
+
+    def bucket_sizes(self) -> np.ndarray:
+        """Total entries per bucket (summed over threads)."""
+        return self.counts.sum(axis=0).astype(INDEX_DTYPE)
+
+    def bucket_slice(self, k: int) -> Tuple[int, int]:
+        """Flat half-open range ``[lo, hi)`` occupied by bucket ``k``."""
+        lo = int(self.bucket_starts[k])
+        hi = int(self.bucket_starts[k + 1]) if k + 1 < len(self.bucket_starts) \
+            else int(self.total_entries)
+        return lo, hi
+
+
+def compute_offsets(counts: np.ndarray) -> BucketOffsets:
+    """Turn per-(thread, bucket) counts into disjoint write regions.
+
+    The layout places buckets contiguously (bucket 0 first) and, inside each
+    bucket, thread regions in thread order — matching the prefix-sum
+    construction the paper uses to avoid synchronization.
+    """
+    counts = np.asarray(counts, dtype=INDEX_DTYPE)
+    if counts.ndim != 2:
+        raise ReproError("counts must be a (threads x buckets) matrix")
+    per_bucket = counts.sum(axis=0)
+    bucket_starts = np.zeros(len(per_bucket) + 1, dtype=INDEX_DTYPE)
+    np.cumsum(per_bucket, out=bucket_starts[1:])
+    # exclusive prefix over threads within each bucket
+    within = np.zeros_like(counts)
+    if counts.shape[0] > 1:
+        within[1:, :] = np.cumsum(counts[:-1, :], axis=0)
+    write_starts = within + bucket_starts[:-1][None, :]
+    return BucketOffsets(counts=counts, bucket_starts=bucket_starts[:-1],
+                         write_starts=write_starts)
+
+
+class BucketStore:
+    """Preallocated storage for the (row index, scaled value) pairs of all buckets."""
+
+    __slots__ = ("capacity", "rows", "values", "offsets", "filled")
+
+    def __init__(self, capacity: int, dtype=np.float64):
+        self.capacity = int(capacity)
+        self.rows = np.empty(self.capacity, dtype=INDEX_DTYPE)
+        self.values = np.empty(self.capacity, dtype=dtype)
+        self.offsets: BucketOffsets | None = None
+        self.filled = 0
+
+    def ensure_capacity(self, needed: int, dtype=None) -> None:
+        """Grow the backing arrays if a multiplication needs more room."""
+        if needed > self.capacity or (dtype is not None and dtype != self.values.dtype):
+            self.capacity = max(needed, self.capacity)
+            self.rows = np.empty(self.capacity, dtype=INDEX_DTYPE)
+            self.values = np.empty(self.capacity,
+                                   dtype=dtype if dtype is not None else self.values.dtype)
+
+    def attach_offsets(self, offsets: BucketOffsets, dtype=None) -> None:
+        """Bind the ESTIMATE-BUCKETS result for the upcoming multiplication."""
+        self.ensure_capacity(offsets.total_entries, dtype=dtype)
+        self.offsets = offsets
+        self.filled = offsets.total_entries
+
+    def write_thread_entries(self, thread_id: int, bucket_ids: np.ndarray,
+                             rows: np.ndarray, values: np.ndarray) -> int:
+        """Write one thread's entries into its private regions (lock-free insertion).
+
+        ``bucket_ids[k]`` is the destination bucket of entry ``k``.  Entries
+        are laid out bucket-by-bucket inside the thread's disjoint regions, so
+        no other thread can touch the same positions.  Returns the number of
+        entries written.
+        """
+        if self.offsets is None:
+            raise ReproError("attach_offsets must be called before writing entries")
+        if len(bucket_ids) == 0:
+            return 0
+        order = np.argsort(bucket_ids, kind="stable")
+        b_sorted = bucket_ids[order]
+        counts = np.bincount(b_sorted, minlength=self.offsets.num_buckets).astype(INDEX_DTYPE)
+        expected = self.offsets.counts[thread_id]
+        if not np.array_equal(counts, expected):
+            raise ReproError(
+                "bucket counts differ from the ESTIMATE-BUCKETS preprocessing result; "
+                "lock-free insertion would race")
+        first_pos = np.zeros(self.offsets.num_buckets, dtype=INDEX_DTYPE)
+        np.cumsum(counts[:-1], out=first_pos[1:])
+        local_rank = np.arange(len(b_sorted), dtype=INDEX_DTYPE) - first_pos[b_sorted]
+        dest = self.offsets.write_starts[thread_id][b_sorted] + local_rank
+        self.rows[dest] = rows[order]
+        self.values[dest] = values[order]
+        return int(len(dest))
+
+    def bucket_entries(self, k: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Return views of the (rows, values) stored in bucket ``k``."""
+        if self.offsets is None:
+            raise ReproError("no offsets attached")
+        lo, hi = self.offsets.bucket_slice(k)
+        return self.rows[lo:hi], self.values[lo:hi]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        nb = self.offsets.num_buckets if self.offsets is not None else 0
+        return f"BucketStore(capacity={self.capacity}, filled={self.filled}, buckets={nb})"

@@ -1,0 +1,102 @@
+"""Algorithm registry and the top-level :func:`spmspv` convenience entry point.
+
+Every SpMSpV implementation in the package shares the signature
+
+``algo(matrix, x, ctx=None, *, semiring=..., sorted_output=None, mask=None,
+mask_complement=False) -> SpMSpVResult``
+
+so graph algorithms and benchmarks can switch implementations by name.  The
+registry also powers the "auto" policy sketched in the paper's future work
+(§V): switch to a matrix-driven algorithm once the input vector becomes
+relatively dense.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..errors import NotSupportedError
+from ..formats.csc import CSCMatrix
+from ..formats.sparse_vector import SparseVector
+from ..parallel.context import ExecutionContext
+from ..semiring import PLUS_TIMES, Semiring
+from .result import SpMSpVResult
+from .spmspv_bucket import spmspv_bucket
+
+AlgorithmFn = Callable[..., SpMSpVResult]
+
+_REGISTRY: Dict[str, AlgorithmFn] = {}
+
+#: fraction of columns that must be populated in x before "auto" prefers the
+#: matrix-driven algorithm (the paper observes matrix-driven algorithms become
+#: competitive only for relatively dense input vectors).
+AUTO_DENSITY_SWITCH = 0.10
+
+
+def register_algorithm(name: str, fn: AlgorithmFn, *, overwrite: bool = False) -> None:
+    """Register an SpMSpV implementation under a short name."""
+    if name in _REGISTRY and not overwrite:
+        raise ValueError(f"algorithm {name!r} is already registered")
+    _REGISTRY[name] = fn
+
+
+def available_algorithms() -> list:
+    """Names of all registered SpMSpV implementations."""
+    return sorted(_REGISTRY)
+
+
+def get_algorithm(name: str) -> AlgorithmFn:
+    """Look up an implementation by name ('bucket', 'combblas_spa', ...)."""
+    _ensure_registered()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise NotSupportedError(
+            f"unknown SpMSpV algorithm {name!r}; available: {available_algorithms()}"
+        ) from None
+
+
+def _ensure_registered() -> None:
+    """Populate the registry lazily (avoids import cycles with repro.baselines)."""
+    if _REGISTRY:
+        return
+    from ..baselines.combblas_heap import spmspv_combblas_heap
+    from ..baselines.combblas_spa import spmspv_combblas_spa
+    from ..baselines.graphmat import spmspv_graphmat
+    from ..baselines.spmspv_sort import spmspv_sort
+
+    _REGISTRY.update({
+        "bucket": spmspv_bucket,
+        "combblas_spa": spmspv_combblas_spa,
+        "combblas_heap": spmspv_combblas_heap,
+        "graphmat": spmspv_graphmat,
+        "sort": spmspv_sort,
+    })
+
+
+def spmspv(matrix: CSCMatrix, x: SparseVector,
+           ctx: Optional[ExecutionContext] = None, *,
+           algorithm: str = "bucket",
+           semiring: Semiring = PLUS_TIMES,
+           sorted_output: Optional[bool] = None,
+           mask: Optional[SparseVector] = None,
+           mask_complement: bool = False,
+           **kwargs) -> SpMSpVResult:
+    """Multiply a sparse matrix by a sparse vector: ``y <- A x`` over a semiring.
+
+    ``algorithm`` selects the implementation:
+
+    * ``'bucket'`` — the paper's SpMSpV-bucket algorithm (default),
+    * ``'combblas_spa'`` / ``'combblas_heap'`` / ``'graphmat'`` / ``'sort'`` —
+      the baselines of Table I,
+    * ``'auto'`` — vector-driven bucket algorithm for sparse inputs, switching
+      to the matrix-driven algorithm when ``nnz(x)/n`` exceeds
+      ``AUTO_DENSITY_SWITCH`` (the §V future-work heuristic).
+    """
+    _ensure_registered()
+    if algorithm == "auto":
+        density = x.nnz / max(x.n, 1)
+        algorithm = "graphmat" if density >= AUTO_DENSITY_SWITCH else "bucket"
+    fn = get_algorithm(algorithm)
+    return fn(matrix, x, ctx, semiring=semiring, sorted_output=sorted_output,
+              mask=mask, mask_complement=mask_complement, **kwargs)

@@ -1,0 +1,47 @@
+"""Result object returned by every SpMSpV implementation in this package."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..formats.sparse_vector import SparseVector
+from ..parallel.metrics import ExecutionRecord
+
+
+@dataclass
+class SpMSpVResult:
+    """The output vector of one SpMSpV plus the full execution record.
+
+    ``vector`` is the mathematical result ``y = A·x`` (over the requested
+    semiring, after masking).  ``record`` carries the per-phase, per-thread
+    work metrics used by the machine model and the work-efficiency analysis.
+    ``info`` holds free-form problem statistics (``f``, ``d·f``, ``nnz(y)``,
+    ...) that the benchmark harness reports alongside timings.
+    """
+
+    vector: SparseVector
+    record: ExecutionRecord
+    info: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def nnz(self) -> int:
+        """Number of nonzeros in the output vector."""
+        return self.vector.nnz
+
+    @property
+    def algorithm(self) -> str:
+        return self.record.algorithm
+
+    def simulated_time_ms(self, platform=None, model=None) -> float:
+        """Price this execution on a platform (defaults to the Edison preset)."""
+        from ..machine.cost_model import CostModel, cost_model_for
+        from ..machine.platforms import EDISON
+
+        if model is None:
+            model = cost_model_for(platform if platform is not None else EDISON)
+        return model.record_time_ms(self.record)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"SpMSpVResult(algorithm={self.algorithm!r}, nnz(y)={self.nnz}, "
+                f"threads={self.record.num_threads})")

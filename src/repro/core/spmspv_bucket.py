@@ -1,0 +1,357 @@
+"""The SpMSpV-bucket algorithm (the paper's contribution, Algorithms 1 and 2).
+
+The multiplication ``y ← A·x`` proceeds in four phases, each of which is
+executed as "one vectorized NumPy call per thread chunk" and instrumented
+with :class:`~repro.parallel.metrics.WorkMetrics`:
+
+0. **estimate** (Algorithm 2) — every thread scans its share of the nonzeros
+   of ``x`` and counts how many scaled entries it will push into each bucket.
+   The exclusive prefix sums of those counts give each thread disjoint write
+   regions, which is what makes the next phase lock-free.
+1. **bucketing** (Step 1) — the selected columns are gathered, scaled by the
+   corresponding ``x`` values with the semiring's MULTIPLY, and scattered
+   into ``nb = 4·t`` row-range buckets.
+2. **spa_merge** (Step 2) — buckets are dynamically scheduled onto threads;
+   each bucket is merged independently with a partially-initialized sparse
+   accumulator, collecting the bucket's unique row indices (optionally
+   sorted).
+3. **output** (Step 3) — a prefix sum over per-bucket unique counts assigns
+   each bucket its offset in ``y``; values are fetched from the SPA.
+
+Two implementations are provided:
+
+* :func:`spmspv_bucket` — the production, vectorized implementation.
+* :func:`spmspv_bucket_reference` — a line-by-line transcription of the
+  pseudocode (including the ``∞``-marker SPA initialization of lines 11-12),
+  used by the test-suite to cross-validate the vectorized version.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+import numpy as np
+
+from .._typing import INDEX_DTYPE
+from ..errors import DimensionMismatchError
+from ..formats.csc import CSCMatrix
+from ..formats.sparse_vector import SparseVector
+from ..machine.cache import estimate_column_gather_misses, estimate_scatter_misses
+from ..parallel.context import ExecutionContext, default_context
+from ..parallel.metrics import ExecutionRecord, PhaseRecord, WorkMetrics
+from ..parallel.partitioner import partition_by_weight
+from ..parallel.scheduler import schedule
+from ..parallel.threadpool import run_chunks
+from ..semiring import PLUS_TIMES, Semiring
+from .buckets import BucketStore, bucket_of_rows, compute_offsets
+from .result import SpMSpVResult
+from .spa import SparseAccumulator
+
+
+def _check_operands(matrix: CSCMatrix, x: SparseVector) -> None:
+    if matrix.ncols != x.n:
+        raise DimensionMismatchError(
+            f"matrix has {matrix.ncols} columns but vector has length {x.n}")
+
+
+def _radix_sort_ops(n: int) -> int:
+    """Element moves of radix-sorting n integers.
+
+    §III-B notes that only the short per-bucket unique-index lists need to be
+    sorted and that "each thread can run a sequential integer sorting function
+    ... such as the radix sort", so the cost is linear with a small constant
+    rather than n·lg n.
+    """
+    return 2 * n
+
+
+# --------------------------------------------------------------------------- #
+# production (vectorized) implementation
+# --------------------------------------------------------------------------- #
+def spmspv_bucket(matrix: CSCMatrix, x: SparseVector,
+                  ctx: Optional[ExecutionContext] = None, *,
+                  semiring: Semiring = PLUS_TIMES,
+                  sorted_output: Optional[bool] = None,
+                  mask: Optional[SparseVector] = None,
+                  mask_complement: bool = False,
+                  workspace: Optional[BucketStore] = None) -> SpMSpVResult:
+    """Multiply a CSC matrix by a sparse vector with the SpMSpV-bucket algorithm.
+
+    Parameters
+    ----------
+    matrix:
+        The m-by-n sparse matrix in CSC format.
+    x:
+        The sparse input vector (list format, sorted or unsorted).
+    ctx:
+        Execution context (thread count, bucket count, scheduling policy,
+        platform).  Defaults to a single-threaded Edison context.
+    semiring:
+        The semiring used for MULTIPLY/ADD (default: conventional plus-times).
+    sorted_output:
+        Whether the output must be sorted by index.  Defaults to the
+        sortedness of ``x`` (the paper requires output format == input format).
+    mask, mask_complement:
+        Optional structural mask applied to the output (GraphBLAS-style).
+        With ``mask_complement=True`` entries *in* the mask are dropped —
+        the pattern BFS uses to discard already-visited vertices.
+    workspace:
+        Optional preallocated :class:`BucketStore` reused across calls
+        (the §III-A "Memory allocation" optimization).
+
+    Returns
+    -------
+    :class:`SpMSpVResult` with the output vector and the execution record.
+    """
+    ctx = ctx if ctx is not None else default_context()
+    _check_operands(matrix, x)
+    if sorted_output is None:
+        sorted_output = x.sorted and ctx.sorted_vectors
+
+    t_start = time.perf_counter()
+    m, n = matrix.shape
+    t = ctx.num_threads
+    nb = ctx.num_buckets
+    f = x.nnz
+    record = ExecutionRecord(algorithm="spmspv_bucket", num_threads=t,
+                             info={"m": m, "n": n, "nnz_A": matrix.nnz, "f": f})
+
+    x_indices = x.indices
+    x_values = x.values
+    # Work is assigned to threads by matrix nonzeros (the §III-B refinement),
+    # keeping chunks contiguous so sorted input vectors stay cache friendly.
+    col_weights = (matrix.indptr[x_indices + 1] - matrix.indptr[x_indices]) if f else \
+        np.empty(0, dtype=INDEX_DTYPE)
+    chunks = partition_by_weight(col_weights, t)
+
+    # ------------------------------------------------------------------ #
+    # Phase 0: ESTIMATE-BUCKETS (Algorithm 2)
+    # ------------------------------------------------------------------ #
+    estimate_phase = PhaseRecord(name="estimate", parallel=True)
+    counts = np.zeros((t, nb), dtype=INDEX_DTYPE)
+    gathered = [None] * t  # cache the gather so the bucketing phase reuses it
+
+    def _estimate(tid: int) -> WorkMetrics:
+        metrics = WorkMetrics()
+        chunk = chunks[tid]
+        if len(chunk) == 0:
+            return metrics
+        cols = x_indices[chunk]
+        rows, vals, src = matrix.gather_columns(cols)
+        gathered[tid] = (rows, vals, src, chunk)
+        bucket_ids = bucket_of_rows(rows, nb, m)
+        counts[tid, :] = np.bincount(bucket_ids, minlength=nb)
+        metrics.vector_reads = len(chunk)
+        metrics.colptr_reads = len(chunk)
+        metrics.matrix_nnz_reads = len(rows)
+        metrics.buffer_writes = nb
+        return metrics
+
+    estimate_phase.thread_metrics = run_chunks(_estimate, t,
+                                               use_thread_pool=ctx.use_thread_pool)
+    record.add_phase(estimate_phase)
+
+    offsets = compute_offsets(counts)
+    total_entries = offsets.total_entries
+    record.info["df"] = total_entries
+
+    store = workspace if workspace is not None else BucketStore(max(total_entries, 1))
+    store.attach_offsets(offsets, dtype=np.result_type(matrix.dtype, x.dtype))
+
+    # ------------------------------------------------------------------ #
+    # Phase 1: bucketing (Step 1 of Algorithm 1)
+    # ------------------------------------------------------------------ #
+    bucketing_phase = PhaseRecord(name="bucketing", parallel=True)
+
+    def _bucketing(tid: int) -> WorkMetrics:
+        metrics = WorkMetrics()
+        if gathered[tid] is None:
+            return metrics
+        rows, vals, src, chunk = gathered[tid]
+        xv = x_values[chunk]
+        scaled = semiring.multiply(vals, xv[src])
+        bucket_ids = bucket_of_rows(rows, nb, m)
+        store.write_thread_entries(tid, bucket_ids, rows, np.asarray(scaled))
+        metrics.vector_reads = len(chunk)
+        metrics.colptr_reads = len(chunk)
+        metrics.matrix_nnz_reads = len(rows)
+        metrics.multiplications = len(rows)
+        metrics.bucket_writes = len(rows)
+        # thread-private staging buffers turn part of the scatter into streaming writes
+        if ctx.private_buffer_size > 0:
+            metrics.buffer_writes += len(rows)
+        metrics.cache_line_misses = estimate_column_gather_misses(
+            len(chunk), len(rows), n, input_sorted=x.sorted)
+        return metrics
+
+    bucketing_phase.thread_metrics = run_chunks(_bucketing, t,
+                                                use_thread_pool=ctx.use_thread_pool)
+    record.add_phase(bucketing_phase)
+
+    # ------------------------------------------------------------------ #
+    # Phase 2: per-bucket SPA merge (Step 2 of Algorithm 1)
+    # ------------------------------------------------------------------ #
+    merge_phase = PhaseRecord(name="spa_merge", parallel=True)
+    bucket_sizes = offsets.bucket_sizes()
+    assignment = schedule(bucket_sizes.tolist(), t, ctx.scheduling)
+    # each bucket's SPA slice spans ~m/nb rows; that is the working set of the merge
+    bucket_span_rows = max(1, -(-m // nb))
+
+    spa = SparseAccumulator(m, semiring=semiring,
+                            dtype=np.result_type(matrix.dtype, x.dtype))
+    spa.reset(semiring)
+    uind_per_bucket: List[np.ndarray] = [np.empty(0, dtype=INDEX_DTYPE)] * nb
+    uval_per_bucket: List[np.ndarray] = [np.empty(0)] * nb
+
+    def _merge(tid: int) -> WorkMetrics:
+        metrics = WorkMetrics()
+        for k in assignment.items_per_thread[tid]:
+            rows_k, vals_k = store.bucket_entries(k)
+            size_k = len(rows_k)
+            if size_k == 0:
+                continue
+            # SPA partial initialization + merge, vectorized per bucket:
+            # sort the bucket entries by row and reduce runs with the semiring ADD.
+            order = np.argsort(rows_k, kind="stable")
+            sr = rows_k[order]
+            sv = vals_k[order]
+            starts = np.concatenate(([0], np.flatnonzero(np.diff(sr)) + 1))
+            uind = sr[starts]
+            merged = semiring.reduceat(sv, starts)
+            if sorted_output:
+                # `uind` is already sorted as a by-product of the row sort; the
+                # paper radix-sorts the typically-short unique-index list, so
+                # that (linear cost) is what we charge for.
+                metrics.sort_elements += _radix_sort_ops(len(uind))
+            else:
+                # restore first-touch order to mimic the unsorted variant's output:
+                # order[starts] is the original position of each row's first occurrence
+                perm = np.argsort(order[starts], kind="stable")
+                uind = uind[perm]
+                merged = merged[perm]
+            uind_per_bucket[k] = uind
+            uval_per_bucket[k] = merged
+            metrics.spa_inits += size_k          # lines 11-12: stamp every entry's slot
+            metrics.spa_updates += size_k        # lines 13-18: one visit per entry
+            metrics.additions += size_k - len(uind)
+            metrics.buffer_writes += len(uind)   # appending to uind_k
+            # the merge scatters only into the bucket's own SPA slice, which is
+            # what keeps it cache resident (the point of bucketing, §III)
+            metrics.cache_line_misses += estimate_scatter_misses(
+                2 * size_k, bucket_span_rows, ctx.platform.l2_kb)
+        return metrics
+
+    merge_phase.thread_metrics = run_chunks(_merge, t, use_thread_pool=ctx.use_thread_pool)
+    record.add_phase(merge_phase)
+
+    # ------------------------------------------------------------------ #
+    # Phase 3: output construction (Step 3 of Algorithm 1)
+    # ------------------------------------------------------------------ #
+    output_phase = PhaseRecord(name="output", parallel=True)
+    uind_counts = np.array([len(u) for u in uind_per_bucket], dtype=INDEX_DTYPE)
+    y_offsets = np.zeros(nb + 1, dtype=INDEX_DTYPE)
+    np.cumsum(uind_counts, out=y_offsets[1:])
+    nnz_y = int(y_offsets[-1])
+    # the prefix sum runs on the master thread (Algorithm 1, line 20)
+    output_phase.serial_metrics = WorkMetrics(additions=nb)
+
+    y_indices = np.empty(nnz_y, dtype=INDEX_DTYPE)
+    y_values = np.empty(nnz_y, dtype=np.result_type(matrix.dtype, x.dtype))
+
+    def _output(tid: int) -> WorkMetrics:
+        metrics = WorkMetrics()
+        for k in assignment.items_per_thread[tid]:
+            cnt = int(uind_counts[k])
+            if cnt == 0:
+                continue
+            lo = int(y_offsets[k])
+            y_indices[lo:lo + cnt] = uind_per_bucket[k]
+            y_values[lo:lo + cnt] = uval_per_bucket[k]
+            metrics.output_writes += cnt
+            metrics.cache_line_misses += cnt  # non-consecutive SPA reads (§IV-F)
+        return metrics
+
+    output_phase.thread_metrics = run_chunks(_output, t, use_thread_pool=ctx.use_thread_pool)
+    record.add_phase(output_phase)
+
+    # the output lives in the row space of A, which has length m
+    y = SparseVector(m, y_indices, y_values, sorted=sorted_output, check=False)
+    if mask is not None:
+        y = y.select(mask.indices, complement=mask_complement)
+    y = y.drop_zeros() if semiring is PLUS_TIMES else y
+
+    record.info["nnz_y"] = y.nnz
+    record.wall_time_s = time.perf_counter() - t_start
+    return SpMSpVResult(vector=y, record=record,
+                        info={"f": f, "df": total_entries, "nnz_y": y.nnz})
+
+
+# --------------------------------------------------------------------------- #
+# literal reference implementation (pseudocode transcription)
+# --------------------------------------------------------------------------- #
+def spmspv_bucket_reference(matrix: CSCMatrix, x: SparseVector,
+                            num_buckets: int = 4, *,
+                            semiring: Semiring = PLUS_TIMES,
+                            sorted_output: bool = True) -> SparseVector:
+    """Line-by-line transcription of Algorithms 1 and 2 (sequential, loop-based).
+
+    This exists to validate :func:`spmspv_bucket` — it follows the pseudocode
+    literally, including the ``∞`` SPA markers, and is therefore only suitable
+    for small inputs.
+    """
+    _check_operands(matrix, x)
+    m, _n = matrix.shape
+    nb = max(1, num_buckets)
+
+    # Algorithm 2: ESTIMATE-BUCKETS with a single thread.
+    boffset = [0] * nb
+    for j, xj in zip(x.indices, x.values):
+        rows, _vals = matrix.column(int(j))
+        for i in rows:
+            boffset[int(i) * nb // m] += 1
+
+    buckets_rows: List[List[int]] = [[] for _ in range(nb)]
+    buckets_vals: List[List[float]] = [[] for _ in range(nb)]
+
+    # Step 1: gather necessary columns of A into buckets.
+    for j, xj in zip(x.indices, x.values):
+        rows, vals = matrix.column(int(j))
+        for i, aij in zip(rows, vals):
+            k = int(i) * nb // m
+            buckets_rows[k].append(int(i))
+            buckets_vals[k].append(semiring.mul(np.asarray(aij), np.asarray(xj)).item())
+
+    assert sum(len(b) for b in buckets_rows) == sum(boffset), \
+        "ESTIMATE-BUCKETS disagrees with the bucketing pass"
+
+    # Step 2: merge entries in each bucket via the SPA (with the ∞ marker trick).
+    spa_values = np.zeros(m, dtype=np.float64)
+    uind: List[List[int]] = [[] for _ in range(nb)]
+    marker = np.full(m, False)
+    for k in range(nb):
+        for ind in buckets_rows[k]:
+            marker[ind] = True  # SPA[ind] <- 'uninitialized' marker (∞ in the paper)
+        for ind, val in zip(buckets_rows[k], buckets_vals[k]):
+            if marker[ind]:
+                uind[k].append(ind)
+                spa_values[ind] = val
+                marker[ind] = False
+            else:
+                spa_values[ind] = semiring.add(np.asarray(spa_values[ind]),
+                                               np.asarray(val)).item()
+        if sorted_output:
+            uind[k].sort()
+
+    # Step 3: construct y by concatenating buckets using the SPA.
+    y_indices: List[int] = []
+    y_values: List[float] = []
+    for k in range(nb):
+        for ind in uind[k]:
+            y_indices.append(ind)
+            y_values.append(spa_values[ind])
+
+    y = SparseVector(m, np.array(y_indices, dtype=INDEX_DTYPE),
+                     np.array(y_values, dtype=np.float64),
+                     sorted=sorted_output, check=False)
+    return y.drop_zeros() if semiring is PLUS_TIMES else y

@@ -1,0 +1,97 @@
+"""Elementwise operations on sparse vectors.
+
+The graph algorithms of §I (BFS, MIS, matching, PageRank, SSSP, local
+clustering) interleave SpMSpV with GraphBLAS-style vector operations:
+elementwise add/multiply, structural masking, and assignment.  These helpers
+keep those algorithms readable while staying vectorized.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from .._typing import INDEX_DTYPE
+from ..errors import DimensionMismatchError
+from ..formats.sparse_vector import SparseVector
+from ..semiring import PLUS_TIMES, Semiring
+
+
+def _check_same_length(a: SparseVector, b: SparseVector) -> None:
+    if a.n != b.n:
+        raise DimensionMismatchError(f"vectors have different lengths: {a.n} vs {b.n}")
+
+
+def ewise_add(a: SparseVector, b: SparseVector, *, semiring: Semiring = PLUS_TIMES,
+              ) -> SparseVector:
+    """Union elementwise combine: indices present in either vector, values combined
+    with the semiring's ADD where both are present."""
+    _check_same_length(a, b)
+    if a.nnz == 0:
+        return b.copy().sort()
+    if b.nnz == 0:
+        return a.copy().sort()
+    indices = np.concatenate([a.indices, b.indices])
+    values = np.concatenate([a.values.astype(np.result_type(a.dtype, b.dtype)),
+                             b.values.astype(np.result_type(a.dtype, b.dtype))])
+    order = np.argsort(indices, kind="stable")
+    si, sv = indices[order], values[order]
+    starts = np.concatenate(([0], np.flatnonzero(np.diff(si)) + 1))
+    uidx = si[starts]
+    combined = semiring.reduceat(sv, starts)
+    return SparseVector(a.n, uidx, combined, sorted=True, check=False)
+
+
+def ewise_mult(a: SparseVector, b: SparseVector, *, op: Optional[Callable] = None
+               ) -> SparseVector:
+    """Intersection elementwise combine: only indices present in both vectors survive.
+
+    ``op`` defaults to multiplication.
+    """
+    _check_same_length(a, b)
+    op = op if op is not None else (lambda x, y: x * y)
+    if a.nnz == 0 or b.nnz == 0:
+        return SparseVector.empty(a.n)
+    a_s, b_s = a.sort(), b.sort()
+    common, a_pos, b_pos = np.intersect1d(a_s.indices, b_s.indices,
+                                          assume_unique=True, return_indices=True)
+    if len(common) == 0:
+        return SparseVector.empty(a.n)
+    return SparseVector(a.n, common, op(a_s.values[a_pos], b_s.values[b_pos]),
+                        sorted=True, check=False)
+
+
+def mask_vector(x: SparseVector, mask: SparseVector, *, complement: bool = False
+                ) -> SparseVector:
+    """Structural mask: keep entries of ``x`` whose index is (not, if complement) in ``mask``."""
+    _check_same_length(x, mask)
+    return x.select(mask.indices, complement=complement)
+
+
+def assign_scalar(x: SparseVector, indices: np.ndarray, value: float) -> SparseVector:
+    """Return a copy of ``x`` with ``value`` assigned at the given indices."""
+    indices = np.asarray(indices, dtype=INDEX_DTYPE)
+    merged_idx = np.concatenate([x.indices, indices])
+    merged_val = np.concatenate([x.values.astype(np.float64),
+                                 np.full(len(indices), value, dtype=np.float64)])
+    # later assignments win: keep the last occurrence of each index
+    order = np.argsort(merged_idx, kind="stable")
+    si, sv = merged_idx[order], merged_val[order]
+    last_of_run = np.concatenate([np.flatnonzero(np.diff(si)), [len(si) - 1]]) if len(si) \
+        else np.empty(0, dtype=np.int64)
+    return SparseVector(x.n, si[last_of_run], sv[last_of_run], sorted=True, check=False)
+
+
+def reduce_vector(x: SparseVector, *, semiring: Semiring = PLUS_TIMES) -> float:
+    """Reduce all stored values with the semiring's ADD."""
+    return float(semiring.reduce(x.values)) if x.nnz else float(semiring.add_identity)
+
+
+def where_values(x: SparseVector, predicate: Callable[[np.ndarray], np.ndarray]
+                 ) -> SparseVector:
+    """Keep only entries whose value satisfies ``predicate`` (vectorized boolean fn)."""
+    if x.nnz == 0:
+        return x.copy()
+    keep = predicate(x.values)
+    return SparseVector(x.n, x.indices[keep], x.values[keep], sorted=x.sorted, check=False)

@@ -1,0 +1,28 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library-specific failures without also swallowing programming
+errors (``TypeError`` etc. still propagate normally).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class DimensionMismatchError(ReproError, ValueError):
+    """Operands have incompatible dimensions (e.g. ``A`` is m-by-n but ``x`` has length != n)."""
+
+
+class FormatError(ReproError, ValueError):
+    """A sparse data structure is malformed (bad pointers, out-of-range indices, ...)."""
+
+
+class NotSupportedError(ReproError, NotImplementedError):
+    """The requested combination of options is not supported."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative algorithm failed to converge within its iteration budget."""

@@ -1,0 +1,70 @@
+"""Sparse matrix and vector storage formats (the paper's §II-C substrate).
+
+Matrix formats: :class:`COOMatrix` (builder), :class:`CSCMatrix` (used by
+SpMSpV-bucket), :class:`CSRMatrix`, :class:`DCSCMatrix` (used by the
+CombBLAS / GraphMat baselines).  Vector formats: :class:`SparseVector`
+(sorted/unsorted list format) and :class:`BitVector` (GraphMat's bitmap
+format).  Partitioning schemes (row-split / column-split / 2-D grid) live in
+:mod:`repro.formats.partition` and Matrix Market I/O in
+:mod:`repro.formats.matrix_market`.
+"""
+
+from .bitvector import BitVector
+from .coo import COOMatrix
+from .conversions import (
+    convert,
+    from_scipy,
+    matrices_equal,
+    to_bitvector,
+    to_coo,
+    to_csc,
+    to_csr,
+    to_dcsc,
+    to_scipy_csc,
+    to_sparse_vector,
+)
+from .csc import CSCMatrix
+from .csr import CSRMatrix
+from .dcsc import DCSCMatrix
+from .matrix_market import read_matrix_market, read_matrix_market_csc, write_matrix_market
+from .partition import (
+    ColumnSplit,
+    GridPartition,
+    RowSplit,
+    column_split,
+    grid_partition,
+    partition_nonzeros,
+    row_split,
+    split_ranges,
+)
+from .sparse_vector import SparseVector
+
+__all__ = [
+    "BitVector",
+    "COOMatrix",
+    "CSCMatrix",
+    "CSRMatrix",
+    "ColumnSplit",
+    "DCSCMatrix",
+    "GridPartition",
+    "RowSplit",
+    "SparseVector",
+    "column_split",
+    "convert",
+    "from_scipy",
+    "grid_partition",
+    "matrices_equal",
+    "partition_nonzeros",
+    "read_matrix_market",
+    "read_matrix_market_csc",
+    "row_split",
+    "split_ranges",
+    "to_bitvector",
+    "to_coo",
+    "to_csc",
+    "to_csr",
+    "to_dcsc",
+    "to_scipy_csc",
+    "to_sparse_vector",
+    "write_matrix_market",
+]

@@ -1,0 +1,168 @@
+"""Compressed Sparse Row (CSR) matrix format.
+
+CSR is the row analogue of CSC.  It is not used by the SpMSpV-bucket kernel
+itself (which is column-driven), but it is needed by
+
+* the row-split baselines when they want per-row access,
+* the "left multiplication" ``y' = x' A`` convenience wrapper, and
+* several of the graph algorithms (e.g. sweep cuts in local clustering).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .._typing import INDEX_DTYPE, as_index_array, as_value_array, check_shape
+from ..errors import FormatError
+from .coo import COOMatrix
+
+
+class CSRMatrix:
+    """An m-by-n sparse matrix in Compressed Sparse Row format."""
+
+    __slots__ = ("shape", "indptr", "indices", "data", "sorted_within_rows")
+
+    def __init__(self, shape, indptr, indices, data, *,
+                 sorted_within_rows: bool = False, check: bool = True):
+        self.shape = check_shape(shape)
+        self.indptr = as_index_array(indptr)
+        self.indices = as_index_array(indices)
+        self.data = as_value_array(data, dtype=np.asarray(data).dtype
+                                   if np.asarray(data).dtype.kind in "fiub" else None)
+        self.sorted_within_rows = bool(sorted_within_rows)
+        if check:
+            self.validate()
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_coo(cls, coo: COOMatrix, *, sum_duplicates: bool = True) -> "CSRMatrix":
+        """Build a CSR matrix from triplets (duplicates summed by default)."""
+        if sum_duplicates:
+            coo = coo.sum_duplicates()
+        m, n = coo.shape
+        order = np.lexsort((coo.cols, coo.rows))
+        rows_sorted = coo.rows[order]
+        indices = coo.cols[order]
+        data = coo.vals[order]
+        indptr = np.zeros(m + 1, dtype=INDEX_DTYPE)
+        counts = np.bincount(rows_sorted, minlength=m)
+        np.cumsum(counts, out=indptr[1:])
+        return cls((m, n), indptr, indices, data, sorted_within_rows=True, check=False)
+
+    @classmethod
+    def from_dense(cls, dense) -> "CSRMatrix":
+        return cls.from_coo(COOMatrix.from_dense(dense))
+
+    @classmethod
+    def from_csc(cls, csc) -> "CSRMatrix":
+        """Convert a :class:`~repro.formats.csc.CSCMatrix` to CSR."""
+        return cls.from_coo(csc.to_coo(), sum_duplicates=False)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @property
+    def nrows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def ncols(self) -> int:
+        return self.shape[1]
+
+    @property
+    def nnz(self) -> int:
+        return int(len(self.data))
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def nzr(self) -> int:
+        """Number of non-empty rows."""
+        return int(np.count_nonzero(np.diff(self.indptr)))
+
+    def row(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(col_ids, values)`` views of row ``i`` (``A(i, :)``)."""
+        if not (0 <= i < self.nrows):
+            raise IndexError(f"row index {i} out of range for {self.nrows} rows")
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    def row_counts(self) -> np.ndarray:
+        """Return ``nnz(A(i, :))`` for every row ``i``."""
+        return np.diff(self.indptr)
+
+    def gather_rows(self, rows: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Row analogue of :meth:`CSCMatrix.gather_columns`.
+
+        Returns ``(cols, values, source)`` for all nonzeros of the selected rows.
+        """
+        rows = as_index_array(rows)
+        if rows.size == 0:
+            return (np.empty(0, dtype=INDEX_DTYPE), np.empty(0, dtype=self.dtype),
+                    np.empty(0, dtype=INDEX_DTYPE))
+        if rows.min() < 0 or rows.max() >= self.nrows:
+            raise IndexError("row index out of range in gather_rows")
+        starts = self.indptr[rows]
+        lengths = self.indptr[rows + 1] - starts
+        total = int(lengths.sum())
+        if total == 0:
+            return (np.empty(0, dtype=INDEX_DTYPE), np.empty(0, dtype=self.dtype),
+                    np.empty(0, dtype=INDEX_DTYPE))
+        source = np.repeat(np.arange(len(rows), dtype=INDEX_DTYPE), lengths)
+        offsets = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+        within = np.arange(total, dtype=INDEX_DTYPE) - np.repeat(offsets, lengths)
+        positions = np.repeat(starts, lengths) + within
+        return self.indices[positions], self.data[positions], source
+
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`FormatError` on violation."""
+        m, n = self.shape
+        if len(self.indptr) != m + 1:
+            raise FormatError(f"indptr must have length m+1={m + 1}, got {len(self.indptr)}")
+        if self.indptr[0] != 0:
+            raise FormatError("indptr[0] must be 0")
+        if self.indptr[-1] != len(self.indices):
+            raise FormatError("indptr[-1] must equal nnz")
+        if len(self.indices) != len(self.data):
+            raise FormatError("indices and data must have the same length")
+        if np.any(np.diff(self.indptr) < 0):
+            raise FormatError("indptr must be non-decreasing")
+        if self.nnz:
+            if self.indices.min() < 0 or self.indices.max() >= n:
+                raise FormatError("column index out of range")
+
+    # ------------------------------------------------------------------ #
+    # conversions
+    # ------------------------------------------------------------------ #
+    def to_coo(self) -> COOMatrix:
+        rows = np.repeat(np.arange(self.nrows, dtype=INDEX_DTYPE), np.diff(self.indptr))
+        return COOMatrix(self.shape, rows, self.indices.copy(), self.data.copy(), check=False)
+
+    def to_csc(self):
+        """Convert to :class:`~repro.formats.csc.CSCMatrix`."""
+        from .csc import CSCMatrix
+
+        return CSCMatrix.from_coo(self.to_coo(), sum_duplicates=False)
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros(self.shape, dtype=self.dtype if self.dtype.kind == "f" else np.float64)
+        coo = self.to_coo()
+        dense[coo.rows, coo.cols] = coo.vals
+        return dense
+
+    def to_scipy(self):
+        """Convert to a ``scipy.sparse.csr_matrix`` (requires scipy)."""
+        from scipy import sparse
+
+        return sparse.csr_matrix((self.data, self.indices, self.indptr), shape=self.shape)
+
+    def transpose(self) -> "CSRMatrix":
+        return CSRMatrix.from_coo(self.to_coo().transpose())
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"CSRMatrix(shape={self.shape}, nnz={self.nnz}, dtype={self.dtype})"

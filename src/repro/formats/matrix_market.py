@@ -1,0 +1,113 @@
+"""Minimal Matrix Market (``.mtx``) reader / writer.
+
+Supports the coordinate format with ``real``, ``integer`` and ``pattern``
+fields and the ``general``, ``symmetric`` and ``skew-symmetric`` symmetry
+qualifiers — enough to load the University of Florida / SuiteSparse matrices
+used in Table IV of the paper if a user has them on disk, and to round-trip
+our own synthetic problems.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..errors import FormatError
+from .coo import COOMatrix
+from .csc import CSCMatrix
+
+_SUPPORTED_FIELDS = {"real", "integer", "pattern", "double"}
+_SUPPORTED_SYMMETRY = {"general", "symmetric", "skew-symmetric"}
+
+
+def _open_text(path: Union[str, Path], mode: str):
+    path = Path(path)
+    if path.suffix == ".gz":
+        return io.TextIOWrapper(gzip.open(path, mode + "b"))
+    return open(path, mode)
+
+
+def read_matrix_market(path: Union[str, Path]) -> COOMatrix:
+    """Read a Matrix Market coordinate file into a :class:`COOMatrix`."""
+    with _open_text(path, "r") as fh:
+        header = fh.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise FormatError("not a Matrix Market file (missing %%MatrixMarket header)")
+        parts = header.strip().split()
+        if len(parts) < 5:
+            raise FormatError(f"malformed Matrix Market header: {header!r}")
+        _, obj, fmt, field, symmetry = parts[:5]
+        obj, fmt, field, symmetry = obj.lower(), fmt.lower(), field.lower(), symmetry.lower()
+        if obj != "matrix" or fmt != "coordinate":
+            raise FormatError(f"only 'matrix coordinate' files are supported, got {obj} {fmt}")
+        if field not in _SUPPORTED_FIELDS:
+            raise FormatError(f"unsupported field {field!r}")
+        if symmetry not in _SUPPORTED_SYMMETRY:
+            raise FormatError(f"unsupported symmetry {symmetry!r}")
+
+        # Skip comments, read size line.
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        try:
+            m, n, nnz = (int(tok) for tok in line.split())
+        except ValueError as exc:
+            raise FormatError(f"malformed size line: {line!r}") from exc
+
+        rows = np.empty(nnz, dtype=np.int64)
+        cols = np.empty(nnz, dtype=np.int64)
+        vals = np.empty(nnz, dtype=np.float64)
+        pattern = field == "pattern"
+        k = 0
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith("%"):
+                continue
+            toks = line.split()
+            if k >= nnz:
+                raise FormatError("more entries than declared in the size line")
+            rows[k] = int(toks[0]) - 1
+            cols[k] = int(toks[1]) - 1
+            vals[k] = 1.0 if pattern else float(toks[2])
+            k += 1
+        if k != nnz:
+            raise FormatError(f"expected {nnz} entries, found {k}")
+
+    if symmetry in ("symmetric", "skew-symmetric"):
+        off_diag = rows != cols
+        extra_rows = cols[off_diag]
+        extra_cols = rows[off_diag]
+        extra_vals = vals[off_diag] * (-1.0 if symmetry == "skew-symmetric" else 1.0)
+        rows = np.concatenate([rows, extra_rows])
+        cols = np.concatenate([cols, extra_cols])
+        vals = np.concatenate([vals, extra_vals])
+
+    return COOMatrix((m, n), rows, cols, vals)
+
+
+def write_matrix_market(path: Union[str, Path], matrix, *, comment: str = "") -> None:
+    """Write a COO/CSC matrix to a Matrix Market coordinate file (field=real, general)."""
+    if isinstance(matrix, CSCMatrix):
+        coo = matrix.to_coo()
+    elif isinstance(matrix, COOMatrix):
+        coo = matrix
+    else:
+        raise FormatError(f"cannot write object of type {type(matrix).__name__}")
+    with _open_text(path, "w") as fh:
+        fh.write("%%MatrixMarket matrix coordinate real general\n")
+        if comment:
+            for line in comment.splitlines():
+                fh.write(f"% {line}\n")
+        m, n = coo.shape
+        fh.write(f"{m} {n} {coo.nnz}\n")
+        for r, c, v in zip(coo.rows, coo.cols, coo.vals):
+            fh.write(f"{int(r) + 1} {int(c) + 1} {float(v):.17g}\n")
+
+
+def read_matrix_market_csc(path: Union[str, Path]) -> CSCMatrix:
+    """Convenience wrapper: read a Matrix Market file directly into CSC."""
+    return CSCMatrix.from_coo(read_matrix_market(path))

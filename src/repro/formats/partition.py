@@ -1,0 +1,133 @@
+"""Matrix partitioning schemes discussed in §II-F of the paper.
+
+The paper analyses three ways of distributing an SpMSpV across ``t`` threads:
+
+* **row-split** — ``A`` is cut into ``t`` horizontal strips of ``m/t`` rows;
+  each thread owns one strip and the corresponding slice of ``y``.  No
+  synchronization is needed, but every thread must scan the whole input
+  vector, so the scheme is *not* work-efficient for ``t > d``.
+  (Used by CombBLAS-SPA, CombBLAS-heap and GraphMat.)
+* **column-split** — ``A`` is cut into ``t`` vertical strips of ``n/t``
+  columns; each thread reads a private slice of ``x`` but all threads write
+  to the shared output, so synchronization is required.  Work-efficient.
+* **2-D grid** — ``A`` is cut into a ``√t × √t`` grid; the input vector is
+  read ``√t`` times and output rows are shared within grid rows, so the
+  scheme is neither work-efficient (for ``t > d²``) nor synchronization-free.
+
+These partitioners are exercised by the baselines and by the work-efficiency
+audit behind Table II.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from .._typing import INDEX_DTYPE
+from ..errors import ReproError
+from .csc import CSCMatrix
+from .dcsc import DCSCMatrix
+
+
+def split_ranges(total: int, parts: int) -> List[Tuple[int, int]]:
+    """Split ``range(total)`` into ``parts`` contiguous, nearly equal half-open ranges.
+
+    The first ``total % parts`` ranges get one extra element; ranges may be
+    empty when ``parts > total``.
+    """
+    if parts <= 0:
+        raise ValueError("parts must be positive")
+    base, extra = divmod(total, parts)
+    ranges = []
+    start = 0
+    for p in range(parts):
+        size = base + (1 if p < extra else 0)
+        ranges.append((start, start + size))
+        start += size
+    return ranges
+
+
+@dataclass(frozen=True)
+class RowSplit:
+    """A row-wise 1-D partition of a matrix into per-thread strips."""
+
+    row_ranges: List[Tuple[int, int]]
+    strips: List[CSCMatrix]
+
+    @property
+    def num_parts(self) -> int:
+        return len(self.strips)
+
+    def strip_dcsc(self) -> List[DCSCMatrix]:
+        """DCSC view of every strip (the storage the CombBLAS/GraphMat baselines use)."""
+        return [DCSCMatrix.from_csc(s) for s in self.strips]
+
+
+def row_split(matrix: CSCMatrix, parts: int) -> RowSplit:
+    """Split ``matrix`` into ``parts`` horizontal strips (rows remapped to local ids)."""
+    ranges = split_ranges(matrix.nrows, parts)
+    strips = [matrix.extract_rows(lo, hi, remap=True) for lo, hi in ranges]
+    return RowSplit(ranges, strips)
+
+
+@dataclass(frozen=True)
+class ColumnSplit:
+    """A column-wise 1-D partition of a matrix into per-thread strips."""
+
+    col_ranges: List[Tuple[int, int]]
+    strips: List[CSCMatrix]
+
+    @property
+    def num_parts(self) -> int:
+        return len(self.strips)
+
+
+def column_split(matrix: CSCMatrix, parts: int) -> ColumnSplit:
+    """Split ``matrix`` into ``parts`` vertical strips (columns remapped to local ids)."""
+    ranges = split_ranges(matrix.ncols, parts)
+    strips = [matrix.extract_columns(lo, hi) for lo, hi in ranges]
+    return ColumnSplit(ranges, strips)
+
+
+@dataclass(frozen=True)
+class GridPartition:
+    """A 2-D ``pr × pc`` grid partition of a matrix."""
+
+    row_ranges: List[Tuple[int, int]]
+    col_ranges: List[Tuple[int, int]]
+    blocks: List[List[CSCMatrix]]  # blocks[i][j] = A[row_ranges[i], col_ranges[j]]
+
+    @property
+    def grid_shape(self) -> Tuple[int, int]:
+        return len(self.row_ranges), len(self.col_ranges)
+
+
+def grid_partition(matrix: CSCMatrix, parts: int) -> GridPartition:
+    """Partition ``matrix`` into a ``√parts × √parts`` grid of blocks.
+
+    ``parts`` must be a perfect square (the paper's 2-D scheme assumes a
+    square thread grid).
+    """
+    root = int(round(math.sqrt(parts)))
+    if root * root != parts:
+        raise ReproError(f"2-D grid partitioning requires a square thread count, got {parts}")
+    row_ranges = split_ranges(matrix.nrows, root)
+    col_ranges = split_ranges(matrix.ncols, root)
+    blocks: List[List[CSCMatrix]] = []
+    for rlo, rhi in row_ranges:
+        row_strip = matrix.extract_rows(rlo, rhi, remap=True)
+        blocks.append([row_strip.extract_columns(clo, chi) for clo, chi in col_ranges])
+    return GridPartition(row_ranges, col_ranges, blocks)
+
+
+def partition_nonzeros(indices: np.ndarray, parts: int) -> List[np.ndarray]:
+    """Split an array of vector-nonzero positions into ``parts`` nearly equal chunks.
+
+    This is the "assignment of work to threads ... based on nonzeros, as
+    opposed to rows, of x" refinement mentioned in §III-B of the paper.
+    """
+    ranges = split_ranges(len(indices), parts)
+    return [np.arange(lo, hi, dtype=INDEX_DTYPE) for lo, hi in ranges]

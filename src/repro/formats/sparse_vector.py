@@ -1,0 +1,201 @@
+"""Sparse vector in *list* format: parallel ``(indices, values)`` arrays.
+
+This is the vector format consumed and produced by the vector-driven SpMSpV
+algorithms (Table I of the paper).  As the paper notes, despite the name the
+data structure is an array of pairs (here: two parallel NumPy arrays) for
+cache performance.  The vector can be *sorted* (indices ascending) or
+*unsorted*; the SpMSpV kernels preserve whichever representation they were
+given, as required by §II-C ("the output vector y in the same format that it
+received the input vector x").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from .._typing import INDEX_DTYPE, VALUE_DTYPE, as_index_array, as_value_array
+from ..errors import DimensionMismatchError, FormatError
+
+
+class SparseVector:
+    """A length-n sparse vector stored as (indices, values) pairs."""
+
+    __slots__ = ("n", "indices", "values", "sorted")
+
+    def __init__(self, n: int, indices, values, *, sorted: Optional[bool] = None,
+                 check: bool = True):
+        self.n = int(n)
+        self.indices = as_index_array(indices)
+        self.values = as_value_array(values, dtype=np.asarray(values).dtype
+                                     if np.asarray(values).dtype.kind in "fiub" else None)
+        if sorted is None:
+            sorted = bool(len(self.indices) <= 1 or np.all(np.diff(self.indices) > 0))
+        self.sorted = bool(sorted)
+        if check:
+            self.validate()
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_dense(cls, dense, *, tol: float = 0.0) -> "SparseVector":
+        """Build from a dense array, keeping entries with ``|v| > tol``."""
+        dense = np.asarray(dense)
+        if dense.ndim != 1:
+            raise FormatError("from_dense expects a 1-D array")
+        if tol > 0.0:
+            idx = np.flatnonzero(np.abs(dense) > tol)
+        else:
+            idx = np.flatnonzero(dense)
+        return cls(len(dense), idx, dense[idx], sorted=True, check=False)
+
+    @classmethod
+    def from_pairs(cls, n: int, pairs: Iterable[Tuple[int, float]]) -> "SparseVector":
+        """Build from an iterable of ``(index, value)`` pairs."""
+        pairs = list(pairs)
+        if not pairs:
+            return cls.empty(n)
+        idx, vals = zip(*pairs)
+        return cls(n, idx, vals)
+
+    @classmethod
+    def empty(cls, n: int, dtype=VALUE_DTYPE) -> "SparseVector":
+        """Return an all-zero vector of length n."""
+        return cls(n, np.empty(0, dtype=INDEX_DTYPE), np.empty(0, dtype=dtype),
+                   sorted=True, check=False)
+
+    @classmethod
+    def full_like_indices(cls, n: int, indices, fill_value: float = 1.0,
+                          dtype=VALUE_DTYPE) -> "SparseVector":
+        """Return a vector with ``fill_value`` at the given indices (e.g. a BFS frontier)."""
+        indices = as_index_array(indices)
+        return cls(n, indices, np.full(len(indices), fill_value, dtype=dtype))
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries."""
+        return int(len(self.indices))
+
+    @property
+    def dtype(self):
+        return self.values.dtype
+
+    def density(self) -> float:
+        """nnz / n (0 for a zero-length vector)."""
+        return self.nnz / self.n if self.n else 0.0
+
+    def validate(self) -> None:
+        """Check invariants: index range, no duplicates, sortedness flag consistency."""
+        if len(self.indices) != len(self.values):
+            raise FormatError("indices and values must have the same length")
+        if self.nnz:
+            if self.indices.min() < 0 or self.indices.max() >= self.n:
+                raise FormatError("vector index out of range")
+            if len(np.unique(self.indices)) != self.nnz:
+                raise FormatError("duplicate indices in sparse vector")
+            if self.sorted and np.any(np.diff(self.indices) < 0):
+                raise FormatError("vector marked sorted but indices are not ascending")
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __getitem__(self, i: int) -> float:
+        """Random access by logical index (O(nnz) for unsorted, O(log nnz) for sorted)."""
+        if not (0 <= i < self.n):
+            raise IndexError(f"index {i} out of range for vector of length {self.n}")
+        if self.sorted:
+            pos = int(np.searchsorted(self.indices, i))
+            if pos < self.nnz and self.indices[pos] == i:
+                return self.values[pos]
+            return self.values.dtype.type(0)
+        hits = np.flatnonzero(self.indices == i)
+        if hits.size:
+            return self.values[hits[0]]
+        return self.values.dtype.type(0)
+
+    # ------------------------------------------------------------------ #
+    # transformations
+    # ------------------------------------------------------------------ #
+    def sort(self) -> "SparseVector":
+        """Return an equivalent vector with indices sorted ascending."""
+        if self.sorted:
+            return self
+        order = np.argsort(self.indices, kind="stable")
+        return SparseVector(self.n, self.indices[order], self.values[order],
+                            sorted=True, check=False)
+
+    def shuffled(self, rng: Optional[np.random.Generator] = None) -> "SparseVector":
+        """Return an equivalent vector with entries in random order (unsorted variant)."""
+        rng = rng if rng is not None else np.random.default_rng(0)
+        perm = rng.permutation(self.nnz)
+        return SparseVector(self.n, self.indices[perm], self.values[perm],
+                            sorted=self.nnz <= 1, check=False)
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize as a dense array."""
+        dense = np.zeros(self.n, dtype=self.dtype if self.dtype.kind in "fc" else np.float64)
+        dense[self.indices] = self.values
+        return dense
+
+    def copy(self) -> "SparseVector":
+        return SparseVector(self.n, self.indices.copy(), self.values.copy(),
+                            sorted=self.sorted, check=False)
+
+    def drop_zeros(self, tol: float = 0.0) -> "SparseVector":
+        """Return a copy without explicitly stored zeros (|v| <= tol)."""
+        keep = np.abs(self.values) > tol
+        return SparseVector(self.n, self.indices[keep], self.values[keep],
+                            sorted=self.sorted, check=False)
+
+    def select(self, mask_indices: np.ndarray, *, complement: bool = False) -> "SparseVector":
+        """Keep only entries whose index is in ``mask_indices`` (or not in, if complement).
+
+        This implements the GraphBLAS-style structural mask used by the graph
+        algorithms (e.g. removing already-visited vertices from a BFS frontier).
+        """
+        mask_indices = as_index_array(mask_indices)
+        member = np.isin(self.indices, mask_indices, assume_unique=False)
+        keep = ~member if complement else member
+        return SparseVector(self.n, self.indices[keep], self.values[keep],
+                            sorted=self.sorted, check=False)
+
+    def map_values(self, fn) -> "SparseVector":
+        """Return a copy with ``fn`` applied elementwise to the stored values."""
+        return SparseVector(self.n, self.indices.copy(), fn(self.values),
+                            sorted=self.sorted, check=False)
+
+    def scale(self, alpha: float) -> "SparseVector":
+        """Return ``alpha * self``."""
+        return self.map_values(lambda v: v * alpha)
+
+    def norm(self, ord: int = 2) -> float:
+        """Vector norm of the stored values."""
+        if self.nnz == 0:
+            return 0.0
+        return float(np.linalg.norm(self.values, ord))
+
+    def to_pairs(self):
+        """Return the entries as a list of ``(index, value)`` tuples."""
+        return list(zip(self.indices.tolist(), self.values.tolist()))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"SparseVector(n={self.n}, nnz={self.nnz}, sorted={self.sorted}, "
+                f"dtype={self.dtype})")
+
+    # ------------------------------------------------------------------ #
+    # comparisons (exact; used by tests)
+    # ------------------------------------------------------------------ #
+    def equals(self, other: "SparseVector", *, rtol: float = 1e-10, atol: float = 1e-12) -> bool:
+        """Numerically compare two sparse vectors regardless of entry order."""
+        if self.n != other.n:
+            return False
+        a, b = self.sort().drop_zeros(), other.sort().drop_zeros()
+        if a.nnz != b.nnz:
+            return False
+        return bool(np.array_equal(a.indices, b.indices) and
+                    np.allclose(a.values, b.values, rtol=rtol, atol=atol))

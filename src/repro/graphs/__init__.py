@@ -1,0 +1,41 @@
+"""Graph generators, the Table IV benchmark suite, and the Graph wrapper."""
+
+from .generators import (
+    bipartite_random,
+    erdos_renyi,
+    grid_2d,
+    grid_3d,
+    path_graph,
+    preferential_attachment,
+    random_geometric,
+    rmat,
+)
+from .graph import Graph
+from .suite import (
+    SUITE,
+    SuiteProblem,
+    build_problem,
+    get_problem,
+    small_suite,
+    suite_names,
+    table4_rows,
+)
+
+__all__ = [
+    "Graph",
+    "SUITE",
+    "SuiteProblem",
+    "bipartite_random",
+    "build_problem",
+    "erdos_renyi",
+    "get_problem",
+    "grid_2d",
+    "grid_3d",
+    "path_graph",
+    "preferential_attachment",
+    "random_geometric",
+    "rmat",
+    "small_suite",
+    "suite_names",
+    "table4_rows",
+]

@@ -1,0 +1,259 @@
+"""Synthetic graph/matrix generators.
+
+These stand in for the SuiteSparse matrices of Table IV (see DESIGN.md §4,
+substitution 2).  Two families matter for the paper's experiments:
+
+* **low-diameter scale-free graphs** (ljournal-2008, wikipedia, amazon0312,
+  web-Google, wb-edu): generated here with R-MAT / preferential-attachment
+  style generators — heavy-tailed degree distribution, diameter O(log n),
+  BFS reaches most of the graph within a handful of levels, with a few very
+  dense frontiers.
+* **high-diameter mesh-like graphs** (hugetric, hugetrace, delaunay_n24,
+  rgg_n_2_24_s0, G3_circuit, dielFilterV3real): generated here as 2-D/3-D
+  grids, triangulated grids and random geometric graphs — bounded degree,
+  diameter Θ(√n) or worse, BFS takes thousands of levels with tiny frontiers.
+
+The Erdős–Rényi generator implements the G(n, d/n) model used throughout the
+paper's complexity analysis.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .._typing import INDEX_DTYPE
+from ..formats.coo import COOMatrix
+from ..formats.csc import CSCMatrix
+
+
+def _rng(seed: Optional[int]) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def _finalize(rows: np.ndarray, cols: np.ndarray, shape: Tuple[int, int], *,
+              symmetric: bool, rng: np.random.Generator,
+              weights: str = "uniform") -> CSCMatrix:
+    """Deduplicate, optionally symmetrize, attach values, and convert to CSC."""
+    if weights == "unit":
+        vals = np.ones(len(rows))
+    else:
+        vals = rng.random(len(rows)) + 0.05
+    if symmetric:
+        # mirror values together with the edges so that A stays exactly symmetric
+        rows, cols = np.concatenate([rows, cols]), np.concatenate([cols, rows])
+        vals = np.concatenate([vals, vals])
+    coo = COOMatrix(shape, rows, cols, vals, check=False)
+    # duplicate edges collapse to a single entry (max keeps values in (0, 1.05])
+    coo = coo.sum_duplicates(combine=np.maximum)
+    return CSCMatrix.from_coo(coo, sum_duplicates=False)
+
+
+# --------------------------------------------------------------------------- #
+# Erdős–Rényi  G(n, d/n)
+# --------------------------------------------------------------------------- #
+def erdos_renyi(n: int, avg_degree: float, *, m: Optional[int] = None,
+                symmetric: bool = False, weights: str = "uniform",
+                seed: Optional[int] = 0) -> CSCMatrix:
+    """Erdős–Rényi random matrix: each entry present with probability ``d/n``.
+
+    ``m`` (number of rows) defaults to ``n``; in expectation every column has
+    ``avg_degree`` nonzeros uniformly distributed over the rows — exactly the
+    model used for the paper's complexity analysis (§II-A).
+    """
+    rng = _rng(seed)
+    m = n if m is None else m
+    expected = int(round(avg_degree * n))
+    # sample with a small overshoot, then dedupe; good enough for d << n
+    count = int(expected * 1.05) + 8
+    rows = rng.integers(0, m, size=count, dtype=INDEX_DTYPE)
+    cols = rng.integers(0, n, size=count, dtype=INDEX_DTYPE)
+    return _finalize(rows[:expected], cols[:expected], (m, n),
+                     symmetric=symmetric, rng=rng, weights=weights)
+
+
+# --------------------------------------------------------------------------- #
+# R-MAT (scale-free, low diameter)
+# --------------------------------------------------------------------------- #
+def rmat(scale: int, edge_factor: int = 16, *,
+         a: float = 0.57, b: float = 0.19, c: float = 0.19,
+         symmetric: bool = True, weights: str = "uniform",
+         seed: Optional[int] = 0) -> CSCMatrix:
+    """R-MAT / Kronecker power-law graph with ``2**scale`` vertices.
+
+    The default (a, b, c, d) parameters are the Graph500 values, producing the
+    heavy-tailed, small-diameter structure typical of social and web graphs
+    (the ljournal / wikipedia stand-ins).
+    """
+    rng = _rng(seed)
+    n = 1 << scale
+    nedges = edge_factor * n
+    rows = np.zeros(nedges, dtype=INDEX_DTYPE)
+    cols = np.zeros(nedges, dtype=INDEX_DTYPE)
+    ab = a + b
+    abc = a + b + c
+    for level in range(scale):
+        r = rng.random(nedges)
+        # which quadrant does each edge fall into at this level of recursion?
+        right = (r >= a) & (r < ab)          # top-right: col bit set
+        bottom = (r >= ab) & (r < abc)       # bottom-left: row bit set
+        both = r >= abc                      # bottom-right: both bits set
+        bit = 1 << level
+        rows += bit * (bottom | both)
+        cols += bit * (right | both)
+    # light permutation to avoid locality artifacts of the Kronecker ordering
+    perm = rng.permutation(n).astype(INDEX_DTYPE)
+    rows, cols = perm[rows], perm[cols]
+    keep = rows != cols
+    return _finalize(rows[keep], cols[keep], (n, n),
+                     symmetric=symmetric, rng=rng, weights=weights)
+
+
+def preferential_attachment(n: int, edges_per_vertex: int = 8, *,
+                            weights: str = "uniform",
+                            seed: Optional[int] = 0) -> CSCMatrix:
+    """Barabási–Albert style scale-free graph (alternative low-diameter stand-in)."""
+    rng = _rng(seed)
+    k = max(1, edges_per_vertex)
+    targets = np.zeros(n * k, dtype=INDEX_DTYPE)
+    sources = np.repeat(np.arange(n, dtype=INDEX_DTYPE), k)
+    # vectorized approximation of preferential attachment: new vertex v picks
+    # each target by sampling a uniformly random *endpoint* among previous edges
+    # (which is proportional to degree), falling back to uniform for early vertices.
+    endpoint_pool = np.empty(n * k * 2, dtype=INDEX_DTYPE)
+    pool_size = 0
+    pos = 0
+    for v in range(n):
+        for _ in range(k):
+            if pool_size > 0 and rng.random() < 0.9:
+                t = endpoint_pool[rng.integers(0, pool_size)]
+            else:
+                t = rng.integers(0, max(v, 1))
+            targets[pos] = t
+            endpoint_pool[pool_size] = t
+            endpoint_pool[pool_size + 1] = v
+            pool_size += 2
+            pos += 1
+    keep = sources != targets
+    return _finalize(sources[keep], targets[keep], (n, n), symmetric=True,
+                     rng=rng, weights=weights)
+
+
+# --------------------------------------------------------------------------- #
+# High-diameter graphs: grids, triangulations, random geometric
+# --------------------------------------------------------------------------- #
+def grid_2d(rows: int, cols: Optional[int] = None, *, diagonal: bool = False,
+            weights: str = "uniform", seed: Optional[int] = 0) -> CSCMatrix:
+    """2-D mesh (optionally triangulated with one diagonal per cell).
+
+    Diameter Θ(rows + cols): the hugetric/hugetrace stand-in.  With
+    ``diagonal=True`` every unit square gets one diagonal, giving the
+    triangulated structure of the "Frames from 2D Dynamic Simulations"
+    problems.
+    """
+    rng = _rng(seed)
+    cols = rows if cols is None else cols
+    n = rows * cols
+    idx = np.arange(n, dtype=INDEX_DTYPE).reshape(rows, cols)
+    right_src = idx[:, :-1].ravel()
+    right_dst = idx[:, 1:].ravel()
+    down_src = idx[:-1, :].ravel()
+    down_dst = idx[1:, :].ravel()
+    srcs = [right_src, down_src]
+    dsts = [right_dst, down_dst]
+    if diagonal:
+        srcs.append(idx[:-1, :-1].ravel())
+        dsts.append(idx[1:, 1:].ravel())
+    src = np.concatenate(srcs)
+    dst = np.concatenate(dsts)
+    return _finalize(src, dst, (n, n), symmetric=True, rng=rng, weights=weights)
+
+
+def grid_3d(nx: int, ny: Optional[int] = None, nz: Optional[int] = None, *,
+            weights: str = "uniform", seed: Optional[int] = 0) -> CSCMatrix:
+    """3-D mesh with 6-point stencil connectivity (the G3_circuit / FEM stand-in)."""
+    rng = _rng(seed)
+    ny = nx if ny is None else ny
+    nz = nx if nz is None else nz
+    n = nx * ny * nz
+    idx = np.arange(n, dtype=INDEX_DTYPE).reshape(nx, ny, nz)
+    srcs = [idx[:-1, :, :].ravel(), idx[:, :-1, :].ravel(), idx[:, :, :-1].ravel()]
+    dsts = [idx[1:, :, :].ravel(), idx[:, 1:, :].ravel(), idx[:, :, 1:].ravel()]
+    return _finalize(np.concatenate(srcs), np.concatenate(dsts), (n, n),
+                     symmetric=True, rng=rng, weights=weights)
+
+
+def random_geometric(n: int, radius: Optional[float] = None, *,
+                     weights: str = "uniform", seed: Optional[int] = 0) -> CSCMatrix:
+    """Random geometric graph in the unit square (the rgg_n_2_24_s0 stand-in).
+
+    Vertices are random points; two vertices are adjacent when they are within
+    ``radius`` of each other.  The default radius is chosen slightly above the
+    connectivity threshold, giving average degree ~``2·log n`` and diameter
+    Θ(1/radius).  Implemented with a uniform grid of cells so the pair search
+    stays near-linear.
+    """
+    rng = _rng(seed)
+    if radius is None:
+        radius = math.sqrt(2.2 * math.log(max(n, 2)) / (math.pi * n))
+    points = rng.random((n, 2))
+    cell = max(radius, 1e-9)
+    ncells = max(1, int(1.0 / cell))
+    cell_ids = (np.minimum((points[:, 0] / cell).astype(np.int64), ncells - 1) * ncells
+                + np.minimum((points[:, 1] / cell).astype(np.int64), ncells - 1))
+    order = np.argsort(cell_ids, kind="stable")
+    sorted_cells = cell_ids[order]
+    starts = np.searchsorted(sorted_cells, np.arange(ncells * ncells))
+    ends = np.searchsorted(sorted_cells, np.arange(ncells * ncells), side="right")
+
+    src_list = []
+    dst_list = []
+    r2 = radius * radius
+    for cx in range(ncells):
+        for cy in range(ncells):
+            cid = cx * ncells + cy
+            mine = order[starts[cid]:ends[cid]]
+            if len(mine) == 0:
+                continue
+            neigh = [mine]
+            for dx, dy in ((0, 1), (1, -1), (1, 0), (1, 1)):
+                nx_, ny_ = cx + dx, cy + dy
+                if 0 <= nx_ < ncells and 0 <= ny_ < ncells:
+                    nid = nx_ * ncells + ny_
+                    neigh.append(order[starts[nid]:ends[nid]])
+            candidates = np.concatenate(neigh)
+            # pairwise distances between `mine` and `candidates`
+            diff = points[mine][:, None, :] - points[candidates][None, :, :]
+            dist2 = np.einsum("ijk,ijk->ij", diff, diff)
+            ii, jj = np.nonzero(dist2 <= r2)
+            a, b = mine[ii], candidates[jj]
+            keep = a < b
+            src_list.append(a[keep])
+            dst_list.append(b[keep])
+    src = np.concatenate(src_list) if src_list else np.empty(0, dtype=INDEX_DTYPE)
+    dst = np.concatenate(dst_list) if dst_list else np.empty(0, dtype=INDEX_DTYPE)
+    return _finalize(src, dst, (n, n), symmetric=True, rng=rng, weights=weights)
+
+
+def path_graph(n: int, *, weights: str = "unit", seed: Optional[int] = 0) -> CSCMatrix:
+    """A simple path (the most extreme high-diameter case; useful in tests)."""
+    rng = _rng(seed)
+    src = np.arange(n - 1, dtype=INDEX_DTYPE)
+    dst = src + 1
+    return _finalize(src, dst, (n, n), symmetric=True, rng=rng, weights=weights)
+
+
+def bipartite_random(n_left: int, n_right: int, avg_degree: float, *,
+                     weights: str = "uniform", seed: Optional[int] = 0) -> CSCMatrix:
+    """Random bipartite adjacency (rows = left side, columns = right side).
+
+    Used by the bipartite-matching application and the SVM working-set example.
+    """
+    rng = _rng(seed)
+    expected = int(round(avg_degree * n_right))
+    rows = rng.integers(0, n_left, size=expected, dtype=INDEX_DTYPE)
+    cols = rng.integers(0, n_right, size=expected, dtype=INDEX_DTYPE)
+    return _finalize(rows, cols, (n_left, n_right), symmetric=False, rng=rng,
+                     weights=weights)

@@ -1,0 +1,159 @@
+"""Benchmark problem suite: scaled-down, class-matched stand-ins for Table IV.
+
+The paper evaluates on eleven SuiteSparse matrices split into two classes —
+low-diameter scale-free graphs and high-diameter graphs.  We cannot ship or
+download multi-gigabyte inputs, so the suite generates synthetic graphs of
+the same classes (see DESIGN.md §4).  Sizes are scaled down by roughly 100×
+(tens of thousands of vertices instead of millions) so that every benchmark
+runs in seconds; the *algorithmic* phenomena the paper measures depend on the
+graph class, not the absolute size, and the generators preserve the class.
+
+Every suite entry records which Table IV problem it stands in for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..formats.csc import CSCMatrix
+from .generators import erdos_renyi, grid_2d, grid_3d, preferential_attachment, \
+    random_geometric, rmat
+from .graph import Graph
+
+
+@dataclass(frozen=True)
+class SuiteProblem:
+    """One benchmark problem: a named generator plus its Table IV counterpart."""
+
+    name: str
+    paper_counterpart: str
+    graph_class: str           # 'low-diameter' or 'high-diameter'
+    description: str
+    builder: Callable[[int], CSCMatrix]
+    #: default scale knob passed to the builder (vertices ~ proportional to it)
+    default_scale: int = 1
+
+    def build(self, scale: Optional[int] = None) -> Graph:
+        """Generate the graph at the given scale (default: the suite's standard size)."""
+        scale = self.default_scale if scale is None else scale
+        return Graph(self.builder(scale), name=self.name)
+
+
+def _scale_free_rmat(scale: int) -> CSCMatrix:
+    return rmat(scale=scale, edge_factor=16, seed=11)
+
+
+def _scale_free_pa(scale: int) -> CSCMatrix:
+    return preferential_attachment(1 << scale, edges_per_vertex=8, seed=12)
+
+
+def _web_like(scale: int) -> CSCMatrix:
+    return rmat(scale=scale, edge_factor=6, a=0.6, b=0.19, c=0.15, seed=13)
+
+
+def _social_like(scale: int) -> CSCMatrix:
+    return rmat(scale=scale, edge_factor=15, seed=14)
+
+
+def _crawl_like(scale: int) -> CSCMatrix:
+    return rmat(scale=scale, edge_factor=6, a=0.55, b=0.22, c=0.18, seed=15)
+
+
+def _fem_like(scale: int) -> CSCMatrix:
+    return grid_3d(scale, scale, scale, seed=16)
+
+
+def _circuit_like(scale: int) -> CSCMatrix:
+    return grid_3d(scale, scale, max(2, scale // 4), seed=17)
+
+
+def _tri_mesh(scale: int) -> CSCMatrix:
+    return grid_2d(scale, scale, diagonal=True, seed=18)
+
+
+def _trace_mesh(scale: int) -> CSCMatrix:
+    return grid_2d(scale, 2 * scale, diagonal=True, seed=19)
+
+
+def _delaunay_like(scale: int) -> CSCMatrix:
+    return grid_2d(scale, scale, diagonal=True, seed=20)
+
+
+def _rgg_like(scale: int) -> CSCMatrix:
+    return random_geometric(scale * scale, seed=21)
+
+
+#: The eleven problems of Table IV, scaled down ~100x.
+SUITE: List[SuiteProblem] = [
+    SuiteProblem("amazon-like", "amazon0312", "low-diameter",
+                 "product co-purchasing style scale-free graph", _scale_free_pa, 13),
+    SuiteProblem("webgoogle-like", "web-Google", "low-diameter",
+                 "web graph with strong hub structure", _web_like, 14),
+    SuiteProblem("wikipedia-like", "wikipedia-20070206", "low-diameter",
+                 "dense scale-free link graph", _social_like, 14),
+    SuiteProblem("ljournal-like", "ljournal-2008", "low-diameter",
+                 "social network, heavy-tailed degrees", _scale_free_rmat, 14),
+    SuiteProblem("wbedu-like", "wb-edu", "low-diameter",
+                 "web crawl with moderate average degree", _crawl_like, 15),
+    SuiteProblem("dielfilter-like", "dielFilterV3real", "high-diameter",
+                 "high-order finite element discretization", _fem_like, 18),
+    SuiteProblem("g3circuit-like", "G3_circuit", "high-diameter",
+                 "circuit simulation mesh", _circuit_like, 22),
+    SuiteProblem("hugetric-like", "hugetric-00020", "high-diameter",
+                 "triangulated 2-D mesh", _tri_mesh, 140),
+    SuiteProblem("hugetrace-like", "hugetrace-00020", "high-diameter",
+                 "frames from 2-D dynamic simulation", _trace_mesh, 110),
+    SuiteProblem("delaunay-like", "delaunay_n24", "high-diameter",
+                 "Delaunay-style triangulation", _delaunay_like, 160),
+    SuiteProblem("rgg-like", "rgg_n_2_24_s0", "high-diameter",
+                 "random geometric graph", _rgg_like, 130),
+]
+
+_BY_NAME: Dict[str, SuiteProblem] = {p.name: p for p in SUITE}
+
+
+def suite_names(graph_class: Optional[str] = None) -> List[str]:
+    """Names of the suite problems, optionally filtered by class."""
+    return [p.name for p in SUITE if graph_class is None or p.graph_class == graph_class]
+
+
+def get_problem(name: str) -> SuiteProblem:
+    """Look up a suite problem by name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown suite problem {name!r}; available: {suite_names()}") from None
+
+
+def build_problem(name: str, scale: Optional[int] = None) -> Graph:
+    """Generate a suite problem's graph (optionally at a non-default scale)."""
+    return get_problem(name).build(scale)
+
+
+def small_suite() -> List[SuiteProblem]:
+    """A reduced set (one per class + the ER model) for quick tests and CI."""
+    return [_BY_NAME["ljournal-like"], _BY_NAME["hugetric-like"]]
+
+
+def table4_rows(scale_divisor: int = 1) -> List[Dict[str, object]]:
+    """Generate the rows of the Table IV stand-in (name, class, vertices, edges, diameter).
+
+    ``scale_divisor`` shrinks the default scales further for fast runs (the
+    pseudo-diameter computation runs a few BFS sweeps per problem).
+    """
+    rows = []
+    for problem in SUITE:
+        scale = max(2, problem.default_scale // scale_divisor) if scale_divisor > 1 \
+            else problem.default_scale
+        graph = problem.build(scale)
+        rows.append({
+            "class": problem.graph_class,
+            "graph": problem.name,
+            "paper_counterpart": problem.paper_counterpart,
+            "vertices": graph.num_vertices,
+            "edges": graph.num_edges // 2,
+            "pseudo_diameter": graph.pseudo_diameter(),
+            "description": problem.description,
+        })
+    return rows

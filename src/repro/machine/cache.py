@@ -1,0 +1,127 @@
+"""Cache locality estimation helpers.
+
+The kernels do not simulate a cache line by line (that would dominate the
+runtime of every experiment); instead they *estimate* the number of cache-line
+misses their access pattern generates and record it in
+``WorkMetrics.cache_line_misses``.  The estimators here encode the two
+locality arguments the paper makes:
+
+* §III-A / Fig. 2 — when the input vector is **sorted** and relatively dense,
+  consecutive selected columns are close together in the CSC arrays, so
+  reading them approaches a streaming pattern; when the vector is unsorted or
+  very sparse every selected column is effectively a random jump.
+* §IV-F / Fig. 6 — writes into buckets and reads of the SPA during output
+  construction are scattered, which is what ultimately limits the scalability
+  of those steps.
+
+A small direct-mapped/LRU set-associative cache simulator is also provided
+for the ablation benchmarks (it is exercised on scaled-down inputs only).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+_CACHE_LINE_ELEMENTS = 8  # 64-byte lines / 8-byte values
+
+
+def estimate_column_gather_misses(num_selected_columns: int, num_entries: int,
+                                  num_columns: int, *, input_sorted: bool) -> int:
+    """Estimate cache-line misses of gathering ``num_selected_columns`` columns.
+
+    Every gathered entry contributes a compulsory streaming component
+    (``num_entries / line``).  On top of that, each *jump* between selected
+    columns misses unless the next column is adjacent in memory; for a sorted
+    input vector the probability of adjacency grows with the fraction of
+    columns selected, for an unsorted vector every jump is a miss.
+    """
+    if num_selected_columns <= 0:
+        return 0
+    streaming = num_entries // _CACHE_LINE_ELEMENTS
+    density = min(1.0, num_selected_columns / max(num_columns, 1))
+    if input_sorted:
+        jump_misses = int(num_selected_columns * (1.0 - density))
+    else:
+        jump_misses = num_selected_columns
+    return int(streaming + jump_misses)
+
+
+def estimate_scatter_misses(num_writes: int, target_size: int, cache_kb: float) -> int:
+    """Estimate cache-line misses of ``num_writes`` scattered writes into a
+    structure of ``target_size`` elements, given a per-core cache of ``cache_kb``.
+
+    If the target fits in cache the writes mostly hit; otherwise nearly every
+    write to a random location misses.
+    """
+    if num_writes <= 0:
+        return 0
+    cache_elements = int(cache_kb * 1024 / 8)
+    if target_size <= cache_elements:
+        return num_writes // _CACHE_LINE_ELEMENTS
+    hit_fraction = cache_elements / max(target_size, 1)
+    return int(num_writes * (1.0 - hit_fraction))
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counts returned by the set-associative cache simulator."""
+
+    accesses: int = 0
+    misses: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.accesses - self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class SetAssociativeCache:
+    """A tiny LRU set-associative cache simulator (for ablation studies only).
+
+    Addresses are element indices; a cache line holds ``line_elements``
+    consecutive elements.  This is intentionally simple — it exists to sanity
+    check the analytic estimators above on small inputs, not to model a real
+    memory hierarchy in detail.
+    """
+
+    def __init__(self, size_kb: float = 32.0, line_bytes: int = 64, ways: int = 8,
+                 element_bytes: int = 8):
+        self.line_elements = max(1, line_bytes // element_bytes)
+        num_lines = max(1, int(size_kb * 1024 // line_bytes))
+        self.ways = max(1, min(ways, num_lines))
+        self.num_sets = max(1, num_lines // self.ways)
+        self._sets = [OrderedDict() for _ in range(self.num_sets)]
+        self.stats = CacheStats()
+
+    def access(self, element_index: int) -> bool:
+        """Access one element; returns True on hit, False on miss."""
+        line = int(element_index) // self.line_elements
+        set_id = line % self.num_sets
+        cache_set = self._sets[set_id]
+        self.stats.accesses += 1
+        if line in cache_set:
+            cache_set.move_to_end(line)
+            return True
+        self.stats.misses += 1
+        cache_set[line] = True
+        if len(cache_set) > self.ways:
+            cache_set.popitem(last=False)
+        return False
+
+    def access_many(self, element_indices: np.ndarray) -> CacheStats:
+        """Access a sequence of elements and return the cumulative stats."""
+        for idx in np.asarray(element_indices).ravel():
+            self.access(int(idx))
+        return self.stats
+
+    def reset(self) -> None:
+        """Clear contents and statistics."""
+        for s in self._sets:
+            s.clear()
+        self.stats = CacheStats()

@@ -1,0 +1,115 @@
+"""Machine presets mirroring Table III of the paper.
+
+The paper evaluates on two NERSC systems:
+
+* **Edison** — Cray XC30 node: 2 sockets × 12-core Intel Ivy Bridge,
+  2.4 GHz, 32 KB L1 / 256 KB L2 per core, ~104 GB/s STREAM bandwidth.
+* **Cori (KNL)** — single-socket 64-core Intel Knights Landing, 1.4 GHz,
+  32 KB L1, 1 MB L2 per 2-core tile, ~102 GB/s STREAM (DDR) with much higher
+  MCDRAM bandwidth and more memory parallelism, but slower scalar cores.
+
+These presets feed the cost model (:mod:`repro.machine.cost_model`): per-core
+speed scales the per-operation costs, while ``memory_channels`` caps how much
+irregular memory traffic can proceed in parallel, which is what limits the
+scalability of the bucketing step at high thread counts (§IV-F).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Platform:
+    """A shared-memory node description used by the cost model."""
+
+    name: str
+    max_threads: int
+    sockets: int
+    cores_per_socket: int
+    clock_ghz: float
+    l1_kb: int
+    l2_kb: int
+    stream_bw_gbs: float
+    dp_gflops_per_core: float
+    #: relative per-core scalar speed (Edison Ivy Bridge core == 1.0)
+    core_speed: float
+    #: effective number of concurrent irregular-memory streams the memory system sustains
+    memory_channels: int
+    #: cost of entering/leaving a parallel region or barrier, in nanoseconds
+    parallel_region_overhead_ns: float
+    #: approximate main-memory latency for a cache-missing access, in nanoseconds
+    memory_latency_ns: float
+
+    @property
+    def total_cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+    def describe(self) -> str:
+        """Human-readable one-paragraph description (used by the Table III bench)."""
+        return (f"{self.name}: {self.sockets}x{self.cores_per_socket} cores @ "
+                f"{self.clock_ghz} GHz, L1 {self.l1_kb} KB, L2 {self.l2_kb} KB, "
+                f"STREAM {self.stream_bw_gbs} GB/s, "
+                f"{self.dp_gflops_per_core} DP GFlop/s/core")
+
+
+#: Edison (Intel Ivy Bridge) preset — Table III, right column.
+EDISON = Platform(
+    name="Edison (Intel Ivy Bridge)",
+    max_threads=24,
+    sockets=2,
+    cores_per_socket=12,
+    clock_ghz=2.4,
+    l1_kb=32,
+    l2_kb=256,
+    stream_bw_gbs=104.0,
+    dp_gflops_per_core=19.2,
+    core_speed=1.0,
+    memory_channels=8,
+    parallel_region_overhead_ns=1500.0,
+    memory_latency_ns=85.0,
+)
+
+#: Cori (Intel Knights Landing) preset — Table III, left column.
+KNL = Platform(
+    name="Cori (Intel KNL)",
+    max_threads=64,
+    sockets=1,
+    cores_per_socket=64,
+    clock_ghz=1.4,
+    l1_kb=32,
+    l2_kb=1024,
+    stream_bw_gbs=102.0,
+    dp_gflops_per_core=44.0,
+    core_speed=0.42,
+    memory_channels=16,
+    parallel_region_overhead_ns=4000.0,
+    memory_latency_ns=150.0,
+)
+
+#: A small "laptop" preset for quick local experiments and tests.
+LAPTOP = Platform(
+    name="Laptop (generic 8-core)",
+    max_threads=8,
+    sockets=1,
+    cores_per_socket=8,
+    clock_ghz=3.0,
+    l1_kb=32,
+    l2_kb=512,
+    stream_bw_gbs=40.0,
+    dp_gflops_per_core=24.0,
+    core_speed=1.2,
+    memory_channels=4,
+    parallel_region_overhead_ns=1000.0,
+    memory_latency_ns=80.0,
+)
+
+PLATFORMS = {"edison": EDISON, "knl": KNL, "laptop": LAPTOP}
+
+
+def get_platform(name: str) -> Platform:
+    """Look up a platform preset by short name (``'edison' | 'knl' | 'laptop'``)."""
+    try:
+        return PLATFORMS[name.lower()]
+    except KeyError:
+        raise KeyError(f"unknown platform {name!r}; available: {sorted(PLATFORMS)}") from None

@@ -1,0 +1,90 @@
+"""Parallel-machine simulator: ExecutionRecord -> simulated runtime.
+
+This is the substitution layer documented in DESIGN.md §4: instead of running
+on 24 Ivy Bridge / 64 KNL cores, every kernel partitions its work per thread
+exactly as the real algorithm would and the simulator prices that work with
+the platform cost model.  The functions here are thin conveniences over
+:class:`~repro.machine.cost_model.CostModel` used by the scaling studies and
+the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..parallel.metrics import ExecutionRecord
+from .cost_model import CostModel, cost_model_for
+from .platforms import Platform
+
+
+@dataclass
+class SimulatedRun:
+    """One simulated SpMSpV (or multi-SpMSpV) execution."""
+
+    algorithm: str
+    num_threads: int
+    time_ms: float
+    phase_times_ms: Dict[str, float] = field(default_factory=dict)
+    total_work_ops: int = 0
+    wall_time_s: float = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"SimulatedRun({self.algorithm}, t={self.num_threads}, "
+                f"{self.time_ms:.3f} ms)")
+
+
+def simulate_record(record: ExecutionRecord, platform: Platform,
+                    model: Optional[CostModel] = None) -> SimulatedRun:
+    """Price one execution record on a platform and return the simulated run."""
+    model = model if model is not None else cost_model_for(platform)
+    phase_times = model.phase_times_ms(record)
+    return SimulatedRun(
+        algorithm=record.algorithm,
+        num_threads=record.num_threads,
+        time_ms=model.record_time_ms(record),
+        phase_times_ms=phase_times,
+        total_work_ops=record.total_work().total_operations(),
+        wall_time_s=record.wall_time_s,
+    )
+
+
+def simulate_records(records: List[ExecutionRecord], platform: Platform,
+                     model: Optional[CostModel] = None) -> SimulatedRun:
+    """Price a sequence of records (e.g. all SpMSpVs of one BFS) as a single run.
+
+    Phase times are accumulated by phase name; the total time is the sum over
+    records — matching the paper's reporting, which sums "the runtime of
+    SpMSpVs in all iterations, omitting other costs of the BFS".
+    """
+    model = model if model is not None else cost_model_for(platform)
+    if not records:
+        return SimulatedRun(algorithm="(empty)", num_threads=1, time_ms=0.0)
+    total_ms = 0.0
+    phase_times: Dict[str, float] = {}
+    total_ops = 0
+    wall = 0.0
+    for record in records:
+        run = simulate_record(record, platform, model)
+        total_ms += run.time_ms
+        total_ops += run.total_work_ops
+        wall += run.wall_time_s
+        for name, t in run.phase_times_ms.items():
+            phase_times[name] = phase_times.get(name, 0.0) + t
+    return SimulatedRun(
+        algorithm=records[0].algorithm,
+        num_threads=records[0].num_threads,
+        time_ms=total_ms,
+        phase_times_ms=phase_times,
+        total_work_ops=total_ops,
+        wall_time_s=wall,
+    )
+
+
+def speedup_curve(times_ms: Dict[int, float]) -> Dict[int, float]:
+    """Convert a {threads: time} mapping into {threads: speedup vs the 1-thread time}."""
+    if not times_ms:
+        return {}
+    base_threads = min(times_ms)
+    base = times_ms[base_threads]
+    return {t: (base / v if v > 0 else float("inf")) for t, v in sorted(times_ms.items())}

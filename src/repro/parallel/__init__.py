@@ -1,0 +1,31 @@
+"""Parallel runtime: execution context, work partitioning, scheduling, metrics."""
+
+from .context import ExecutionContext, default_context
+from .metrics import ExecutionRecord, PhaseRecord, WorkMetrics
+from .partitioner import (
+    chunk_edges,
+    load_imbalance,
+    partition_by_weight,
+    partition_vector_nonzeros,
+)
+from .scheduler import Assignment, schedule, schedule_dynamic, schedule_lpt, schedule_static
+from .threadpool import run_chunks, shutdown_pool
+
+__all__ = [
+    "Assignment",
+    "ExecutionContext",
+    "ExecutionRecord",
+    "PhaseRecord",
+    "WorkMetrics",
+    "chunk_edges",
+    "default_context",
+    "load_imbalance",
+    "partition_by_weight",
+    "partition_vector_nonzeros",
+    "run_chunks",
+    "schedule",
+    "schedule_dynamic",
+    "schedule_lpt",
+    "schedule_static",
+    "shutdown_pool",
+]

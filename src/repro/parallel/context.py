@@ -1,0 +1,80 @@
+"""Execution context: how a kernel should be "parallelized".
+
+The :class:`ExecutionContext` carries everything a kernel needs to know about
+its (emulated) parallel environment:
+
+* ``num_threads`` — the thread count ``t`` of the paper's analysis,
+* ``buckets_per_thread`` — the paper uses ``nb = 4·t`` buckets (§III-A,
+  "Load balancing"),
+* ``scheduling`` — ``'dynamic'`` (greedy longest-processing-time assignment of
+  buckets to threads, emulating OpenMP ``schedule(dynamic)``) or ``'static'``
+  (round-robin),
+* ``platform`` — the machine preset used by the cost model to turn per-thread
+  work into simulated time,
+* ``use_thread_pool`` — optionally run per-thread chunks on a real
+  ``ThreadPoolExecutor``.  This is off by default: with CPython's GIL the
+  pool adds overhead without adding parallelism for these index-heavy
+  kernels, and the deterministic serial execution keeps tests reproducible.
+  The flag exists so the structure can be exercised end-to-end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..machine.platforms import EDISON, Platform
+
+
+@dataclass(frozen=True)
+class ExecutionContext:
+    """Parameters of one (emulated) parallel execution."""
+
+    num_threads: int = 1
+    buckets_per_thread: int = 4
+    scheduling: str = "dynamic"
+    platform: Platform = field(default_factory=lambda: EDISON)
+    sorted_vectors: bool = True
+    use_thread_pool: bool = False
+    #: size (entries) of the thread-private staging buffer used for cache-friendly
+    #: bucket insertion (§III-A, "Cache efficiency"); 0 disables the buffer.
+    private_buffer_size: int = 512
+    #: deterministic seed used wherever a kernel needs tie-breaking randomness
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.num_threads < 1:
+            raise ValueError("num_threads must be >= 1")
+        if self.buckets_per_thread < 1:
+            raise ValueError("buckets_per_thread must be >= 1")
+        if self.scheduling not in ("dynamic", "static"):
+            raise ValueError(f"scheduling must be 'dynamic' or 'static', got {self.scheduling!r}")
+        if self.num_threads > self.platform.max_threads:
+            raise ValueError(
+                f"num_threads={self.num_threads} exceeds platform "
+                f"'{self.platform.name}' max_threads={self.platform.max_threads}")
+
+    @property
+    def num_buckets(self) -> int:
+        """Number of buckets ``nb = buckets_per_thread * num_threads``."""
+        return self.buckets_per_thread * self.num_threads
+
+    def with_threads(self, num_threads: int) -> "ExecutionContext":
+        """Return a copy with a different thread count (used by scaling studies)."""
+        return replace(self, num_threads=num_threads)
+
+    def with_platform(self, platform: Platform) -> "ExecutionContext":
+        """Return a copy targeting a different machine preset."""
+        return replace(self, platform=platform)
+
+    def with_sorted_vectors(self, sorted_vectors: bool) -> "ExecutionContext":
+        """Return a copy with the sorted/unsorted vector policy changed."""
+        return replace(self, sorted_vectors=sorted_vectors)
+
+
+def default_context(num_threads: int = 1, platform: Optional[Platform] = None,
+                    **kwargs) -> ExecutionContext:
+    """Convenience constructor used throughout examples and benchmarks."""
+    if platform is None:
+        platform = EDISON
+    return ExecutionContext(num_threads=num_threads, platform=platform, **kwargs)

@@ -1,0 +1,173 @@
+"""Work metrics: the currency of the work-efficiency analysis.
+
+The paper's central claim is about *work*: SpMSpV-bucket performs total work
+proportional to the number of required arithmetic operations (`O(d·f)`),
+whereas the row-split baselines perform extra per-thread work (scanning the
+whole input vector, initializing a full SPA, or scanning all non-empty
+matrix columns) that grows with the thread count.
+
+Every kernel in :mod:`repro.core` and :mod:`repro.baselines` therefore
+reports, per phase and per thread, a :class:`WorkMetrics` record counting the
+elementary operations it performed.  These counts are
+
+* asserted against the analytical complexities in the test-suite (the
+  work-efficiency invariants of DESIGN.md §6), and
+* converted into simulated runtimes by :mod:`repro.machine.cost_model`, which
+  is how the scaling figures of the paper are regenerated without 24/64
+  physical cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict, Iterable, List, Optional
+
+
+@dataclass
+class WorkMetrics:
+    """Counts of elementary operations performed by one thread in one phase."""
+
+    #: matrix nonzeros read (CSC/DCSC ``indices``/``data`` elements touched)
+    matrix_nnz_reads: int = 0
+    #: column-pointer lookups / per-column scans (CSC ``indptr`` or DCSC ``jc`` entries)
+    colptr_reads: int = 0
+    #: input-vector entries read (list entries scanned or bitmap words probed)
+    vector_reads: int = 0
+    #: bitmap membership tests (GraphMat-style bitvector probes)
+    bitmap_probes: int = 0
+    #: SPA slots initialized (full init counts every slot, partial init only touched ones)
+    spa_inits: int = 0
+    #: SPA read-modify-write updates (the ADD of Algorithm 1, line 18)
+    spa_updates: int = 0
+    #: entries written into buckets (irregular, scattered writes - Step 1 of Algorithm 1)
+    bucket_writes: int = 0
+    #: entries appended to thread-private buffers/lists (regular, streaming writes)
+    buffer_writes: int = 0
+    #: elementary heap element-moves (CombBLAS-heap merging; includes the lg f factor)
+    heap_ops: int = 0
+    #: elementary comparison/move operations spent in sorting (includes the log factor)
+    sort_elements: int = 0
+    #: estimated cache-line misses from poorly localized accesses (drives the
+    #: sorted-vs-unsorted gap of Fig. 2 and the limited bucketing scalability of Fig. 6)
+    cache_line_misses: int = 0
+    #: binary-search probes (e.g. DCSC column lookups without the aux index)
+    search_probes: int = 0
+    #: scalar multiplications performed (the MULT of Algorithm 1, line 7)
+    multiplications: int = 0
+    #: scalar additions / semiring-add applications
+    additions: int = 0
+    #: entries written to the output vector
+    output_writes: int = 0
+    #: synchronization events this thread participated in (barriers, atomics, locks)
+    sync_events: int = 0
+
+    # ------------------------------------------------------------------ #
+    def merge(self, other: "WorkMetrics") -> "WorkMetrics":
+        """Return the field-wise sum of two metric records."""
+        merged = WorkMetrics()
+        for f in fields(WorkMetrics):
+            setattr(merged, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return merged
+
+    def __add__(self, other: "WorkMetrics") -> "WorkMetrics":
+        return self.merge(other)
+
+    def scale(self, factor: float) -> "WorkMetrics":
+        """Return a copy with every counter multiplied by ``factor`` (rounded)."""
+        scaled = WorkMetrics()
+        for f in fields(WorkMetrics):
+            setattr(scaled, f.name, int(round(getattr(self, f.name) * factor)))
+        return scaled
+
+    def total_operations(self) -> int:
+        """Unweighted sum of all counters except synchronization events."""
+        return sum(getattr(self, f.name) for f in fields(WorkMetrics)
+                   if f.name != "sync_events")
+
+    def arithmetic_operations(self) -> int:
+        """Multiplications + additions — the work a lower-bound-attaining algorithm needs."""
+        return self.multiplications + self.additions
+
+    def overhead_operations(self) -> int:
+        """Everything that is not arithmetic (data-structure traffic)."""
+        return self.total_operations() - self.arithmetic_operations()
+
+    def as_dict(self) -> Dict[str, int]:
+        """Counters as a plain dict (stable field order)."""
+        return {f.name: getattr(self, f.name) for f in fields(WorkMetrics)}
+
+    @classmethod
+    def sum(cls, items: Iterable["WorkMetrics"]) -> "WorkMetrics":
+        """Field-wise sum of an iterable of metric records."""
+        total = cls()
+        for item in items:
+            total = total.merge(item)
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover
+        nonzero = {k: v for k, v in self.as_dict().items() if v}
+        return f"WorkMetrics({nonzero})"
+
+
+@dataclass
+class PhaseRecord:
+    """Execution record of one phase (step) of a parallel algorithm.
+
+    A phase is either *parallel* — ``thread_metrics[i]`` describes the work
+    chunk executed by thread ``i`` (after scheduling) — or *serial*, in which
+    case ``serial_metrics`` describes the work of the single executing thread
+    (the "master thread" of Algorithm 1, line 20).
+    """
+
+    name: str
+    parallel: bool = True
+    thread_metrics: List[WorkMetrics] = field(default_factory=list)
+    serial_metrics: WorkMetrics = field(default_factory=WorkMetrics)
+    #: number of barrier-style synchronizations ending the phase
+    barriers: int = 1
+
+    def total_work(self) -> WorkMetrics:
+        """Total work over all threads plus the serial part."""
+        return WorkMetrics.sum(self.thread_metrics).merge(self.serial_metrics)
+
+    def num_threads(self) -> int:
+        return max(len(self.thread_metrics), 1)
+
+
+@dataclass
+class ExecutionRecord:
+    """Full record of one SpMSpV invocation: an ordered list of phases."""
+
+    algorithm: str
+    num_threads: int
+    phases: List[PhaseRecord] = field(default_factory=list)
+    #: optional free-form details (problem sizes, nnz, etc.)
+    info: Dict[str, float] = field(default_factory=dict)
+    #: wall-clock seconds actually spent in the Python/NumPy kernel (for micro-benchmarks)
+    wall_time_s: float = 0.0
+
+    def add_phase(self, phase: PhaseRecord) -> PhaseRecord:
+        self.phases.append(phase)
+        return phase
+
+    def phase(self, name: str) -> PhaseRecord:
+        """Look up a phase by name (raises ``KeyError`` if absent)."""
+        for p in self.phases:
+            if p.name == name:
+                return p
+        raise KeyError(f"no phase named {name!r}; have {[p.name for p in self.phases]}")
+
+    def total_work(self) -> WorkMetrics:
+        """Total work across all phases, threads and serial sections."""
+        return WorkMetrics.sum(p.total_work() for p in self.phases)
+
+    def total_sync_events(self) -> int:
+        """Total synchronization events (barriers weighted by participating threads)."""
+        total = 0
+        for p in self.phases:
+            total += p.total_work().sync_events
+            total += p.barriers * (p.num_threads() if p.parallel else 1)
+        return total
+
+    def phase_names(self) -> List[str]:
+        return [p.name for p in self.phases]

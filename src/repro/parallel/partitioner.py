@@ -1,0 +1,74 @@
+"""Work partitioning across threads.
+
+Two kinds of partitioning appear in the paper:
+
+* splitting the *nonzeros of the input vector* among threads (Step 1 /
+  ESTIMATE-BUCKETS).  §III-B points out that to bound the span on skewed
+  matrices the split should balance matrix nonzeros, not vector nonzeros;
+  :func:`partition_vector_nonzeros` implements both policies.
+* splitting *buckets* (or row strips / column strips) among threads, which is
+  a scheduling problem handled in :mod:`repro.parallel.scheduler`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .._typing import INDEX_DTYPE
+from ..formats.partition import split_ranges
+
+
+def partition_vector_nonzeros(num_items: int, num_threads: int) -> List[np.ndarray]:
+    """Split positions ``0..num_items-1`` into ``num_threads`` contiguous chunks.
+
+    Chunks may be empty when there are fewer items than threads (the paper
+    assumes ``t <= f`` for the analysis but the implementation must still
+    behave correctly when the frontier is tiny).
+    """
+    ranges = split_ranges(num_items, num_threads)
+    return [np.arange(lo, hi, dtype=INDEX_DTYPE) for lo, hi in ranges]
+
+
+def partition_by_weight(weights: np.ndarray, num_threads: int) -> List[np.ndarray]:
+    """Split item positions into contiguous chunks of approximately equal total weight.
+
+    This is the nonzero-balanced assignment of §III-B: ``weights[k]`` is the
+    number of matrix nonzeros contributed by the k-th vector nonzero
+    (``nnz(A(:, j_k))``), and each thread should receive about
+    ``sum(weights) / t`` of it.  Items are kept contiguous so per-thread
+    column accesses stay cache friendly for sorted input vectors.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    num_items = len(weights)
+    if num_items == 0:
+        return [np.empty(0, dtype=INDEX_DTYPE) for _ in range(num_threads)]
+    total = float(weights.sum())
+    if total <= 0:
+        return partition_vector_nonzeros(num_items, num_threads)
+    cumulative = np.cumsum(weights)
+    # Target boundaries at multiples of total/t; searchsorted keeps chunks contiguous.
+    targets = total * np.arange(1, num_threads, dtype=np.float64) / num_threads
+    boundaries = np.searchsorted(cumulative, targets, side="left")
+    boundaries = np.concatenate(([0], boundaries, [num_items]))
+    boundaries = np.maximum.accumulate(boundaries)  # guard against non-monotone edge cases
+    chunks = []
+    for k in range(num_threads):
+        lo, hi = int(boundaries[k]), int(boundaries[k + 1])
+        chunks.append(np.arange(lo, hi, dtype=INDEX_DTYPE))
+    return chunks
+
+
+def chunk_edges(chunks: List[np.ndarray]) -> List[int]:
+    """Return the number of items per chunk (useful for load-balance reporting)."""
+    return [int(len(c)) for c in chunks]
+
+
+def load_imbalance(costs: List[float]) -> float:
+    """Return max/mean load imbalance (1.0 = perfectly balanced, >1 = imbalanced)."""
+    costs = [float(c) for c in costs]
+    if not costs or sum(costs) == 0:
+        return 1.0
+    mean = sum(costs) / len(costs)
+    return max(costs) / mean if mean > 0 else 1.0

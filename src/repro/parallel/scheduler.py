@@ -1,0 +1,102 @@
+"""Scheduling of independent work items (buckets, strips) onto threads.
+
+The paper's load-balancing optimization (§III-A) creates ``4·t`` buckets and
+relies on OpenMP *dynamic scheduling* to even out per-bucket work.  We
+emulate dynamic scheduling deterministically with the classic greedy
+list-scheduling policy: items are taken in order (or longest-first for the
+LPT variant) and each is assigned to the currently least-loaded thread.  This
+is exactly the behaviour an OpenMP dynamic loop converges to when per-item
+costs dominate scheduling overhead, and it yields a reproducible makespan for
+the cost model.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+@dataclass
+class Assignment:
+    """Result of scheduling: which items each thread executes and the per-thread cost."""
+
+    #: item indices per thread
+    items_per_thread: List[List[int]]
+    #: summed cost per thread
+    cost_per_thread: List[float]
+
+    @property
+    def makespan(self) -> float:
+        """The parallel completion time: the load of the most loaded thread."""
+        return max(self.cost_per_thread) if self.cost_per_thread else 0.0
+
+    @property
+    def total_cost(self) -> float:
+        return float(sum(self.cost_per_thread))
+
+    def imbalance(self) -> float:
+        """max/mean thread load (1.0 = perfect balance)."""
+        if not self.cost_per_thread:
+            return 1.0
+        mean = self.total_cost / len(self.cost_per_thread)
+        return self.makespan / mean if mean > 0 else 1.0
+
+
+def schedule_static(costs: Sequence[float], num_threads: int) -> Assignment:
+    """Round-robin (OpenMP ``schedule(static, 1)``) assignment of items to threads."""
+    items: List[List[int]] = [[] for _ in range(num_threads)]
+    loads = [0.0] * num_threads
+    for i, c in enumerate(costs):
+        tid = i % num_threads
+        items[tid].append(i)
+        loads[tid] += float(c)
+    return Assignment(items, loads)
+
+
+def schedule_dynamic(costs: Sequence[float], num_threads: int) -> Assignment:
+    """Greedy list scheduling in item order (emulates OpenMP ``schedule(dynamic)``).
+
+    Each item goes to the thread with the smallest current load; ties broken
+    by thread id for determinism.
+    """
+    items: List[List[int]] = [[] for _ in range(num_threads)]
+    heap = [(0.0, tid) for tid in range(num_threads)]
+    heapq.heapify(heap)
+    for i, c in enumerate(costs):
+        load, tid = heapq.heappop(heap)
+        items[tid].append(i)
+        heapq.heappush(heap, (load + float(c), tid))
+    loads = [0.0] * num_threads
+    for load, tid in heap:
+        loads[tid] = load
+    return Assignment(items, loads)
+
+
+def schedule_lpt(costs: Sequence[float], num_threads: int) -> Assignment:
+    """Longest-processing-time-first scheduling (a 4/3-approximation of the optimum)."""
+    order = sorted(range(len(costs)), key=lambda i: -float(costs[i]))
+    items: List[List[int]] = [[] for _ in range(num_threads)]
+    heap = [(0.0, tid) for tid in range(num_threads)]
+    heapq.heapify(heap)
+    for i in order:
+        load, tid = heapq.heappop(heap)
+        items[tid].append(i)
+        heapq.heappush(heap, (load + float(costs[i]), tid))
+    loads = [0.0] * num_threads
+    for load, tid in heap:
+        loads[tid] = load
+    return Assignment(items, loads)
+
+
+def schedule(costs: Sequence[float], num_threads: int, policy: str = "dynamic") -> Assignment:
+    """Dispatch on the scheduling policy name (``'static' | 'dynamic' | 'lpt'``)."""
+    if num_threads < 1:
+        raise ValueError("num_threads must be >= 1")
+    if policy == "static":
+        return schedule_static(costs, num_threads)
+    if policy == "dynamic":
+        return schedule_dynamic(costs, num_threads)
+    if policy == "lpt":
+        return schedule_lpt(costs, num_threads)
+    raise ValueError(f"unknown scheduling policy {policy!r}")

@@ -1,0 +1,58 @@
+"""Optional real-thread execution of per-thread work chunks.
+
+The kernels are written as "one function call per thread chunk"; by default
+the chunks run sequentially in the calling thread (deterministic, and — given
+the GIL — just as fast for index-heavy NumPy work).  When
+``ExecutionContext.use_thread_pool`` is set, chunks are submitted to a shared
+``ThreadPoolExecutor`` instead, which exercises the same code path a real
+OpenMP-backed implementation would take and lets NumPy release the GIL where
+it can.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+
+_POOL: Optional[ThreadPoolExecutor] = None
+_POOL_SIZE = 0
+
+
+def _get_pool(max_workers: int) -> ThreadPoolExecutor:
+    """Return a shared pool with at least ``max_workers`` workers (grown lazily)."""
+    global _POOL, _POOL_SIZE
+    if _POOL is None or _POOL_SIZE < max_workers:
+        if _POOL is not None:
+            _POOL.shutdown(wait=True)
+        _POOL = ThreadPoolExecutor(max_workers=max_workers,
+                                   thread_name_prefix="repro-worker")
+        _POOL_SIZE = max_workers
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Tear down the shared pool (mainly for tests)."""
+    global _POOL, _POOL_SIZE
+    if _POOL is not None:
+        _POOL.shutdown(wait=True)
+        _POOL = None
+        _POOL_SIZE = 0
+
+
+def run_chunks(fn: Callable[[int], T], num_chunks: int, *,
+               use_thread_pool: bool = False) -> List[T]:
+    """Execute ``fn(chunk_id)`` for every chunk id and return the results in order.
+
+    ``fn`` must be self-contained per chunk (no shared mutable state without
+    its own coordination) — exactly the property the paper's algorithm
+    establishes via the ESTIMATE-BUCKETS preprocessing pass.
+    """
+    if num_chunks <= 0:
+        return []
+    if not use_thread_pool or num_chunks == 1:
+        return [fn(i) for i in range(num_chunks)]
+    pool = _get_pool(num_chunks)
+    futures = [pool.submit(fn, i) for i in range(num_chunks)]
+    return [f.result() for f in futures]

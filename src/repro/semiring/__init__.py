@@ -1,0 +1,27 @@
+"""Semiring algebra used by the SpMSpV kernels and the graph algorithms."""
+
+from .semiring import (
+    MAX_SELECT2ND,
+    MAX_TIMES,
+    MIN_PLUS,
+    MIN_SELECT1ST,
+    MIN_SELECT2ND,
+    OR_AND,
+    PLUS_TIMES,
+    Semiring,
+    available_semirings,
+    get_semiring,
+)
+
+__all__ = [
+    "MAX_SELECT2ND",
+    "MAX_TIMES",
+    "MIN_PLUS",
+    "MIN_SELECT1ST",
+    "MIN_SELECT2ND",
+    "OR_AND",
+    "PLUS_TIMES",
+    "Semiring",
+    "available_semirings",
+    "get_semiring",
+]

@@ -1,0 +1,222 @@
+"""Tests for the analysis layer plus end-to-end integration checks of the
+experiment shapes the paper reports."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    PROFILES_BY_NAME,
+    TABLE1_PROFILES,
+    banner,
+    breakdown,
+    compare_algorithms_bfs,
+    default_thread_counts,
+    format_series,
+    format_speedups,
+    format_table,
+    ratio,
+    scale_bfs,
+    scale_spmspv,
+    speedup_summary,
+)
+from repro.algorithms import bfs
+from repro.core import spmspv
+from repro.core.vector_ops import assign_scalar, mask_vector, reduce_vector, where_values
+from repro.formats import SparseVector
+from repro.graphs import Graph, build_problem, grid_2d, rmat
+from repro.machine import EDISON, KNL
+from repro.parallel import default_context
+
+from conftest import random_csc, random_sparse_vector
+
+
+# --------------------------------------------------------------------------- #
+# complexity profiles / Table I
+# --------------------------------------------------------------------------- #
+def test_table1_profiles_cover_all_algorithms():
+    assert {p.name for p in TABLE1_PROFILES} == \
+        {"bucket", "combblas_spa", "combblas_heap", "graphmat", "sort"}
+    bucket = PROFILES_BY_NAME["bucket"]
+    assert bucket.work_efficient and not bucket.needs_synchronization
+    assert bucket.attains_lower_bound
+
+
+def test_complexity_formula_evaluation():
+    bucket = PROFILES_BY_NAME["bucket"]
+    graphmat = PROFILES_BY_NAME["graphmat"]
+    heap = PROFILES_BY_NAME["combblas_heap"]
+    params = dict(n=1000, d=8.0, f=50, nzc=900, m=1000)
+    assert bucket.sequential_ops(**params) == pytest.approx(400.0)
+    assert graphmat.sequential_ops(**params) == pytest.approx(1300.0)
+    assert heap.sequential_ops(**params) > bucket.sequential_ops(**params)
+    # parallel complexity shrinks with t for the df term but not the nzc term
+    assert graphmat.parallel_ops(**params, t=10) > 900
+    assert bucket.parallel_ops(**params, t=10) == pytest.approx(40.0)
+
+
+# --------------------------------------------------------------------------- #
+# reporting helpers
+# --------------------------------------------------------------------------- #
+def test_format_table_alignment():
+    text = format_table(["name", "value"], [["a", 1.23456], ["bb", 7]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert len(lines) == 5
+
+
+def test_format_series_and_speedups():
+    s = format_series("bucket", [1, 2], [10.0, 5.0], x_label="cores", y_label="ms")
+    assert "(1, 10)" in s and "(2, 5)" in s
+    sp = format_speedups({1: 10.0, 4: 2.5})
+    assert "4.00x" in sp
+    assert format_speedups({}) == "(no data)"
+    assert ratio(4.0, 2.0) == 2.0 and ratio(1.0, 0.0) == float("inf")
+    assert "experiment" in banner("experiment")
+
+
+# --------------------------------------------------------------------------- #
+# vector ops used by the applications
+# --------------------------------------------------------------------------- #
+def test_vector_ops_mask_assign_reduce():
+    x = SparseVector(10, [1, 3, 5], [1.0, 2.0, 3.0])
+    mask = SparseVector.full_like_indices(10, [3, 5], 1.0)
+    assert mask_vector(x, mask).nnz == 2
+    assert mask_vector(x, mask, complement=True).nnz == 1
+    assert reduce_vector(x) == pytest.approx(6.0)
+    assert reduce_vector(SparseVector.empty(5)) == 0.0
+    assigned = assign_scalar(x, np.array([3, 7]), 9.0)
+    assert assigned[3] == 9.0 and assigned[7] == 9.0 and assigned[1] == 1.0
+    filtered = where_values(x, lambda v: v > 1.5)
+    assert set(filtered.indices.tolist()) == {3, 5}
+
+
+# --------------------------------------------------------------------------- #
+# scaling studies / figures machinery
+# --------------------------------------------------------------------------- #
+def test_default_thread_counts_match_platforms():
+    assert default_thread_counts(EDISON) == [1, 2, 4, 8, 16, 24]
+    assert default_thread_counts(KNL)[-1] == 64
+
+
+def test_scale_spmspv_produces_monotone_ish_series():
+    matrix = rmat(scale=11, edge_factor=8, seed=4)
+    x = random_sparse_vector(matrix.ncols, 400, seed=5)
+    series = scale_spmspv(matrix, x, thread_counts=[1, 4, 16], problem_name="rmat11")
+    assert series.times_ms[1] > series.times_ms[16]
+    assert series.max_speedup() > 1.5
+    assert series.thread_counts() == [1, 4, 16]
+
+
+def test_scale_bfs_and_speedup_summary():
+    graph = Graph(rmat(scale=12, edge_factor=8, seed=6))
+    # start from a well-connected vertex so the BFS actually expands
+    source = int(np.argmax(graph.out_degrees()))
+    series = scale_bfs(graph, source, thread_counts=[1, 8], problem_name="rmat12")
+    assert series.times_ms[1] > series.times_ms[8]
+    summary = speedup_summary({"rmat12": series})
+    assert summary["max"] >= summary["min"] > 1.0
+
+
+def test_breakdown_phases_present_and_positive():
+    matrix = rmat(scale=11, edge_factor=8, seed=7)
+    x = random_sparse_vector(matrix.ncols, 1000, seed=8)
+    result = breakdown(matrix, x, thread_counts=[1, 8])
+    assert set(result.phase_times) == {"estimate", "bucketing", "spa_merge", "output"}
+    for times in result.phase_times.values():
+        assert all(v > 0 for v in times.values())
+    totals = result.total_times()
+    assert totals[1] > totals[8]
+    assert 0.0 < result.phase_fraction("spa_merge", 1) < 1.0
+    assert result.phase_speedup("spa_merge", 8) > 1.0
+
+
+# --------------------------------------------------------------------------- #
+# integration: paper-shape assertions on scaled-down problems
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def ljournal_like():
+    # large enough that the O(m) SPA initialization and the O(nzc) column scan
+    # of the baselines are visible against the bucket algorithm's O(df) work
+    return Graph(rmat(scale=15, edge_factor=12, seed=11), name="ljournal-like")
+
+
+def test_shape_fig3_sparse_vector_ordering(ljournal_like):
+    """At very sparse x, the vector-driven bucket algorithm beats the
+    matrix-driven GraphMat and the full-SPA-init CombBLAS-SPA by a wide margin."""
+    matrix = ljournal_like.matrix
+    x = random_sparse_vector(matrix.ncols, 20, seed=12)
+    ctx = default_context(num_threads=1)
+    times = {}
+    for alg in ("bucket", "combblas_spa", "graphmat"):
+        result = spmspv(matrix, x, ctx, algorithm=alg)
+        times[alg] = result.simulated_time_ms()
+    assert times["bucket"] < times["combblas_spa"]
+    assert times["bucket"] < times["graphmat"]
+    assert times["graphmat"] / times["bucket"] > 3.0
+
+
+def test_shape_fig3_dense_vector_heap_logarithmic_penalty(ljournal_like):
+    """At dense x the heap-based merge pays its logarithmic factor (paper: ~3.5x)."""
+    matrix = ljournal_like.matrix
+    x = random_sparse_vector(matrix.ncols, matrix.ncols // 3, seed=13)
+    ctx = default_context(num_threads=1)
+    bucket = spmspv(matrix, x, ctx, algorithm="bucket").simulated_time_ms()
+    heap = spmspv(matrix, x, ctx, algorithm="combblas_heap").simulated_time_ms()
+    assert heap > 1.8 * bucket
+
+
+def test_shape_graphmat_flat_for_sparse_inputs(ljournal_like):
+    """GraphMat's runtime is dominated by the O(nzc) term and stays nearly flat
+    as nnz(x) shrinks (Fig. 3's flat GraphMat line)."""
+    matrix = ljournal_like.matrix
+    ctx = default_context(num_threads=1)
+    x_small = random_sparse_vector(matrix.ncols, 5, seed=14)
+    x_large = random_sparse_vector(matrix.ncols, 200, seed=15)
+    t_small = spmspv(matrix, x_small, ctx, algorithm="graphmat").simulated_time_ms()
+    t_large = spmspv(matrix, x_large, ctx, algorithm="graphmat").simulated_time_ms()
+    assert t_large / t_small < 2.5
+    # whereas the bucket algorithm's runtime tracks nnz(x)
+    b_small = spmspv(matrix, x_small, ctx, algorithm="bucket").simulated_time_ms()
+    b_large = spmspv(matrix, x_large, ctx, algorithm="bucket").simulated_time_ms()
+    assert b_large / b_small > 3.0
+
+
+def test_shape_fig4_high_diameter_bucket_beats_graphmat():
+    """On high-diameter graphs BFS runs many SpMSpVs with very sparse frontiers,
+    where the matrix-driven algorithm loses by a large factor (Fig. 4, bottom)."""
+    graph = Graph(grid_2d(170, 170, diagonal=True, seed=16), name="hugetric-like")
+    series = compare_algorithms_bfs(graph, 0, algorithms=("bucket", "graphmat"),
+                                    thread_counts=[1], problem_name="hugetric-like")
+    assert series["bucket"].times_ms[1] < series["graphmat"].times_ms[1]
+    # the gap widens with graph size (the paper reports 3-10x on multi-million
+    # vertex meshes); at this scaled-down size we require a conservative 1.8x
+    assert series["graphmat"].times_ms[1] / series["bucket"].times_ms[1] > 1.8
+
+
+def test_shape_fig5_knl_scales_further_than_edison(ljournal_like):
+    """The 64-core KNL preset reaches higher bucket speedups than 24-core Edison
+    (paper: up to 49x vs up to 15x)."""
+    edison_series = scale_bfs(ljournal_like, 0, platform=EDISON, thread_counts=[1, 24])
+    knl_series = scale_bfs(ljournal_like, 0, platform=KNL, thread_counts=[1, 64])
+    assert knl_series.speedup(64) > edison_series.speedup(24)
+
+
+def test_shape_fig2_sorted_not_worse_when_dense(ljournal_like):
+    """Sorted vectors improve (or at least do not hurt) the bucket algorithm once
+    the input vector is relatively dense (Fig. 2, right)."""
+    matrix = ljournal_like.matrix
+    x = random_sparse_vector(matrix.ncols, matrix.ncols // 2, seed=17)
+    sorted_series = scale_spmspv(matrix, x, sorted_vectors=True, thread_counts=[1])
+    unsorted_series = scale_spmspv(matrix, x, sorted_vectors=False, thread_counts=[1])
+    assert sorted_series.times_ms[1] <= unsorted_series.times_ms[1] * 1.05
+
+
+def test_bfs_algorithms_agree_on_suite_problem():
+    graph = build_problem("amazon-like", scale=9)
+    results = {}
+    for alg in ("bucket", "combblas_spa", "combblas_heap", "graphmat", "sort"):
+        results[alg] = bfs(graph, 0, default_context(num_threads=2), algorithm=alg)
+    reference = results["bucket"]
+    for alg, res in results.items():
+        np.testing.assert_array_equal(res.levels, reference.levels, err_msg=alg)

@@ -1,0 +1,95 @@
+"""Unit tests for the COO (triplet) matrix format."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats import COOMatrix
+
+from conftest import random_coo
+
+
+def test_basic_construction():
+    coo = COOMatrix((3, 4), [0, 1, 2], [1, 2, 3], [1.0, 2.0, 3.0])
+    assert coo.shape == (3, 4)
+    assert coo.nnz == 3
+    assert coo.dtype == np.float64
+
+
+def test_empty_matrix():
+    coo = COOMatrix.empty((5, 6))
+    assert coo.nnz == 0
+    assert coo.to_dense().shape == (5, 6)
+    assert np.all(coo.to_dense() == 0)
+
+
+def test_from_dense_round_trip():
+    dense = np.array([[0.0, 1.0], [2.0, 0.0], [0.0, 3.0]])
+    coo = COOMatrix.from_dense(dense)
+    assert coo.nnz == 3
+    np.testing.assert_allclose(coo.to_dense(), dense)
+
+
+def test_mismatched_lengths_rejected():
+    with pytest.raises(FormatError):
+        COOMatrix((2, 2), [0, 1], [0], [1.0, 2.0])
+
+
+def test_out_of_range_indices_rejected():
+    with pytest.raises(FormatError):
+        COOMatrix((2, 2), [0, 2], [0, 1], [1.0, 2.0])
+    with pytest.raises(FormatError):
+        COOMatrix((2, 2), [0, 1], [0, 5], [1.0, 2.0])
+
+
+def test_negative_indices_rejected():
+    with pytest.raises(FormatError):
+        COOMatrix((2, 2), [0, -1], [0, 1], [1.0, 2.0])
+
+
+def test_sum_duplicates_adds_values():
+    coo = COOMatrix((3, 3), [0, 0, 1], [1, 1, 2], [1.0, 2.0, 5.0])
+    summed = coo.sum_duplicates()
+    assert summed.nnz == 2
+    dense = summed.to_dense()
+    assert dense[0, 1] == pytest.approx(3.0)
+    assert dense[1, 2] == pytest.approx(5.0)
+
+
+def test_sum_duplicates_custom_combine():
+    coo = COOMatrix((2, 2), [0, 0], [0, 0], [3.0, 7.0])
+    combined = coo.sum_duplicates(combine=np.maximum)
+    assert combined.nnz == 1
+    assert combined.vals[0] == pytest.approx(7.0)
+
+
+def test_sum_duplicates_empty():
+    coo = COOMatrix.empty((4, 4))
+    assert coo.sum_duplicates().nnz == 0
+
+
+def test_transpose_swaps_shape_and_indices():
+    coo = COOMatrix((2, 3), [0, 1], [2, 0], [1.0, 2.0])
+    t = coo.transpose()
+    assert t.shape == (3, 2)
+    np.testing.assert_allclose(t.to_dense(), coo.to_dense().T)
+
+
+def test_sorted_by_column_and_row():
+    coo = random_coo(10, 8, 30, seed=3)
+    by_col = coo.sorted_by_column()
+    assert np.all(np.diff(by_col.cols) >= 0)
+    by_row = coo.sorted_by_row()
+    assert np.all(np.diff(by_row.rows) >= 0)
+    np.testing.assert_allclose(by_col.to_dense(), coo.to_dense())
+    np.testing.assert_allclose(by_row.to_dense(), coo.to_dense())
+
+
+def test_to_dense_sums_duplicates():
+    coo = COOMatrix((2, 2), [0, 0], [1, 1], [1.5, 2.5])
+    assert coo.to_dense()[0, 1] == pytest.approx(4.0)
+
+
+def test_from_dense_rejects_3d():
+    with pytest.raises(FormatError):
+        COOMatrix.from_dense(np.zeros((2, 2, 2)))

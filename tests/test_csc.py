@@ -1,0 +1,146 @@
+"""Unit tests for the CSC matrix format (the SpMSpV-bucket storage format)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionMismatchError, FormatError
+from repro.formats import COOMatrix, CSCMatrix
+
+from conftest import random_csc, random_dense
+
+
+def test_from_dense_and_back():
+    dense = random_dense(7, 5, 0.3, seed=1)
+    mat = CSCMatrix.from_dense(dense)
+    np.testing.assert_allclose(mat.to_dense(), dense)
+    assert mat.nnz == np.count_nonzero(dense)
+    assert mat.sorted_within_columns
+
+
+def test_from_coo_sums_duplicates():
+    coo = COOMatrix((3, 3), [0, 0, 2], [1, 1, 2], [1.0, 2.0, 4.0])
+    mat = CSCMatrix.from_coo(coo)
+    assert mat.nnz == 2
+    assert mat.to_dense()[0, 1] == pytest.approx(3.0)
+
+
+def test_from_scipy_round_trip():
+    dense = random_dense(6, 9, 0.25, seed=2)
+    scipy_mat = CSCMatrix.from_dense(dense).to_scipy()
+    back = CSCMatrix.from_scipy(scipy_mat)
+    np.testing.assert_allclose(back.to_dense(), dense)
+
+
+def test_empty_and_identity():
+    empty = CSCMatrix.empty((4, 3))
+    assert empty.nnz == 0 and empty.nzc() == 0
+    eye = CSCMatrix.identity(5)
+    np.testing.assert_allclose(eye.to_dense(), np.eye(5))
+
+
+def test_column_access(small_matrix):
+    rows, vals = small_matrix.column(1)
+    np.testing.assert_array_equal(rows, [0, 2])
+    np.testing.assert_allclose(vals, [2.0, 4.0])
+    assert small_matrix.column_nnz(1) == 2
+    with pytest.raises(IndexError):
+        small_matrix.column(10)
+
+
+def test_column_and_row_counts(small_matrix):
+    np.testing.assert_array_equal(small_matrix.column_counts(), [2, 2, 2, 2])
+    assert small_matrix.row_counts().sum() == small_matrix.nnz
+    assert small_matrix.average_degree() == pytest.approx(small_matrix.nnz / 4)
+
+
+def test_nzc_counts_nonempty_columns():
+    dense = np.zeros((4, 6))
+    dense[1, 2] = 1.0
+    dense[3, 2] = 2.0
+    dense[0, 5] = 3.0
+    mat = CSCMatrix.from_dense(dense)
+    assert mat.nzc() == 2
+
+
+def test_gather_columns_matches_manual(small_matrix):
+    cols = np.array([1, 3, 1])
+    rows, vals, src = small_matrix.gather_columns(cols)
+    # column 1 has 2 entries, column 3 has 2 entries, column 1 again has 2
+    assert len(rows) == 6
+    # source points back into the cols array
+    assert set(src.tolist()) == {0, 1, 2}
+    expected_rows = np.concatenate([small_matrix.column(1)[0],
+                                    small_matrix.column(3)[0],
+                                    small_matrix.column(1)[0]])
+    np.testing.assert_array_equal(rows, expected_rows)
+
+
+def test_gather_columns_empty_selection(small_matrix):
+    rows, vals, src = small_matrix.gather_columns(np.array([], dtype=np.int64))
+    assert len(rows) == len(vals) == len(src) == 0
+
+
+def test_gather_columns_out_of_range(small_matrix):
+    with pytest.raises(IndexError):
+        small_matrix.gather_columns(np.array([99]))
+
+
+def test_selected_nnz(small_matrix):
+    assert small_matrix.selected_nnz(np.array([0, 2])) == 4
+    assert small_matrix.selected_nnz(np.array([], dtype=np.int64)) == 0
+
+
+def test_extract_rows_remap(small_matrix):
+    strip = small_matrix.extract_rows(1, 4, remap=True)
+    assert strip.shape == (3, 4)
+    np.testing.assert_allclose(strip.to_dense(), small_matrix.to_dense()[1:4, :])
+
+
+def test_extract_rows_no_remap(small_matrix):
+    strip = small_matrix.extract_rows(1, 4, remap=False)
+    assert strip.shape == small_matrix.shape
+    dense = strip.to_dense()
+    assert np.all(dense[0, :] == 0) and np.all(dense[4, :] == 0)
+
+
+def test_extract_columns(small_matrix):
+    block = small_matrix.extract_columns(1, 3)
+    np.testing.assert_allclose(block.to_dense(), small_matrix.to_dense()[:, 1:3])
+    with pytest.raises(IndexError):
+        small_matrix.extract_columns(3, 1)
+
+
+def test_transpose():
+    mat = random_csc(8, 5, 0.3, seed=4)
+    np.testing.assert_allclose(mat.transpose().to_dense(), mat.to_dense().T)
+
+
+def test_matvec_dense(small_matrix):
+    x = np.array([1.0, 2.0, 0.0, 3.0])
+    np.testing.assert_allclose(small_matrix.matvec_dense(x),
+                               small_matrix.to_dense() @ x)
+    with pytest.raises(DimensionMismatchError):
+        small_matrix.matvec_dense(np.ones(7))
+
+
+def test_validate_rejects_bad_indptr():
+    with pytest.raises(FormatError):
+        CSCMatrix((2, 2), [0, 1], [0], [1.0])  # indptr too short
+    with pytest.raises(FormatError):
+        CSCMatrix((2, 2), [0, 2, 1], [0, 1], [1.0, 2.0])  # decreasing indptr
+    with pytest.raises(FormatError):
+        CSCMatrix((2, 2), [0, 1, 2], [0, 5], [1.0, 2.0])  # row id out of range
+
+
+def test_validate_rejects_wrong_nnz():
+    with pytest.raises(FormatError):
+        CSCMatrix((2, 2), [0, 1, 1], [0, 1], [1.0, 2.0])  # indptr[-1] != nnz
+
+
+def test_sort_within_columns():
+    # build an intentionally unsorted-within-column matrix
+    mat = CSCMatrix((3, 1), [0, 3], [2, 0, 1], [1.0, 2.0, 3.0])
+    assert not mat.sorted_within_columns
+    sorted_mat = mat.sort_within_columns()
+    np.testing.assert_array_equal(sorted_mat.column(0)[0], [0, 1, 2])
+    np.testing.assert_allclose(sorted_mat.to_dense(), mat.to_dense())

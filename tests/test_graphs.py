@@ -1,0 +1,184 @@
+"""Tests for the graph generators, the Graph wrapper, and the Table IV suite."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    SUITE,
+    Graph,
+    bipartite_random,
+    build_problem,
+    erdos_renyi,
+    get_problem,
+    grid_2d,
+    grid_3d,
+    path_graph,
+    preferential_attachment,
+    random_geometric,
+    rmat,
+    small_suite,
+    suite_names,
+)
+
+
+# --------------------------------------------------------------------------- #
+# generators
+# --------------------------------------------------------------------------- #
+def test_erdos_renyi_average_degree():
+    mat = erdos_renyi(2000, avg_degree=6.0, seed=1)
+    assert mat.shape == (2000, 2000)
+    # duplicates are collapsed, so the realized degree is slightly below target
+    assert 4.0 < mat.average_degree() <= 6.5
+
+
+def test_erdos_renyi_rectangular_and_unit_weights():
+    mat = erdos_renyi(100, 3.0, m=50, weights="unit", seed=2)
+    assert mat.shape == (50, 100)
+    assert np.all(mat.data == 1.0)
+
+
+def test_rmat_is_symmetric_and_scale_free():
+    mat = rmat(scale=10, edge_factor=8, seed=3)
+    assert mat.shape == (1024, 1024)
+    g = Graph(mat)
+    assert g.is_symmetric()
+    degrees = g.out_degrees()
+    # heavy tail: the max degree far exceeds the mean
+    assert degrees.max() > 5 * degrees.mean()
+
+
+def test_preferential_attachment_symmetric():
+    mat = preferential_attachment(300, edges_per_vertex=4, seed=4)
+    assert Graph(mat).is_symmetric()
+    assert mat.nnz > 0
+
+
+def test_grid_2d_structure():
+    mat = grid_2d(5, 7, seed=5)
+    g = Graph(mat)
+    assert g.num_vertices == 35
+    assert g.is_symmetric()
+    # interior vertices of a non-diagonal grid have degree 4
+    assert g.out_degrees().max() == 4
+    tri = grid_2d(5, 5, diagonal=True, seed=6)
+    assert Graph(tri).out_degrees().max() == 6
+
+
+def test_grid_3d_structure():
+    mat = grid_3d(4, seed=7)
+    g = Graph(mat)
+    assert g.num_vertices == 64
+    assert g.is_symmetric()
+    assert g.out_degrees().max() == 6
+
+
+def test_path_graph_diameter():
+    g = Graph(path_graph(50))
+    assert g.pseudo_diameter() == 49
+
+
+def test_random_geometric_connectivity():
+    mat = random_geometric(300, seed=8)
+    g = Graph(mat)
+    assert g.is_symmetric()
+    assert g.num_edges > 0
+    # geometric graphs have bounded-ish degree, no giant hubs
+    assert g.out_degrees().max() < 60
+
+
+def test_bipartite_random_shape():
+    mat = bipartite_random(40, 25, 3.0, seed=9)
+    assert mat.shape == (40, 25)
+
+
+def test_generators_are_deterministic_per_seed():
+    a = rmat(scale=8, edge_factor=4, seed=42)
+    b = rmat(scale=8, edge_factor=4, seed=42)
+    c = rmat(scale=8, edge_factor=4, seed=43)
+    assert a.nnz == b.nnz
+    np.testing.assert_array_equal(a.indices, b.indices)
+    assert not (a.nnz == c.nnz and np.array_equal(a.indices, c.indices))
+
+
+# --------------------------------------------------------------------------- #
+# Graph wrapper
+# --------------------------------------------------------------------------- #
+def test_graph_requires_square_matrix():
+    with pytest.raises(ValueError):
+        Graph(bipartite_random(5, 6, 2.0, seed=10))
+
+
+def test_graph_degrees_and_neighbors():
+    mat = grid_2d(3, 3, seed=11)
+    g = Graph(mat, name="grid3")
+    assert g.num_vertices == 9
+    assert set(g.neighbors(4).tolist()) == {1, 3, 5, 7}  # the center of a 3x3 grid
+    assert g.average_degree() == pytest.approx(mat.nnz / 9)
+    assert g.in_degrees().sum() == g.out_degrees().sum()
+
+
+def test_graph_pseudo_diameter_grid():
+    g = Graph(grid_2d(6, 6, seed=12))
+    diam = g.pseudo_diameter()
+    assert 10 <= diam <= 12  # true diameter of a 6x6 grid is 10
+
+
+def test_graph_networkx_round_trip():
+    import networkx as nx
+
+    g = Graph(rmat(scale=7, edge_factor=4, seed=13))
+    nxg = g.to_networkx()
+    assert isinstance(nxg, nx.Graph)
+    assert nxg.number_of_nodes() == g.num_vertices
+    back = Graph.from_networkx(nxg)
+    assert back.num_vertices == g.num_vertices
+    # adjacency structure is preserved (values may be reordered)
+    assert back.matrix.nnz == g.matrix.nnz
+
+
+def test_graph_from_networkx_directed():
+    import networkx as nx
+
+    dg = nx.DiGraph()
+    dg.add_edge(0, 1, weight=2.0)
+    dg.add_edge(1, 2, weight=3.0)
+    g = Graph.from_networkx(dg)
+    # edge u->v is stored as A(v, u)
+    assert g.matrix.to_dense()[1, 0] == pytest.approx(2.0)
+    assert g.matrix.to_dense()[2, 1] == pytest.approx(3.0)
+
+
+# --------------------------------------------------------------------------- #
+# Table IV suite
+# --------------------------------------------------------------------------- #
+def test_suite_has_eleven_problems_in_two_classes():
+    assert len(SUITE) == 11
+    assert len(suite_names("low-diameter")) == 5
+    assert len(suite_names("high-diameter")) == 6
+
+
+def test_suite_lookup_and_build():
+    problem = get_problem("ljournal-like")
+    assert problem.paper_counterpart == "ljournal-2008"
+    graph = build_problem("hugetric-like", scale=20)
+    assert graph.num_vertices == 400
+    with pytest.raises(KeyError):
+        get_problem("unknown-graph")
+
+
+def test_small_suite_classes():
+    problems = small_suite()
+    classes = {p.graph_class for p in problems}
+    assert classes == {"low-diameter", "high-diameter"}
+
+
+def test_suite_class_properties_hold_at_small_scale():
+    # scaled-down versions must still show the class signature:
+    # the scale-free graph has hubs, the mesh has bounded degree & larger diameter
+    scale_free = get_problem("ljournal-like").build(10)
+    mesh = get_problem("hugetric-like").build(24)
+    sf_deg = scale_free.out_degrees()
+    mesh_deg = mesh.out_degrees()
+    assert sf_deg.max() > 8 * max(sf_deg.mean(), 1)
+    assert mesh_deg.max() <= 8
+    assert mesh.pseudo_diameter() > scale_free.pseudo_diameter()

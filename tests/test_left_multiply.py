@@ -1,0 +1,68 @@
+"""Tests for the left-multiplication wrapper (y' = x' A)."""
+
+import numpy as np
+import pytest
+
+from repro.core.left_multiply import spmspv_left, transpose_for_left_multiply
+from repro.errors import DimensionMismatchError
+from repro.formats import SparseVector
+from repro.parallel import default_context
+from repro.semiring import MIN_PLUS
+
+from conftest import random_csc, random_sparse_vector
+
+
+def test_left_multiply_matches_dense():
+    matrix = random_csc(30, 20, 0.2, seed=70)
+    x = random_sparse_vector(30, 8, seed=71)
+    result, transposed = spmspv_left(matrix, x, default_context(num_threads=3))
+    expected = x.to_dense() @ matrix.to_dense()
+    np.testing.assert_allclose(result.vector.to_dense(), expected, atol=1e-10)
+    assert result.vector.n == matrix.ncols
+    assert transposed.shape == (20, 30)
+
+
+def test_left_multiply_reuses_transpose():
+    matrix = random_csc(25, 25, 0.2, seed=72)
+    transposed = transpose_for_left_multiply(matrix)
+    x = random_sparse_vector(25, 6, seed=73)
+    result, returned = spmspv_left(matrix, x, transposed=transposed)
+    assert returned is transposed
+    np.testing.assert_allclose(result.vector.to_dense(),
+                               x.to_dense() @ matrix.to_dense(), atol=1e-10)
+
+
+@pytest.mark.parametrize("algorithm", ["combblas_spa", "graphmat"])
+def test_left_multiply_other_algorithms(algorithm):
+    matrix = random_csc(18, 22, 0.25, seed=74)
+    x = random_sparse_vector(18, 5, seed=75)
+    result, _ = spmspv_left(matrix, x, default_context(num_threads=2),
+                            algorithm=algorithm)
+    np.testing.assert_allclose(result.vector.to_dense(),
+                               x.to_dense() @ matrix.to_dense(), atol=1e-10)
+
+
+def test_left_multiply_min_plus():
+    matrix = random_csc(15, 15, 0.3, seed=76)
+    x = random_sparse_vector(15, 4, seed=77)
+    result, _ = spmspv_left(matrix, x, semiring=MIN_PLUS)
+    # oracle: min-plus product computed densely
+    dense = matrix.to_dense()
+    xd = x.to_dense()
+    expected = np.full(15, np.inf)
+    for j in range(15):
+        contributions = [xd[i] + dense[i, j] for i in range(15)
+                         if dense[i, j] != 0 and xd[i] != 0]
+        if contributions:
+            expected[j] = min(contributions)
+    got = result.vector.to_dense()
+    for j in range(15):
+        if np.isfinite(expected[j]):
+            assert got[j] == pytest.approx(expected[j])
+
+
+def test_left_multiply_dimension_check():
+    matrix = random_csc(10, 12, 0.2, seed=78)
+    x = random_sparse_vector(12, 3, seed=79)  # wrong side: length must be nrows=10
+    with pytest.raises(DimensionMismatchError):
+        spmspv_left(matrix, x)

@@ -1,0 +1,174 @@
+"""Hypothesis property-based tests for the core data structures and kernels."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import spmspv_dict, spmspv_scipy
+from repro.core import SparseAccumulator, spmspv
+from repro.core.vector_ops import ewise_add, ewise_mult
+from repro.formats import COOMatrix, CSCMatrix, CSRMatrix, DCSCMatrix, SparseVector
+from repro.parallel import default_context
+from repro.semiring import MIN_PLUS, PLUS_TIMES
+
+SETTINGS = dict(deadline=None, max_examples=25,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+@st.composite
+def coo_matrices(draw, max_dim=24, max_nnz=80):
+    m = draw(st.integers(1, max_dim))
+    n = draw(st.integers(1, max_dim))
+    nnz = draw(st.integers(0, max_nnz))
+    rows = draw(st.lists(st.integers(0, m - 1), min_size=nnz, max_size=nnz))
+    cols = draw(st.lists(st.integers(0, n - 1), min_size=nnz, max_size=nnz))
+    vals = draw(st.lists(st.floats(-10, 10, allow_nan=False, allow_infinity=False),
+                         min_size=nnz, max_size=nnz))
+    return COOMatrix((m, n), np.array(rows, dtype=np.int64),
+                     np.array(cols, dtype=np.int64), np.array(vals))
+
+
+@st.composite
+def sparse_vectors(draw, n, max_nnz=30):
+    nnz = draw(st.integers(0, min(n, max_nnz)))
+    indices = draw(st.lists(st.integers(0, n - 1), min_size=nnz, max_size=nnz,
+                            unique=True))
+    vals = draw(st.lists(st.floats(-5, 5, allow_nan=False, allow_infinity=False),
+                         min_size=nnz, max_size=nnz))
+    return SparseVector(n, np.array(sorted(indices), dtype=np.int64), np.array(vals),
+                        sorted=True, check=False)
+
+
+@st.composite
+def matrix_vector_pairs(draw):
+    coo = draw(coo_matrices())
+    x = draw(sparse_vectors(coo.shape[1]))
+    return CSCMatrix.from_coo(coo), x
+
+
+# --------------------------------------------------------------------------- #
+# format round-trips
+# --------------------------------------------------------------------------- #
+@given(coo_matrices())
+@settings(**SETTINGS)
+def test_csc_round_trip_preserves_dense(coo):
+    dense = coo.to_dense()
+    np.testing.assert_allclose(CSCMatrix.from_coo(coo).to_dense(), dense, atol=1e-12)
+
+
+@given(coo_matrices())
+@settings(**SETTINGS)
+def test_all_formats_agree(coo):
+    csc = CSCMatrix.from_coo(coo)
+    csr = CSRMatrix.from_coo(coo)
+    dcsc = DCSCMatrix.from_coo(coo)
+    np.testing.assert_allclose(csr.to_dense(), csc.to_dense(), atol=1e-12)
+    np.testing.assert_allclose(dcsc.to_dense(), csc.to_dense(), atol=1e-12)
+
+
+@given(coo_matrices())
+@settings(**SETTINGS)
+def test_transpose_involution(coo):
+    csc = CSCMatrix.from_coo(coo)
+    np.testing.assert_allclose(csc.transpose().transpose().to_dense(), csc.to_dense(),
+                               atol=1e-12)
+
+
+@given(coo_matrices())
+@settings(**SETTINGS)
+def test_nzc_never_exceeds_columns_or_nnz(coo):
+    csc = CSCMatrix.from_coo(coo)
+    assert csc.nzc() <= min(csc.ncols, csc.nnz) or csc.nnz == 0
+    assert DCSCMatrix.from_csc(csc).nzc == csc.nzc()
+
+
+# --------------------------------------------------------------------------- #
+# SpMSpV correctness over random inputs
+# --------------------------------------------------------------------------- #
+@given(matrix_vector_pairs(), st.sampled_from(["bucket", "combblas_spa", "combblas_heap",
+                                               "graphmat", "sort"]),
+       st.integers(1, 6))
+@settings(**SETTINGS)
+def test_spmspv_matches_dense_product(pair, algorithm, threads):
+    matrix, x = pair
+    result = spmspv(matrix, x, default_context(num_threads=threads), algorithm=algorithm)
+    expected = matrix.to_dense() @ x.to_dense()
+    np.testing.assert_allclose(result.vector.to_dense(), expected, atol=1e-9)
+
+
+@given(matrix_vector_pairs(), st.integers(1, 4))
+@settings(**SETTINGS)
+def test_bucket_output_has_unique_indices_and_valid_range(pair, threads):
+    matrix, x = pair
+    result = spmspv(matrix, x, default_context(num_threads=threads), algorithm="bucket")
+    y = result.vector
+    assert y.n == matrix.nrows
+    assert len(np.unique(y.indices)) == y.nnz
+    if y.nnz:
+        assert y.indices.min() >= 0 and y.indices.max() < matrix.nrows
+
+
+@given(matrix_vector_pairs())
+@settings(**SETTINGS)
+def test_bucket_min_plus_matches_dict_oracle(pair):
+    matrix, x = pair
+    result = spmspv(matrix, x, default_context(num_threads=2), algorithm="bucket",
+                    semiring=MIN_PLUS)
+    oracle = spmspv_dict(matrix, x, semiring=MIN_PLUS)
+    assert result.vector.equals(oracle)
+
+
+@given(matrix_vector_pairs(), st.integers(1, 4))
+@settings(**SETTINGS)
+def test_bucket_work_is_thread_invariant(pair, threads):
+    matrix, x = pair
+    one = spmspv(matrix, x, default_context(num_threads=1), algorithm="bucket")
+    many = spmspv(matrix, x, default_context(num_threads=threads), algorithm="bucket")
+    # the matrix traffic of the bucketing phase is exactly the selected nonzeros,
+    # independent of the number of threads
+    assert one.record.phase("bucketing").total_work().matrix_nnz_reads == \
+        many.record.phase("bucketing").total_work().matrix_nnz_reads
+
+
+# --------------------------------------------------------------------------- #
+# SPA and vector-op algebraic properties
+# --------------------------------------------------------------------------- #
+@given(st.lists(st.tuples(st.integers(0, 30), st.floats(-5, 5, allow_nan=False,
+                                                        allow_infinity=False)),
+                max_size=60))
+@settings(**SETTINGS)
+def test_spa_equals_dense_accumulation(pairs):
+    spa = SparseAccumulator(31)
+    spa.reset()
+    dense = np.zeros(31)
+    if pairs:
+        idx = np.array([p[0] for p in pairs], dtype=np.int64)
+        vals = np.array([p[1] for p in pairs])
+        spa.accumulate(idx, vals)
+        np.add.at(dense, idx, vals)
+    uind, uvals = spa.extract(sort=True)
+    np.testing.assert_allclose(uvals, dense[uind], atol=1e-12)
+    assert set(uind.tolist()) == set(np.flatnonzero(dense != 0).tolist()) | \
+        (set(uind.tolist()) - set(np.flatnonzero(dense != 0).tolist()))
+
+
+@given(sparse_vectors(25), sparse_vectors(25))
+@settings(**SETTINGS)
+def test_ewise_add_matches_dense(a, b):
+    result = ewise_add(a, b)
+    np.testing.assert_allclose(result.to_dense(), a.to_dense() + b.to_dense(), atol=1e-12)
+
+
+@given(sparse_vectors(25), sparse_vectors(25))
+@settings(**SETTINGS)
+def test_ewise_mult_matches_dense(a, b):
+    result = ewise_mult(a, b)
+    np.testing.assert_allclose(result.to_dense(), a.to_dense() * b.to_dense(), atol=1e-12)
+
+
+@given(sparse_vectors(40))
+@settings(**SETTINGS)
+def test_vector_sort_shuffle_preserve_content(x):
+    rng = np.random.default_rng(0)
+    assert x.shuffled(rng).sort().equals(x)
+    np.testing.assert_allclose(x.shuffled(rng).to_dense(), x.to_dense())

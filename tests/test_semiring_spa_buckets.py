@@ -1,0 +1,207 @@
+"""Tests for semirings, the sparse accumulator, and the bucket machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BucketStore,
+    SparseAccumulator,
+    bucket_of_rows,
+    bucket_row_ranges,
+    compute_offsets,
+)
+from repro.errors import ReproError
+from repro.semiring import (
+    MAX_SELECT2ND,
+    MIN_PLUS,
+    MIN_SELECT2ND,
+    OR_AND,
+    PLUS_TIMES,
+    available_semirings,
+    get_semiring,
+)
+
+
+# --------------------------------------------------------------------------- #
+# semirings
+# --------------------------------------------------------------------------- #
+def test_plus_times_basics():
+    assert PLUS_TIMES.reduce(np.array([1.0, 2.0, 3.0])) == pytest.approx(6.0)
+    assert PLUS_TIMES.reduce(np.array([])) == 0.0
+    np.testing.assert_allclose(PLUS_TIMES.multiply(np.array([2.0, 3.0]),
+                                                   np.array([4.0, 5.0])), [8.0, 15.0])
+
+
+def test_min_plus_shortest_path_semantics():
+    assert MIN_PLUS.reduce(np.array([5.0, 2.0, 9.0])) == pytest.approx(2.0)
+    assert MIN_PLUS.reduce(np.array([])) == np.inf
+    np.testing.assert_allclose(MIN_PLUS.multiply(np.array([1.0]), np.array([2.0])), [3.0])
+
+
+def test_select2nd_returns_vector_operand():
+    out = MIN_SELECT2ND.multiply(np.array([10.0, 20.0]), np.array([7.0, 8.0]))
+    np.testing.assert_allclose(out, [7.0, 8.0])
+    out = MAX_SELECT2ND.multiply(np.array([10.0, 20.0]), 3.0)
+    np.testing.assert_allclose(out, [3.0, 3.0])
+
+
+def test_or_and_boolean():
+    assert OR_AND.reduce(np.array([False, True])) == True  # noqa: E712
+    np.testing.assert_array_equal(
+        OR_AND.multiply(np.array([True, False]), np.array([True, True])), [True, False])
+
+
+def test_reduceat_segments():
+    vals = np.array([1.0, 2.0, 3.0, 4.0])
+    starts = np.array([0, 2])
+    np.testing.assert_allclose(PLUS_TIMES.reduceat(vals, starts), [3.0, 7.0])
+    np.testing.assert_allclose(MIN_PLUS.reduceat(vals, starts), [1.0, 3.0])
+
+
+def test_accumulate_at_matches_add_at():
+    target = np.zeros(5)
+    PLUS_TIMES.accumulate_at(target, np.array([1, 1, 3]), np.array([2.0, 3.0, 4.0]))
+    np.testing.assert_allclose(target, [0, 5, 0, 4, 0])
+
+
+def test_registry():
+    assert "plus_times" in available_semirings()
+    assert get_semiring("min_plus") is MIN_PLUS
+    with pytest.raises(KeyError):
+        get_semiring("does_not_exist")
+
+
+# --------------------------------------------------------------------------- #
+# SparseAccumulator
+# --------------------------------------------------------------------------- #
+def test_spa_accumulate_and_extract():
+    spa = SparseAccumulator(10)
+    spa.reset()
+    fresh, combines = spa.accumulate(np.array([3, 3, 7]), np.array([1.0, 2.0, 5.0]))
+    assert fresh == 2 and combines == 1
+    idx, vals = spa.extract(sort=True)
+    np.testing.assert_array_equal(idx, [3, 7])
+    np.testing.assert_allclose(vals, [3.0, 5.0])
+
+
+def test_spa_reset_is_logical_not_physical():
+    spa = SparseAccumulator(6)
+    spa.reset()
+    spa.accumulate(np.array([2]), np.array([9.0]))
+    spa.reset()
+    assert spa.nnz == 0
+    # the old value is still physically present but not logically initialized
+    assert not spa.is_initialized(np.array([2]))[0]
+    spa.accumulate(np.array([2]), np.array([1.0]))
+    idx, vals = spa.extract()
+    np.testing.assert_allclose(vals, [1.0])
+
+
+def test_spa_partial_init_counts_only_touched_slots():
+    spa = SparseAccumulator(1000)
+    spa.reset()
+    fresh, _ = spa.accumulate(np.array([0, 999]), np.array([1.0, 2.0]))
+    assert fresh == 2
+    assert spa.nnz == 2  # no O(m) initialization happened
+
+
+def test_spa_semiring_min():
+    spa = SparseAccumulator(5, semiring=MIN_PLUS)
+    spa.reset()
+    spa.accumulate(np.array([1, 1]), np.array([9.0, 4.0]))
+    spa.accumulate(np.array([1]), np.array([6.0]))
+    idx, vals = spa.extract()
+    np.testing.assert_allclose(vals, [4.0])
+
+
+def test_spa_accumulate_one_scalar_path():
+    spa = SparseAccumulator(4)
+    spa.reset()
+    assert spa.accumulate_one(2, 1.5) is True
+    assert spa.accumulate_one(2, 2.5) is False
+    idx, vals = spa.extract()
+    np.testing.assert_allclose(vals, [4.0])
+    with pytest.raises(IndexError):
+        spa.accumulate_one(10, 1.0)
+
+
+def test_spa_out_of_range():
+    spa = SparseAccumulator(4)
+    spa.reset()
+    with pytest.raises(IndexError):
+        spa.accumulate(np.array([9]), np.array([1.0]))
+
+
+def test_spa_first_touch_order_preserved():
+    spa = SparseAccumulator(10)
+    spa.reset()
+    spa.accumulate(np.array([7]), np.array([1.0]))
+    spa.accumulate(np.array([2]), np.array([1.0]))
+    np.testing.assert_array_equal(spa.unique_indices(), [7, 2])
+    np.testing.assert_array_equal(spa.unique_indices(sort=True), [2, 7])
+
+
+# --------------------------------------------------------------------------- #
+# buckets
+# --------------------------------------------------------------------------- #
+def test_bucket_of_rows_matches_formula():
+    rows = np.arange(10)
+    buckets = bucket_of_rows(rows, 4, 10)
+    np.testing.assert_array_equal(buckets, (rows * 4) // 10)
+
+
+def test_bucket_row_ranges_are_inverse():
+    nb, m = 7, 23
+    ranges = bucket_row_ranges(nb, m)
+    for k, (lo, hi) in enumerate(ranges):
+        for row in range(lo, hi):
+            assert bucket_of_rows(np.array([row]), nb, m)[0] == k
+    assert ranges[0][0] == 0 and ranges[-1][1] == m
+
+
+def test_compute_offsets_layout():
+    counts = np.array([[2, 0, 1],
+                       [1, 3, 0]])
+    offsets = compute_offsets(counts)
+    assert offsets.total_entries == 7
+    np.testing.assert_array_equal(offsets.bucket_sizes(), [3, 3, 1])
+    np.testing.assert_array_equal(offsets.bucket_starts, [0, 3, 6])
+    # thread 0 writes first inside each bucket, thread 1 after thread 0's entries
+    np.testing.assert_array_equal(offsets.write_starts[0], [0, 3, 6])
+    np.testing.assert_array_equal(offsets.write_starts[1], [2, 3, 7])
+    assert offsets.bucket_slice(1) == (3, 6)
+
+
+def test_bucket_store_lock_free_insertion():
+    counts = np.array([[2, 1], [1, 2]])
+    offsets = compute_offsets(counts)
+    store = BucketStore(6)
+    store.attach_offsets(offsets)
+    # thread 0: two entries to bucket 0, one to bucket 1
+    store.write_thread_entries(0, np.array([0, 1, 0]), np.array([1, 9, 2]),
+                               np.array([1.0, 2.0, 3.0]))
+    # thread 1: one entry to bucket 0, two to bucket 1
+    store.write_thread_entries(1, np.array([1, 0, 1]), np.array([8, 3, 7]),
+                               np.array([4.0, 5.0, 6.0]))
+    rows0, vals0 = store.bucket_entries(0)
+    rows1, vals1 = store.bucket_entries(1)
+    assert sorted(rows0.tolist()) == [1, 2, 3]
+    assert sorted(rows1.tolist()) == [7, 8, 9]
+    assert len(vals0) == 3 and len(vals1) == 3
+
+
+def test_bucket_store_detects_estimate_mismatch():
+    counts = np.array([[1, 1]])
+    store = BucketStore(2)
+    store.attach_offsets(compute_offsets(counts))
+    with pytest.raises(ReproError):
+        # claims 2 entries for bucket 0 although the estimate said 1
+        store.write_thread_entries(0, np.array([0, 0]), np.array([1, 2]),
+                                   np.array([1.0, 2.0]))
+
+
+def test_bucket_store_grows_capacity():
+    store = BucketStore(2)
+    counts = np.array([[5]])
+    store.attach_offsets(compute_offsets(counts))
+    assert store.capacity >= 5
