@@ -1,0 +1,147 @@
+"""Engine study: workspace-reuse and adaptive-dispatch gains on the Fig. 3 sweep.
+
+Two experiments on the ljournal-like graph of Figs. 2/3/6:
+
+1. **Adaptive dispatch** — the Fig. 3 frontier-density sweep run through
+   single-algorithm engines (bucket-only, graphmat-only) and through the
+   adaptive ``"auto"`` engine.  The paper's §V future work proposes exactly
+   this hybrid: vector-driven on sparse frontiers, matrix-driven once the
+   vector densifies.  The report shows the per-size choice and the end-to-end
+   simulated-time gain over the best single algorithm.
+
+2. **Allocation reuse** (§III-A) — a BFS-like sequence of multiplications
+   executed with fresh per-call allocations versus one persistent engine
+   workspace; reports buffer constructions and Python wall time.
+"""
+
+import time
+
+import pytest
+
+from repro.core import SpMSpVEngine, get_algorithm
+from repro.core.buckets import BucketStore
+from repro.core.spa import SparseAccumulator
+from repro.machine import EDISON, cost_model_for
+from repro.parallel import default_context
+
+from bench_common import emit, random_frontier, scale_free_graph
+from repro.analysis import format_table, ratio
+
+NNZ_VALUES = [1, 16, 50, 256, 1100, 4096, 16384, 65536]
+REUSE_ROUNDS = 3
+
+
+def _count_constructions(fn):
+    """Run ``fn`` counting BucketStore/SparseAccumulator constructions.
+
+    The function runs twice: the first pass warms caches (first-touch of the
+    matrix, lazy registries), the second is timed.  Construction counts come
+    from the timed pass only.
+    """
+    counts = {"buffers": 0}
+    orig_store, orig_spa = BucketStore.__init__, SparseAccumulator.__init__
+
+    def store_init(self, *a, **k):
+        counts["buffers"] += 1
+        orig_store(self, *a, **k)
+
+    def spa_init(self, *a, **k):
+        counts["buffers"] += 1
+        orig_spa(self, *a, **k)
+
+    fn()  # warm-up
+    BucketStore.__init__ = store_init
+    SparseAccumulator.__init__ = spa_init
+    try:
+        t0 = time.perf_counter()
+        fn()
+        wall_ms = (time.perf_counter() - t0) * 1e3
+    finally:
+        BucketStore.__init__ = orig_store
+        SparseAccumulator.__init__ = orig_spa
+    return counts["buffers"], wall_ms
+
+
+def _adaptive_block(graph, ctx, model) -> str:
+    matrix = graph.matrix
+    engines = {name: SpMSpVEngine(matrix, ctx, algorithm=name)
+               for name in ("bucket", "graphmat")}
+    auto = SpMSpVEngine(matrix, ctx, algorithm="auto")
+    totals = {"bucket": 0.0, "graphmat": 0.0, "auto": 0.0}
+    rows = []
+    for nnz in NNZ_VALUES:
+        x = random_frontier(graph, nnz, seed=31)
+        times = {}
+        for name, engine in engines.items():
+            record = engine.multiply(x).record
+            times[name] = model.record_time_ms(record)
+            totals[name] += times[name]
+        auto_record = auto.multiply(x).record
+        auto_ms = model.record_time_ms(auto_record)
+        totals["auto"] += auto_ms
+        rows.append([x.nnz, round(times["bucket"], 4), round(times["graphmat"], 4),
+                     round(auto_ms, 4), auto.history[-1].algorithm])
+    best_single = min(totals["bucket"], totals["graphmat"])
+    rows.append(["TOTAL", round(totals["bucket"], 4), round(totals["graphmat"], 4),
+                 round(totals["auto"], 4),
+                 f"{ratio(best_single, totals['auto']):.2f}x vs best single"])
+    return format_table(
+        ["nnz(x)", "bucket", "graphmat", "auto", "auto chose"], rows,
+        title=f"Adaptive dispatch on the Fig. 3 sweep (ms, simulated Edison, "
+              f"{ctx.num_threads} threads, {graph.name}); switches: "
+              f"{auto.switch_count}, algorithms used: {auto.algorithms_used()}")
+
+
+def _reuse_block(graph, ctx) -> str:
+    matrix = graph.matrix
+    frontiers = [random_frontier(graph, nnz, seed=33)
+                 for nnz in NNZ_VALUES for _ in range(REUSE_ROUNDS)]
+    bucket = get_algorithm("bucket")
+
+    def fresh():
+        for x in frontiers:
+            bucket(matrix, x, ctx)
+
+    def reused():
+        engine = SpMSpVEngine(matrix, ctx, algorithm="bucket")
+        for x in frontiers:
+            engine.multiply(x)
+
+    fresh_allocs, fresh_ms = _count_constructions(fresh)
+    reused_allocs, reused_ms = _count_constructions(reused)
+    rows = [
+        ["fresh per-call buffers", len(frontiers), fresh_allocs, round(fresh_ms, 1)],
+        ["persistent engine workspace", len(frontiers), reused_allocs,
+         round(reused_ms, 1)],
+        ["saving", "", fresh_allocs - reused_allocs,
+         f"{ratio(fresh_ms, reused_ms):.2f}x wall"],
+    ]
+    return format_table(
+        ["execution mode", "SpMSpV calls", "buffer constructions", "wall (ms)"],
+        rows,
+        title="Workspace reuse over a BFS-like call sequence "
+              "(the §III-A memory-allocation optimization)")
+
+
+def _engine_report() -> str:
+    graph = scale_free_graph()
+    ctx = default_context(num_threads=12)
+    model = cost_model_for(EDISON)
+    return "\n\n".join([_adaptive_block(graph, ctx, model), _reuse_block(graph, ctx)])
+
+
+@pytest.mark.benchmark(group="engine")
+def test_engine_reuse_report(benchmark):
+    report = benchmark.pedantic(_engine_report, rounds=1, iterations=1)
+    emit("engine_reuse", report)
+
+
+@pytest.mark.benchmark(group="engine-kernel")
+def test_engine_call_wall_time(benchmark):
+    """Wall-clock of one engine-served call at a mid-range frontier size."""
+    graph = scale_free_graph()
+    engine = SpMSpVEngine(graph.matrix, default_context(num_threads=4),
+                          algorithm="bucket")
+    x = random_frontier(graph, 4096, seed=32)
+    engine.multiply(x)  # warm the workspace
+    benchmark(lambda: engine.multiply(x))

@@ -21,7 +21,9 @@ Quickstart::
 """
 
 from .core import (
+    SpMSpVEngine,
     SpMSpVResult,
+    SpMSpVWorkspace,
     SparseAccumulator,
     available_algorithms,
     spmspv,
@@ -64,7 +66,9 @@ __all__ = [
     "PLUS_TIMES",
     "Platform",
     "Semiring",
+    "SpMSpVEngine",
     "SpMSpVResult",
+    "SpMSpVWorkspace",
     "SparseAccumulator",
     "SparseVector",
     "available_algorithms",

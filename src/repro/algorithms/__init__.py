@@ -1,6 +1,12 @@
 """Graph algorithms built on the SpMSpV primitive (the applications of §I)."""
 
-from .bfs import BFSResult, bfs, validate_bfs_tree
+from .bfs import (
+    BFSResult,
+    MultiSourceBFSResult,
+    bfs,
+    bfs_multi_source,
+    validate_bfs_tree,
+)
 from .bipartite_matching import (
     MatchingResult,
     is_maximal_matching,
@@ -24,9 +30,11 @@ __all__ = [
     "LocalClusterResult",
     "MISResult",
     "MatchingResult",
+    "MultiSourceBFSResult",
     "PageRankResult",
     "SSSPResult",
     "bfs",
+    "bfs_multi_source",
     "column_stochastic",
     "conductance",
     "connected_components",

@@ -19,7 +19,7 @@ from typing import List, Optional
 import numpy as np
 
 from .._typing import INDEX_DTYPE
-from ..core.dispatch import spmspv
+from ..core.engine import SpMSpVEngine
 from ..core.result import SpMSpVResult
 from ..formats.csc import CSCMatrix
 from ..formats.sparse_vector import SparseVector
@@ -44,6 +44,8 @@ class BFSResult:
     frontier_sizes: List[int] = field(default_factory=list)
     #: execution record of every SpMSpV call, in order
     records: List[ExecutionRecord] = field(default_factory=list)
+    #: the engine that ran the traversal (workspace stats, per-call choices)
+    engine: Optional[SpMSpVEngine] = None
 
     @property
     def num_reached(self) -> int:
@@ -89,6 +91,8 @@ def bfs(graph: Graph | CSCMatrix, source: int,
     if not (0 <= source < n):
         raise IndexError(f"source {source} out of range for {n} vertices")
     ctx = ctx if ctx is not None else default_context()
+    # one engine per traversal: buckets/SPA are allocated once, reused per level
+    engine = SpMSpVEngine(matrix, ctx, algorithm=algorithm)
 
     levels = np.full(n, -1, dtype=INDEX_DTYPE)
     parents = np.full(n, -1, dtype=INDEX_DTYPE)
@@ -108,9 +112,8 @@ def bfs(graph: Graph | CSCMatrix, source: int,
             break
         level += 1
         visited = SparseVector.full_like_indices(n, np.concatenate(visited_indices), 1.0)
-        result: SpMSpVResult = spmspv(matrix, frontier, ctx, algorithm=algorithm,
-                                      semiring=MIN_SELECT2ND, mask=visited,
-                                      mask_complement=True)
+        result: SpMSpVResult = engine.multiply(frontier, semiring=MIN_SELECT2ND,
+                                               mask=visited, mask_complement=True)
         records.append(result.record)
         reached = result.vector
         if reached.nnz == 0:
@@ -128,10 +131,107 @@ def bfs(graph: Graph | CSCMatrix, source: int,
 
     result = BFSResult(source=source, levels=levels, parents=parents,
                        num_iterations=level, frontier_sizes=frontier_sizes,
-                       records=records)
+                       records=records, engine=engine)
     if collect_frontiers:
         result.frontiers = frontiers  # type: ignore[attr-defined]
     return result
+
+
+@dataclass
+class MultiSourceBFSResult:
+    """Outcome of a batched multi-source breadth-first search."""
+
+    sources: List[int]
+    #: levels[k] is the BFS level array of sources[k] (-1 for unreachable)
+    levels: np.ndarray
+    #: parents[k] is the BFS parent array of sources[k]
+    parents: np.ndarray
+    #: iterations until every search exhausted its frontier
+    num_iterations: int
+    #: SpMSpV calls performed for each source (matches the per-source ``bfs``)
+    iterations_per_source: List[int] = field(default_factory=list)
+    #: per-level total frontier nnz summed over the still-active searches
+    frontier_sizes: List[int] = field(default_factory=list)
+    engine: Optional[SpMSpVEngine] = None
+
+    @property
+    def num_sources(self) -> int:
+        return len(self.sources)
+
+    def result_for(self, source: int) -> BFSResult:
+        """Extract one search's outcome as a standalone :class:`BFSResult`."""
+        k = self.sources.index(source)
+        return BFSResult(source=source, levels=self.levels[k], parents=self.parents[k],
+                         num_iterations=self.iterations_per_source[k],
+                         frontier_sizes=[], records=[])
+
+
+def bfs_multi_source(graph: Graph | CSCMatrix, sources: List[int],
+                     ctx: Optional[ExecutionContext] = None, *,
+                     algorithm: str = "bucket",
+                     max_levels: Optional[int] = None) -> MultiSourceBFSResult:
+    """Run independent BFS traversals from several sources as one batched job.
+
+    Every level performs one :meth:`~repro.core.engine.SpMSpVEngine.multiply_many`
+    over the block of still-active frontiers, so all searches share a single
+    persistent workspace and a single per-level dispatch decision — the
+    batched multi-vector workload the engine exists for.
+    """
+    matrix = graph.matrix if isinstance(graph, Graph) else graph
+    if matrix.nrows != matrix.ncols:
+        raise ValueError("BFS requires a square adjacency matrix")
+    n = matrix.ncols
+    sources = [int(s) for s in sources]
+    for s in sources:
+        if not (0 <= s < n):
+            raise IndexError(f"source {s} out of range for {n} vertices")
+    ctx = ctx if ctx is not None else default_context()
+    engine = SpMSpVEngine(matrix, ctx, algorithm=algorithm)
+
+    k = len(sources)
+    levels = np.full((k, n), -1, dtype=INDEX_DTYPE)
+    parents = np.full((k, n), -1, dtype=INDEX_DTYPE)
+    frontiers: List[Optional[SparseVector]] = []
+    visited: List[List[np.ndarray]] = []
+    for i, s in enumerate(sources):
+        levels[i, s] = 0
+        parents[i, s] = s
+        frontiers.append(SparseVector(n, np.array([s], dtype=INDEX_DTYPE),
+                                      np.array([float(s)]), sorted=True, check=False))
+        visited.append([np.array([s], dtype=INDEX_DTYPE)])
+    frontier_sizes: List[int] = [sum(f.nnz for f in frontiers if f is not None)]
+    iterations_per_source = [0] * k
+
+    level = 0
+    while any(f is not None and f.nnz for f in frontiers):
+        if max_levels is not None and level >= max_levels:
+            break
+        level += 1
+        active = [i for i, f in enumerate(frontiers) if f is not None and f.nnz]
+        for i in active:
+            iterations_per_source[i] += 1
+        xs = [frontiers[i] for i in active]
+        masks = [SparseVector.full_like_indices(n, np.concatenate(visited[i]), 1.0)
+                 for i in active]
+        results = engine.multiply_many(xs, semiring=MIN_SELECT2ND, masks=masks,
+                                       mask_complement=True)
+        for i, result in zip(active, results):
+            reached = result.vector
+            if reached.nnz == 0:
+                frontiers[i] = None
+                continue
+            levels[i, reached.indices] = level
+            parents[i, reached.indices] = reached.values.astype(INDEX_DTYPE)
+            visited[i].append(reached.indices.copy())
+            frontiers[i] = SparseVector(n, reached.indices.copy(),
+                                        reached.indices.astype(np.float64),
+                                        sorted=reached.sorted, check=False)
+        frontier_sizes.append(sum(f.nnz for f in frontiers if f is not None))
+
+    return MultiSourceBFSResult(sources=sources, levels=levels, parents=parents,
+                                num_iterations=level,
+                                iterations_per_source=iterations_per_source,
+                                frontier_sizes=frontier_sizes, engine=engine)
 
 
 def validate_bfs_tree(graph: Graph | CSCMatrix, result: BFSResult) -> bool:

@@ -21,7 +21,7 @@ from typing import List, Optional
 import numpy as np
 
 from .._typing import INDEX_DTYPE
-from ..core.dispatch import spmspv
+from ..core.engine import SpMSpVEngine
 from ..formats.csc import CSCMatrix
 from ..formats.sparse_vector import SparseVector
 from ..parallel.context import ExecutionContext, default_context
@@ -39,6 +39,7 @@ class MatchingResult:
     col_match: np.ndarray
     num_iterations: int
     records: List[ExecutionRecord] = field(default_factory=list)
+    engine: Optional[SpMSpVEngine] = None
 
     @property
     def cardinality(self) -> int:
@@ -58,6 +59,7 @@ def maximal_bipartite_matching(matrix: CSCMatrix,
     ctx = ctx if ctx is not None else default_context()
     m, n = matrix.shape
     max_iterations = max_iterations if max_iterations is not None else n + 1
+    engine = SpMSpVEngine(matrix, ctx, algorithm=algorithm)
 
     row_match = np.full(m, -1, dtype=INDEX_DTYPE)
     col_match = np.full(n, -1, dtype=INDEX_DTYPE)
@@ -70,8 +72,7 @@ def maximal_bipartite_matching(matrix: CSCMatrix,
         # unmatched right vertices propose to all their neighbours
         frontier = SparseVector(n, unmatched_cols, unmatched_cols.astype(np.float64),
                                 sorted=True, check=False)
-        result = spmspv(matrix, frontier, ctx, algorithm=algorithm,
-                        semiring=MIN_SELECT2ND)
+        result = engine.multiply(frontier, semiring=MIN_SELECT2ND)
         records.append(result.record)
         proposals = result.vector
         if proposals.nnz == 0:
@@ -102,7 +103,7 @@ def maximal_bipartite_matching(matrix: CSCMatrix,
             unmatched_cols = np.array(still_useful, dtype=INDEX_DTYPE)
 
     return MatchingResult(row_match=row_match, col_match=col_match,
-                          num_iterations=iterations, records=records)
+                          num_iterations=iterations, records=records, engine=engine)
 
 
 def is_valid_matching(matrix: CSCMatrix, result: MatchingResult) -> bool:

@@ -16,7 +16,7 @@ from typing import List, Optional
 import numpy as np
 
 from .._typing import INDEX_DTYPE
-from ..core.dispatch import spmspv
+from ..core.engine import SpMSpVEngine
 from ..formats.csc import CSCMatrix
 from ..formats.sparse_vector import SparseVector
 from ..graphs.graph import Graph
@@ -33,6 +33,7 @@ class ConnectedComponentsResult:
     labels: np.ndarray
     num_iterations: int
     records: List[ExecutionRecord] = field(default_factory=list)
+    engine: Optional[SpMSpVEngine] = None
 
     @property
     def num_components(self) -> int:
@@ -61,6 +62,7 @@ def connected_components(graph: Graph | CSCMatrix,
     n = matrix.ncols
     ctx = ctx if ctx is not None else default_context()
     max_iterations = max_iterations if max_iterations is not None else n + 1
+    engine = SpMSpVEngine(matrix, ctx, algorithm=algorithm)
 
     labels = np.arange(n, dtype=np.float64)
     active = SparseVector(n, np.arange(n, dtype=INDEX_DTYPE), labels.copy(),
@@ -70,8 +72,7 @@ def connected_components(graph: Graph | CSCMatrix,
 
     while active.nnz and iterations < max_iterations:
         iterations += 1
-        result = spmspv(matrix, active, ctx, algorithm=algorithm,
-                        semiring=MIN_SELECT2ND)
+        result = engine.multiply(active, semiring=MIN_SELECT2ND)
         records.append(result.record)
         proposals = result.vector
         if proposals.nnz == 0:
@@ -85,4 +86,5 @@ def connected_components(graph: Graph | CSCMatrix,
                               sorted=proposals.sorted, check=False)
 
     return ConnectedComponentsResult(labels=labels.astype(INDEX_DTYPE),
-                                     num_iterations=iterations, records=records)
+                                     num_iterations=iterations, records=records,
+                                     engine=engine)

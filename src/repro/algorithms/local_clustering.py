@@ -21,7 +21,7 @@ from typing import List, Optional
 import numpy as np
 
 from .._typing import INDEX_DTYPE
-from ..core.dispatch import spmspv
+from ..core.engine import SpMSpVEngine
 from ..formats.csc import CSCMatrix
 from ..formats.sparse_vector import SparseVector
 from ..graphs.graph import Graph
@@ -44,6 +44,7 @@ class LocalClusterResult:
     conductance: float
     num_push_rounds: int
     records: List[ExecutionRecord] = field(default_factory=list)
+    engine: Optional[SpMSpVEngine] = None
 
     @property
     def cluster_size(self) -> int:
@@ -83,6 +84,7 @@ def local_cluster(graph: Graph | CSCMatrix, seed: int,
         raise IndexError(f"seed {seed} out of range for {n} vertices")
     ctx = ctx if ctx is not None else default_context()
     transition = column_stochastic(matrix)
+    engine = SpMSpVEngine(transition, ctx, algorithm=algorithm)
     degrees = np.maximum(matrix.column_counts().astype(np.float64), 1.0)
 
     ppr = np.zeros(n)
@@ -102,7 +104,7 @@ def local_cluster(graph: Graph | CSCMatrix, seed: int,
         # the other half of the residual is spread to the neighbours
         push = SparseVector(n, active.astype(INDEX_DTYPE),
                             (1.0 - alpha) * r_active / 2.0, sorted=True, check=False)
-        result = spmspv(transition, push, ctx, algorithm=algorithm, semiring=PLUS_TIMES)
+        result = engine.multiply(push, semiring=PLUS_TIMES)
         records.append(result.record)
         spread = result.vector
         if spread.nnz:
@@ -125,4 +127,4 @@ def local_cluster(graph: Graph | CSCMatrix, seed: int,
 
     return LocalClusterResult(seed=seed, ppr=ppr, cluster=np.sort(best_cluster),
                               conductance=best_phi, num_push_rounds=rounds,
-                              records=records)
+                              records=records, engine=engine)

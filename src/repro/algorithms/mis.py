@@ -16,7 +16,7 @@ from typing import List, Optional
 import numpy as np
 
 from .._typing import INDEX_DTYPE
-from ..core.dispatch import spmspv
+from ..core.engine import SpMSpVEngine
 from ..formats.csc import CSCMatrix
 from ..formats.sparse_vector import SparseVector
 from ..graphs.graph import Graph
@@ -33,6 +33,7 @@ class MISResult:
     in_set: np.ndarray
     num_iterations: int
     records: List[ExecutionRecord] = field(default_factory=list)
+    engine: Optional[SpMSpVEngine] = None
 
     @property
     def set_size(self) -> int:
@@ -56,6 +57,7 @@ def maximal_independent_set(graph: Graph | CSCMatrix,
     ctx = ctx if ctx is not None else default_context()
     rng = np.random.default_rng(seed)
     max_iterations = max_iterations if max_iterations is not None else 4 * int(np.log2(n + 2)) + 8
+    engine = SpMSpVEngine(matrix, ctx, algorithm=algorithm)
 
     in_set = np.zeros(n, dtype=bool)
     active = np.ones(n, dtype=bool)
@@ -68,8 +70,7 @@ def maximal_independent_set(graph: Graph | CSCMatrix,
         # strictly positive priorities so that "no active neighbour" is distinguishable
         priorities = rng.random(len(active_idx)) + 1e-9
         frontier = SparseVector(n, active_idx, priorities, sorted=True, check=False)
-        result = spmspv(matrix, frontier, ctx, algorithm=algorithm,
-                        semiring=MAX_SELECT2ND)
+        result = engine.multiply(frontier, semiring=MAX_SELECT2ND)
         records.append(result.record)
         neighbour_max = np.zeros(n)
         if result.vector.nnz:
@@ -86,14 +87,14 @@ def maximal_independent_set(graph: Graph | CSCMatrix,
         in_set[winner_idx] = True
         # winners and their neighbours leave the active set
         winner_frontier = SparseVector.full_like_indices(n, winner_idx, 1.0)
-        neigh = spmspv(matrix, winner_frontier, ctx, algorithm=algorithm,
-                       semiring=MAX_SELECT2ND)
+        neigh = engine.multiply(winner_frontier, semiring=MAX_SELECT2ND)
         records.append(neigh.record)
         active[winner_idx] = False
         if neigh.vector.nnz:
             active[neigh.vector.indices] = False
 
-    return MISResult(in_set=in_set, num_iterations=iterations, records=records)
+    return MISResult(in_set=in_set, num_iterations=iterations, records=records,
+                     engine=engine)
 
 
 def is_independent_set(graph: Graph | CSCMatrix, vertices: np.ndarray) -> bool:

@@ -20,7 +20,7 @@ from typing import List, Optional
 import numpy as np
 
 from .._typing import INDEX_DTYPE
-from ..core.dispatch import spmspv
+from ..core.engine import SpMSpVEngine
 from ..formats.coo import COOMatrix
 from ..formats.csc import CSCMatrix
 from ..formats.sparse_vector import SparseVector
@@ -58,6 +58,7 @@ class PageRankResult:
     #: number of active (still-changing) vertices per iteration
     active_sizes: List[int] = field(default_factory=list)
     records: List[ExecutionRecord] = field(default_factory=list)
+    engine: Optional[SpMSpVEngine] = None
 
     def top(self, k: int = 10) -> List[tuple]:
         """The k highest-ranked vertices as (vertex, score) pairs."""
@@ -84,6 +85,7 @@ def pagerank(graph: Graph | CSCMatrix,
     n = matrix.ncols
     ctx = ctx if ctx is not None else default_context()
     transition = column_stochastic(matrix)
+    engine = SpMSpVEngine(transition, ctx, algorithm=algorithm)
     dangling = np.flatnonzero(np.diff(transition.indptr) == 0)
 
     if personalization is None:
@@ -103,7 +105,7 @@ def pagerank(graph: Graph | CSCMatrix,
     while delta.nnz and iterations < max_iterations:
         iterations += 1
         active_sizes.append(delta.nnz)
-        result = spmspv(transition, delta, ctx, algorithm=algorithm, semiring=PLUS_TIMES)
+        result = engine.multiply(delta, semiring=PLUS_TIMES)
         records.append(result.record)
         spread = result.vector
         new_delta_dense = np.zeros(n)
@@ -120,7 +122,7 @@ def pagerank(graph: Graph | CSCMatrix,
 
     scores /= scores.sum()
     return PageRankResult(scores=scores, num_iterations=iterations,
-                          active_sizes=active_sizes, records=records)
+                          active_sizes=active_sizes, records=records, engine=engine)
 
 
 def pagerank_dense_reference(graph: Graph | CSCMatrix, *, damping: float = 0.85,

@@ -16,7 +16,7 @@ from typing import List, Optional
 import numpy as np
 
 from .._typing import INDEX_DTYPE
-from ..core.dispatch import spmspv
+from ..core.engine import SpMSpVEngine
 from ..errors import ReproError
 from ..formats.csc import CSCMatrix
 from ..formats.sparse_vector import SparseVector
@@ -35,6 +35,7 @@ class SSSPResult:
     distances: np.ndarray
     num_iterations: int
     records: List[ExecutionRecord] = field(default_factory=list)
+    engine: Optional[SpMSpVEngine] = None
 
     @property
     def num_reached(self) -> int:
@@ -61,6 +62,7 @@ def sssp(graph: Graph | CSCMatrix, source: int,
         raise IndexError(f"source {source} out of range for {n} vertices")
     ctx = ctx if ctx is not None else default_context()
     max_iterations = max_iterations if max_iterations is not None else n
+    engine = SpMSpVEngine(matrix, ctx, algorithm=algorithm)
 
     distances = np.full(n, np.inf)
     distances[source] = 0.0
@@ -71,7 +73,7 @@ def sssp(graph: Graph | CSCMatrix, source: int,
 
     while frontier.nnz and iterations < max_iterations:
         iterations += 1
-        result = spmspv(matrix, frontier, ctx, algorithm=algorithm, semiring=MIN_PLUS)
+        result = engine.multiply(frontier, semiring=MIN_PLUS)
         records.append(result.record)
         candidates = result.vector
         if candidates.nnz == 0:
@@ -85,4 +87,4 @@ def sssp(graph: Graph | CSCMatrix, source: int,
                                 sorted=candidates.sorted, check=False)
 
     return SSSPResult(source=source, distances=distances,
-                      num_iterations=iterations, records=records)
+                      num_iterations=iterations, records=records, engine=engine)

@@ -10,7 +10,16 @@ from .complexity import (
     measured_total_work,
     work_efficiency_ratio,
 )
-from .reporting import banner, format_series, format_speedups, format_table, ratio
+from .reporting import (
+    banner,
+    format_engine_history,
+    format_series,
+    format_speedups,
+    format_table,
+    format_workspace_stats,
+    ratio,
+    summarize_engine,
+)
 from .scaling import (
     ScalingSeries,
     compare_algorithms_bfs,
@@ -35,9 +44,11 @@ __all__ = [
     "breakdown",
     "compare_algorithms_bfs",
     "default_thread_counts",
+    "format_engine_history",
     "format_series",
     "format_speedups",
     "format_table",
+    "format_workspace_stats",
     "lower_bound_ops",
     "measured_arithmetic_work",
     "measured_total_work",
@@ -45,6 +56,7 @@ __all__ = [
     "scale_bfs",
     "scale_spmspv",
     "speedup_summary",
+    "summarize_engine",
     "table2_rows",
     "work_efficiency_ratio",
 ]

@@ -7,7 +7,11 @@ monospace text (printed to stdout and written into ``EXPERIMENTS.md`` /
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from ..core.engine import SpMSpVEngine
+    from ..core.workspace import SpMSpVWorkspace
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], *,
@@ -63,3 +67,60 @@ def banner(text: str, *, char: str = "=") -> str:
     """A separator banner used between experiments in the bench output."""
     line = char * max(len(text) + 4, 40)
     return f"\n{line}\n  {text}\n{line}"
+
+
+# --------------------------------------------------------------------------- #
+# engine / workspace reporting
+# --------------------------------------------------------------------------- #
+def format_engine_history(engine: "SpMSpVEngine", *,
+                          title: Optional[str] = None,
+                          max_rows: Optional[int] = None) -> str:
+    """Render an engine's per-call dispatch decisions as a table.
+
+    One row per SpMSpV call: which algorithm the adaptive policy picked, at
+    what frontier size/density, the simulated cost, and whether the call was
+    a deliberate exploration of the predicted runner-up.
+    """
+    calls = engine.history
+    clipped = 0
+    if max_rows is not None and len(calls) > max_rows:
+        clipped = len(calls) - max_rows
+        calls = calls[:max_rows]
+    rows = [[c.index, c.algorithm, c.f, float(c.density), float(c.cost_ms),
+             "explore" if c.explored else ("batch" if c.batch is not None else "")]
+            for c in calls]
+    text = format_table(
+        ["call", "algorithm", "nnz(x)", "density", "cost (ms)", "note"], rows,
+        title=title if title is not None else "Engine dispatch history")
+    if clipped:
+        text += f"\n... ({clipped} more calls)"
+    return text
+
+
+def format_workspace_stats(workspace: "SpMSpVWorkspace", *,
+                           title: Optional[str] = None) -> str:
+    """Render a workspace's allocation-reuse statistics (§III-A savings)."""
+    stats = workspace.stats()
+    rows = [[key, stats[key]] for key in
+            ("acquisitions", "allocations", "allocations_saved",
+             "reuse_fraction", "bucket_capacity", "spa_rows")]
+    return format_table(["workspace metric", "value"], rows,
+                        title=title if title is not None
+                        else "Workspace reuse (the §III-A memory-allocation optimization)")
+
+
+def summarize_engine(engine: "SpMSpVEngine") -> str:
+    """One-paragraph summary of an engine's lifetime: choices, switches, reuse."""
+    summary = engine.summary()
+    ws = summary["workspace"]
+    per_algo: Dict[str, int] = {}
+    for call in engine.history:
+        per_algo[call.algorithm] = per_algo.get(call.algorithm, 0) + 1
+    mix = ", ".join(f"{name}: {count}" for name, count in per_algo.items()) or "(none)"
+    return (f"{summary['calls']} SpMSpV calls ({mix}); "
+            f"{summary['switches']} algorithm switch(es), "
+            f"{summary['explored_calls']} exploration call(s); "
+            f"simulated total {summary['total_cost_ms']:.4f} ms; "
+            f"workspace served {ws['acquisitions']} acquisitions with "
+            f"{ws['allocations']} allocations "
+            f"({100 * ws['reuse_fraction']:.0f}% reused)")

@@ -20,6 +20,8 @@ import numpy as np
 
 from .._typing import INDEX_DTYPE
 from ..core.result import SpMSpVResult
+from ..core.vector_ops import finalize_output
+from ..core.workspace import SpMSpVWorkspace
 from ..errors import DimensionMismatchError
 from ..formats.csc import CSCMatrix
 from ..formats.partition import row_split
@@ -28,8 +30,9 @@ from ..parallel.context import ExecutionContext, default_context
 from ..parallel.metrics import ExecutionRecord, PhaseRecord, WorkMetrics
 from ..semiring import PLUS_TIMES, Semiring
 from .common import (
+    check_operands,
     gather_selected,
-    merge_by_row,
+    merge_entries,
     per_strip_counts,
     strip_boundaries,
     strip_nonempty_columns,
@@ -41,12 +44,11 @@ def spmspv_combblas_heap(matrix: CSCMatrix, x: SparseVector,
                          semiring: Semiring = PLUS_TIMES,
                          sorted_output: Optional[bool] = None,
                          mask: Optional[SparseVector] = None,
-                         mask_complement: bool = False) -> SpMSpVResult:
+                         mask_complement: bool = False,
+                         workspace: Optional[SpMSpVWorkspace] = None) -> SpMSpVResult:
     """Row-split, heap-merge SpMSpV (CombBLAS style)."""
     ctx = ctx if ctx is not None else default_context()
-    if matrix.ncols != x.n:
-        raise DimensionMismatchError(
-            f"matrix has {matrix.ncols} columns but vector has length {x.n}")
+    check_operands(matrix, x)
     if sorted_output is None:
         sorted_output = x.sorted and ctx.sorted_vectors
 
@@ -58,7 +60,10 @@ def spmspv_combblas_heap(matrix: CSCMatrix, x: SparseVector,
                              info={"m": m, "n": matrix.ncols, "f": f})
 
     rows, scaled = gather_selected(matrix, x, semiring)
-    uind, values = merge_by_row(rows, scaled, semiring, sort_output=True)
+    # the heap merge produces row-sorted output naturally
+    uind, values = merge_entries(rows, scaled, semiring, m=m,
+                                 sort_output=True, workspace=workspace)
+    record.info["workspace_reused"] = workspace is not None
 
     boundaries = strip_boundaries(m, t)
     entries_per_strip = per_strip_counts(rows, boundaries, t)
@@ -84,14 +89,8 @@ def spmspv_combblas_heap(matrix: CSCMatrix, x: SparseVector,
         phase.thread_metrics.append(metrics)
     record.add_phase(phase)
 
-    # the heap merge produces row-sorted output naturally
     y = SparseVector(m, uind, values, sorted=True, check=False)
-    if not sorted_output:
-        y = SparseVector(m, uind, values, sorted=True, check=False)
-    if mask is not None:
-        y = y.select(mask.indices, complement=mask_complement)
-    if semiring is PLUS_TIMES:
-        y = y.drop_zeros()
+    y = finalize_output(y, semiring, mask=mask, mask_complement=mask_complement)
 
     record.info["df"] = len(rows)
     record.info["nnz_y"] = y.nnz
@@ -140,4 +139,4 @@ def spmspv_combblas_heap_reference(matrix: CSCMatrix, x: SparseVector,
     indices = np.concatenate(pieces_idx)
     values = np.concatenate(pieces_val)
     y = SparseVector(matrix.nrows, indices, values, sorted=True, check=False)
-    return y.drop_zeros() if semiring is PLUS_TIMES else y
+    return finalize_output(y, semiring)

@@ -18,11 +18,13 @@ Two quantities depend only on ``(matrix, t)`` and are therefore cached:
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from .._typing import INDEX_DTYPE
+from ..core.vector_ops import check_operands  # noqa: F401  (shared re-export)
+from ..core.workspace import SpMSpVWorkspace, as_workspace, merge_by_row  # noqa: F401
 from ..formats.csc import CSCMatrix
 from ..formats.partition import split_ranges
 from ..formats.sparse_vector import SparseVector
@@ -94,20 +96,25 @@ def gather_selected(matrix: CSCMatrix, x: SparseVector, semiring: Semiring):
     return rows, np.asarray(scaled)
 
 
-def merge_by_row(rows: np.ndarray, values: np.ndarray, semiring: Semiring,
-                 *, sort_output: bool = True) -> Tuple[np.ndarray, np.ndarray]:
-    """Combine entries that share a row id with the semiring ADD (sorted by row)."""
-    if len(rows) == 0:
-        return rows, values
-    order = np.argsort(rows, kind="stable")
-    sr, sv = rows[order], values[order]
-    starts = np.concatenate(([0], np.flatnonzero(np.diff(sr)) + 1))
-    uind = sr[starts]
-    merged = semiring.reduceat(sv, starts)
-    if not sort_output:
-        perm = np.argsort(order[starts], kind="stable")
-        uind, merged = uind[perm], merged[perm]
-    return uind, merged
+def merge_entries(rows: np.ndarray, values: np.ndarray, semiring: Semiring, *,
+                  m: int, sort_output: bool = True,
+                  workspace: Optional[SpMSpVWorkspace] = None
+                  ) -> Tuple[np.ndarray, np.ndarray]:
+    """Row-merge gathered entries, through the workspace's dense scratch if given.
+
+    This is the shared ``workspace=`` plumbing of all row-split baselines:
+    with a workspace the merged values are published through its persistent
+    :class:`~repro.core.workspace.DenseScratch` — the dense accumulator that
+    models the strip-private SPA CombBLAS/GraphMat merge through, allocated
+    once per matrix; without one it falls back to :func:`merge_by_row`.  The
+    two paths are bit-identical.
+    """
+    workspace = as_workspace(workspace)
+    if workspace is None:
+        return merge_by_row(rows, values, semiring, sort_output=sort_output)
+    workspace.check_rows(m)
+    scratch = workspace.acquire_scratch(values.dtype if len(values) else None)
+    return scratch.merge(rows, values, semiring, sort_output=sort_output)
 
 
 def per_strip_counts(rows: np.ndarray, boundaries: np.ndarray,

@@ -23,6 +23,8 @@ import numpy as np
 from .._typing import INDEX_DTYPE
 from ..core.result import SpMSpVResult
 from ..core.spa import SparseAccumulator
+from ..core.vector_ops import finalize_output
+from ..core.workspace import SpMSpVWorkspace
 from ..errors import DimensionMismatchError
 from ..formats.bitvector import BitVector
 from ..formats.csc import CSCMatrix
@@ -34,8 +36,9 @@ from ..machine.cache import estimate_scatter_misses
 from ..parallel.metrics import ExecutionRecord, PhaseRecord, WorkMetrics
 from ..semiring import PLUS_TIMES, Semiring
 from .common import (
+    check_operands,
     gather_selected,
-    merge_by_row,
+    merge_entries,
     per_strip_counts,
     strip_boundaries,
     strip_nonempty_columns,
@@ -47,12 +50,11 @@ def spmspv_graphmat(matrix: CSCMatrix, x: SparseVector,
                     semiring: Semiring = PLUS_TIMES,
                     sorted_output: Optional[bool] = None,
                     mask: Optional[SparseVector] = None,
-                    mask_complement: bool = False) -> SpMSpVResult:
+                    mask_complement: bool = False,
+                    workspace: Optional[SpMSpVWorkspace] = None) -> SpMSpVResult:
     """Matrix-driven (GraphMat-style) SpMSpV."""
     ctx = ctx if ctx is not None else default_context()
-    if matrix.ncols != x.n:
-        raise DimensionMismatchError(
-            f"matrix has {matrix.ncols} columns but vector has length {x.n}")
+    check_operands(matrix, x)
     if sorted_output is None:
         sorted_output = x.sorted and ctx.sorted_vectors
 
@@ -66,7 +68,9 @@ def spmspv_graphmat(matrix: CSCMatrix, x: SparseVector,
     # The numerical result is the same as any vector-driven computation; the
     # *work* differs: every thread walks all non-empty columns of its strip.
     rows, scaled = gather_selected(matrix, x, semiring)
-    uind, values = merge_by_row(rows, scaled, semiring, sort_output=sorted_output)
+    uind, values = merge_entries(rows, scaled, semiring, m=m,
+                                 sort_output=sorted_output, workspace=workspace)
+    record.info["workspace_reused"] = workspace is not None
 
     boundaries = strip_boundaries(m, t)
     entries_per_strip = per_strip_counts(rows, boundaries, t)
@@ -97,10 +101,7 @@ def spmspv_graphmat(matrix: CSCMatrix, x: SparseVector,
     record.add_phase(phase)
 
     y = SparseVector(m, uind, values, sorted=sorted_output, check=False)
-    if mask is not None:
-        y = y.select(mask.indices, complement=mask_complement)
-    if semiring is PLUS_TIMES:
-        y = y.drop_zeros()
+    y = finalize_output(y, semiring, mask=mask, mask_complement=mask_complement)
 
     record.info["df"] = len(rows)
     record.info["nzc"] = int(nzc_per_strip.sum())
@@ -142,4 +143,4 @@ def spmspv_graphmat_reference(matrix: CSCMatrix, x: SparseVector,
     indices = np.concatenate(pieces_idx)
     values = np.concatenate(pieces_val)
     y = SparseVector(matrix.nrows, indices, values, sorted=True, check=False)
-    return y.drop_zeros() if semiring is PLUS_TIMES else y
+    return finalize_output(y, semiring)

@@ -23,24 +23,19 @@ import numpy as np
 from .._typing import INDEX_DTYPE
 from ..core.result import SpMSpVResult
 from ..core.spa import SparseAccumulator
-from ..errors import DimensionMismatchError
+from ..core.vector_ops import check_operands, finalize_output
+from ..core.workspace import SpMSpVWorkspace, as_workspace
 from ..formats.csc import CSCMatrix
 from ..formats.sparse_vector import SparseVector
 from ..parallel.metrics import ExecutionRecord, PhaseRecord, WorkMetrics
 from ..semiring import PLUS_TIMES, Semiring
-from .common import gather_selected, merge_by_row
-
-
-def _check(matrix: CSCMatrix, x: SparseVector) -> None:
-    if matrix.ncols != x.n:
-        raise DimensionMismatchError(
-            f"matrix has {matrix.ncols} columns but vector has length {x.n}")
+from .common import gather_selected
 
 
 def spmspv_dict(matrix: CSCMatrix, x: SparseVector, *,
                 semiring: Semiring = PLUS_TIMES) -> SparseVector:
     """Dictionary-accumulator oracle (pure Python loops; use only on small inputs)."""
-    _check(matrix, x)
+    check_operands(matrix, x)
     acc = {}
     for j, xj in zip(x.indices.tolist(), x.values.tolist()):
         rows, vals = matrix.column(j)
@@ -59,20 +54,21 @@ def spmspv_dict(matrix: CSCMatrix, x: SparseVector, *,
 
 def spmspv_scipy(matrix: CSCMatrix, x: SparseVector) -> SparseVector:
     """scipy-based oracle for the conventional plus-times semiring."""
-    _check(matrix, x)
+    check_operands(matrix, x)
     dense = matrix.to_scipy() @ x.to_dense()
     return SparseVector.from_dense(np.asarray(dense).ravel())
 
 
 def spmspv_sequential_spa(matrix: CSCMatrix, x: SparseVector, *,
                           semiring: Semiring = PLUS_TIMES,
-                          sorted_output: Optional[bool] = None) -> SpMSpVResult:
+                          sorted_output: Optional[bool] = None,
+                          workspace: Optional[SpMSpVWorkspace] = None) -> SpMSpVResult:
     """Work-optimal sequential SpMSpV: vector-driven with a partially initialized SPA.
 
     Complexity O(d·f): touches only the nonzeros of the selected columns and
     only the SPA slots that receive a contribution.
     """
-    _check(matrix, x)
+    check_operands(matrix, x)
     if sorted_output is None:
         sorted_output = x.sorted
     t_start = time.perf_counter()
@@ -81,9 +77,14 @@ def spmspv_sequential_spa(matrix: CSCMatrix, x: SparseVector, *,
                              info={"m": m, "n": matrix.ncols, "f": x.nnz})
 
     rows, scaled = gather_selected(matrix, x, semiring)
-    spa = SparseAccumulator(m, semiring=semiring,
-                            dtype=np.result_type(matrix.dtype, x.dtype))
-    spa.reset(semiring)
+    workspace = as_workspace(workspace)
+    if workspace is not None:
+        workspace.check_rows(m)
+        spa = workspace.acquire_spa(semiring, dtype=np.result_type(matrix.dtype, x.dtype))
+    else:
+        spa = SparseAccumulator(m, semiring=semiring,
+                                dtype=np.result_type(matrix.dtype, x.dtype))
+        spa.reset(semiring)
     fresh, combines = spa.accumulate(rows, scaled)
     uind, values = spa.extract(sort=sorted_output)
 
@@ -106,7 +107,6 @@ def spmspv_sequential_spa(matrix: CSCMatrix, x: SparseVector, *,
     record.wall_time_s = time.perf_counter() - t_start
 
     y = SparseVector(m, uind, values, sorted=sorted_output, check=False)
-    if semiring is PLUS_TIMES:
-        y = y.drop_zeros()
+    y = finalize_output(y, semiring)
     return SpMSpVResult(vector=y, record=record,
                         info={"f": x.nnz, "df": len(rows), "nnz_y": y.nnz})

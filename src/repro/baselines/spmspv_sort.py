@@ -21,6 +21,8 @@ import numpy as np
 
 from .._typing import INDEX_DTYPE
 from ..core.result import SpMSpVResult
+from ..core.vector_ops import finalize_output
+from ..core.workspace import SpMSpVWorkspace
 from ..errors import DimensionMismatchError
 from ..formats.csc import CSCMatrix
 from ..formats.sparse_vector import SparseVector
@@ -28,7 +30,7 @@ from ..parallel.context import ExecutionContext, default_context
 from ..parallel.metrics import ExecutionRecord, PhaseRecord, WorkMetrics
 from ..parallel.partitioner import partition_by_weight
 from ..semiring import PLUS_TIMES, Semiring
-from .common import gather_selected, merge_by_row
+from .common import check_operands, gather_selected, merge_entries
 
 
 def spmspv_sort(matrix: CSCMatrix, x: SparseVector,
@@ -36,12 +38,11 @@ def spmspv_sort(matrix: CSCMatrix, x: SparseVector,
                 semiring: Semiring = PLUS_TIMES,
                 sorted_output: Optional[bool] = None,
                 mask: Optional[SparseVector] = None,
-                mask_complement: bool = False) -> SpMSpVResult:
+                mask_complement: bool = False,
+                workspace: Optional[SpMSpVWorkspace] = None) -> SpMSpVResult:
     """Concatenate-sort-prune SpMSpV (GPU-style baseline)."""
     ctx = ctx if ctx is not None else default_context()
-    if matrix.ncols != x.n:
-        raise DimensionMismatchError(
-            f"matrix has {matrix.ncols} columns but vector has length {x.n}")
+    check_operands(matrix, x)
     if sorted_output is None:
         sorted_output = True  # the sort-based algorithm always produces sorted output
 
@@ -74,7 +75,9 @@ def spmspv_sort(matrix: CSCMatrix, x: SparseVector,
 
     # sort + prune phase
     sort_phase = PhaseRecord(name="sort_prune", parallel=True)
-    uind, values = merge_by_row(rows, scaled, semiring, sort_output=True)
+    uind, values = merge_entries(rows, scaled, semiring, m=m,
+                                 sort_output=True, workspace=workspace)
+    record.info["workspace_reused"] = workspace is not None
     log_total = max(1.0, np.log2(max(total, 2)))
     outputs_total = len(uind)
     for tid in range(t):
@@ -88,10 +91,7 @@ def spmspv_sort(matrix: CSCMatrix, x: SparseVector,
     record.add_phase(sort_phase)
 
     y = SparseVector(m, uind, values, sorted=True, check=False)
-    if mask is not None:
-        y = y.select(mask.indices, complement=mask_complement)
-    if semiring is PLUS_TIMES:
-        y = y.drop_zeros()
+    y = finalize_output(y, semiring, mask=mask, mask_complement=mask_complement)
 
     record.info["df"] = total
     record.info["nnz_y"] = y.nnz
@@ -121,4 +121,4 @@ def spmspv_sort_reference(matrix: CSCMatrix, x: SparseVector, *,
             out_val.append(v)
     y = SparseVector(matrix.nrows, np.array(out_idx, dtype=INDEX_DTYPE),
                      np.array(out_val), sorted=True, check=False)
-    return y.drop_zeros() if semiring is PLUS_TIMES else y
+    return finalize_output(y, semiring)

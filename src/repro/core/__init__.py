@@ -9,6 +9,7 @@ from .dispatch import (
     register_algorithm,
     spmspv,
 )
+from .engine import EngineCall, SpMSpVEngine, clear_engine_cache, engine_for
 from .left_multiply import spmspv_left, transpose_for_left_multiply
 from .result import SpMSpVResult
 from .spa import SparseAccumulator
@@ -17,24 +18,33 @@ from .vector_ops import (
     assign_scalar,
     ewise_add,
     ewise_mult,
+    finalize_output,
     mask_vector,
     reduce_vector,
     where_values,
 )
+from .workspace import DenseScratch, SpMSpVWorkspace
 
 __all__ = [
     "AUTO_DENSITY_SWITCH",
     "BucketOffsets",
     "BucketStore",
+    "DenseScratch",
+    "EngineCall",
+    "SpMSpVEngine",
+    "SpMSpVWorkspace",
     "SparseAccumulator",
     "SpMSpVResult",
     "assign_scalar",
     "available_algorithms",
     "bucket_of_rows",
     "bucket_row_ranges",
+    "clear_engine_cache",
     "compute_offsets",
+    "engine_for",
     "ewise_add",
     "ewise_mult",
+    "finalize_output",
     "get_algorithm",
     "mask_vector",
     "reduce_vector",

@@ -3,12 +3,17 @@
 Every SpMSpV implementation in the package shares the signature
 
 ``algo(matrix, x, ctx=None, *, semiring=..., sorted_output=None, mask=None,
-mask_complement=False) -> SpMSpVResult``
+mask_complement=False, workspace=None) -> SpMSpVResult``
 
-so graph algorithms and benchmarks can switch implementations by name.  The
-registry also powers the "auto" policy sketched in the paper's future work
-(§V): switch to a matrix-driven algorithm once the input vector becomes
-relatively dense.
+so graph algorithms and benchmarks can switch implementations by name.
+
+:func:`spmspv` itself is a thin shim over the unified execution engine
+(:class:`repro.core.engine.SpMSpVEngine`): every call is served by a cached
+per-``(matrix, context)`` engine, which reuses one persistent workspace
+across repeated calls on the same matrix and implements the "auto" policy
+sketched in the paper's future work (§V) — switch to a matrix-driven
+algorithm once the input vector becomes relatively dense, refined online
+from observed per-algorithm cost.
 """
 
 from __future__ import annotations
@@ -91,12 +96,19 @@ def spmspv(matrix: CSCMatrix, x: SparseVector,
       the baselines of Table I,
     * ``'auto'`` — vector-driven bucket algorithm for sparse inputs, switching
       to the matrix-driven algorithm when ``nnz(x)/n`` exceeds
-      ``AUTO_DENSITY_SWITCH`` (the §V future-work heuristic).
+      ``AUTO_DENSITY_SWITCH`` (the §V future-work heuristic), refined online
+      by the engine's per-algorithm cost models.  The refinement makes the
+      choice depend (deterministically) on the prior call history for this
+      matrix; cold-start calls follow the pure density rule.
+
+    Every call executes through the cached :class:`~repro.core.engine.SpMSpVEngine`
+    for ``(matrix, ctx)``, so repeated calls on the same matrix reuse one
+    persistent workspace (pass ``workspace=`` explicitly to override it).
     """
+    from .engine import engine_for  # late: engine imports this module
+
     _ensure_registered()
-    if algorithm == "auto":
-        density = x.nnz / max(x.n, 1)
-        algorithm = "graphmat" if density >= AUTO_DENSITY_SWITCH else "bucket"
-    fn = get_algorithm(algorithm)
-    return fn(matrix, x, ctx, semiring=semiring, sorted_output=sorted_output,
-              mask=mask, mask_complement=mask_complement, **kwargs)
+    engine = engine_for(matrix, ctx)
+    return engine.multiply(x, algorithm=algorithm, semiring=semiring,
+                           sorted_output=sorted_output, mask=mask,
+                           mask_complement=mask_complement, **kwargs)

@@ -1,0 +1,358 @@
+"""The unified SpMSpV execution engine.
+
+:class:`SpMSpVEngine` is the one place where three cross-cutting concerns
+live, instead of being re-plumbed by every graph algorithm:
+
+* **Persistent workspaces** (§III-A "Memory allocation") — the engine owns
+  one :class:`~repro.core.workspace.SpMSpVWorkspace` per matrix and threads
+  it through every kernel call, so an iterative algorithm performs zero
+  per-iteration ``BucketStore``/SPA allocations.
+* **Adaptive dispatch** (§V future work) — with ``algorithm="auto"`` each
+  call picks between the vector-driven bucket algorithm and the
+  matrix-driven GraphMat baseline.  The choice is *seeded* by the paper's
+  density heuristic (switch once ``nnz(x)/n`` passes the threshold) and then
+  *refined online*: every executed kernel's
+  :class:`~repro.parallel.metrics.ExecutionRecord` is priced with the
+  platform cost model, and per-algorithm linear cost models ``cost ≈ α + β·f``
+  are fit from those observations.  Once every candidate has enough samples
+  the learned models take over from the static threshold, with a periodic
+  exploration call keeping the losing model fresh.
+* **Batched multi-vector execution** — :meth:`SpMSpVEngine.multiply_many`
+  runs a block of input vectors (multi-source BFS frontiers, blocked
+  PageRank deltas) through one dispatch decision and one shared workspace.
+
+:func:`engine_for` caches engines per ``(matrix, context)`` so the
+backward-compatible :func:`repro.core.dispatch.spmspv` entry point also
+executes through the engine.
+"""
+
+from __future__ import annotations
+
+import inspect
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..formats.csc import CSCMatrix
+from ..formats.sparse_vector import SparseVector
+from ..machine.cost_model import cost_model_for
+from ..parallel.context import ExecutionContext, default_context
+from ..semiring import PLUS_TIMES, Semiring
+from .result import SpMSpVResult
+from .workspace import SpMSpVWorkspace
+
+#: candidate algorithms the adaptive policy arbitrates between by default:
+#: one vector-driven (bucket) and one matrix-driven (GraphMat) kernel.
+DEFAULT_CANDIDATES: Tuple[str, ...] = ("bucket", "graphmat")
+
+#: algorithms whose work is driven by the matrix structure, not nnz(x)
+MATRIX_DRIVEN = frozenset({"graphmat"})
+
+
+@lru_cache(maxsize=None)
+def _accepts_workspace(fn) -> bool:
+    """Whether a registered kernel supports the shared ``workspace=`` signature."""
+    try:
+        return "workspace" in inspect.signature(fn).parameters
+    except (TypeError, ValueError):  # pragma: no cover - builtins/partials
+        return False
+
+
+class OnlineCostModel:
+    """Per-algorithm online fit of ``cost_ms ≈ alpha + beta · nnz(x)``.
+
+    A running least-squares over the (f, cost) observations harvested from
+    execution records.  Two samples at distinct f are enough to predict; the
+    engine keeps exploring so the fit tracks the workload.
+    """
+
+    __slots__ = ("count", "sum_f", "sum_c", "sum_ff", "sum_fc")
+
+    def __init__(self):
+        self.count = 0
+        self.sum_f = 0.0
+        self.sum_c = 0.0
+        self.sum_ff = 0.0
+        self.sum_fc = 0.0
+
+    def observe(self, f: int, cost_ms: float) -> None:
+        self.count += 1
+        self.sum_f += f
+        self.sum_c += cost_ms
+        self.sum_ff += f * f
+        self.sum_fc += f * cost_ms
+
+    def predict(self, f: int) -> Optional[float]:
+        """Predicted cost at frontier size ``f`` (None until enough samples)."""
+        if self.count < 2:
+            return None
+        denom = self.count * self.sum_ff - self.sum_f * self.sum_f
+        if denom <= 0.0:  # all samples at the same f: fall back to the mean
+            return self.sum_c / self.count
+        beta = (self.count * self.sum_fc - self.sum_f * self.sum_c) / denom
+        alpha = (self.sum_c - beta * self.sum_f) / self.count
+        return max(alpha + beta * f, 0.0)
+
+
+@dataclass
+class EngineCall:
+    """One dispatch decision of the engine (the unit of the reporting layer)."""
+
+    index: int
+    algorithm: str
+    #: what the caller asked for ('auto' or a fixed name)
+    requested: str
+    f: int
+    density: float
+    cost_ms: float
+    #: True when the adaptive policy deliberately ran the predicted runner-up
+    explored: bool = False
+    #: batch id for calls issued through multiply_many, else None
+    batch: Optional[int] = None
+
+
+class SpMSpVEngine:
+    """Persistent-workspace, adaptively-dispatched SpMSpV executor for one matrix.
+
+    Parameters
+    ----------
+    matrix:
+        The matrix every multiplication of this engine uses.
+    ctx:
+        Execution context shared by all calls (defaults to a single-threaded
+        Edison context).
+    algorithm:
+        Default policy: a registered kernel name, or ``"auto"`` for adaptive
+        per-call selection.  Overridable per call.
+    candidates:
+        The algorithms the adaptive policy arbitrates between.
+    density_threshold:
+        The §V density heuristic seeding the adaptive choice before the
+        online cost models have enough samples.
+    explore_every:
+        Once the cost models are trained, every ``explore_every``-th adaptive
+        call runs the predicted runner-up instead of the winner, keeping its
+        model fresh.  0 disables exploration.
+    workspace:
+        An externally owned workspace to share (e.g. between engines over the
+        same matrix); by default the engine allocates its own.
+    """
+
+    def __init__(self, matrix: CSCMatrix, ctx: Optional[ExecutionContext] = None, *,
+                 algorithm: str = "auto",
+                 candidates: Sequence[str] = DEFAULT_CANDIDATES,
+                 density_threshold: Optional[float] = None,
+                 explore_every: int = 8,
+                 workspace: Optional[SpMSpVWorkspace] = None):
+        from .dispatch import AUTO_DENSITY_SWITCH  # late: avoids import cycle
+
+        self.matrix = matrix
+        self.ctx = ctx if ctx is not None else default_context()
+        self.algorithm = algorithm
+        self.candidates = tuple(candidates)
+        if not self.candidates:
+            raise ValueError("engine needs at least one candidate algorithm")
+        self.density_threshold = (density_threshold if density_threshold is not None
+                                  else AUTO_DENSITY_SWITCH)
+        self.explore_every = int(explore_every)
+        self.workspace = (workspace if workspace is not None
+                          else SpMSpVWorkspace(matrix.nrows, dtype=matrix.dtype))
+        #: recent dispatch decisions (trimmed beyond max_history; lifetime
+        #: aggregates live in total_calls / total_cost_ms / total_explored)
+        self.history: List[EngineCall] = []
+        self.max_history = 4096
+        self.total_calls = 0
+        self.total_cost_ms = 0.0
+        self.total_explored = 0
+        self._models: Dict[str, OnlineCostModel] = {
+            name: OnlineCostModel() for name in self.candidates}
+        self._price = cost_model_for(self.ctx.platform)
+        self._modeled_calls = 0
+        self._batches = 0
+        # one multiplication at a time per engine: concurrent callers of the
+        # spmspv shim share this engine's workspace, which is not reentrant
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # adaptive selection
+    # ------------------------------------------------------------------ #
+    def _seed_choice(self, density: float) -> str:
+        """The paper's §V heuristic: matrix-driven once the vector densifies."""
+        matrix_driven = [c for c in self.candidates if c in MATRIX_DRIVEN]
+        vector_driven = [c for c in self.candidates if c not in MATRIX_DRIVEN]
+        if density >= self.density_threshold and matrix_driven:
+            return matrix_driven[0]
+        return vector_driven[0] if vector_driven else self.candidates[0]
+
+    def select_algorithm(self, x: SparseVector) -> Tuple[str, bool]:
+        """Pick the algorithm for one input vector; returns ``(name, explored)``."""
+        f = x.nnz
+        density = f / max(x.n, 1)
+        predictions = {name: self._models[name].predict(f) for name in self.candidates}
+        if all(p is not None for p in predictions.values()):
+            ranked = sorted(self.candidates, key=lambda name: predictions[name])
+            self._modeled_calls += 1
+            if (self.explore_every > 0 and len(ranked) > 1
+                    and self._modeled_calls % self.explore_every == 0):
+                return ranked[1], True
+            return ranked[0], False
+        return self._seed_choice(density), False
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def multiply(self, x: SparseVector, *,
+                 semiring: Semiring = PLUS_TIMES,
+                 sorted_output: Optional[bool] = None,
+                 mask: Optional[SparseVector] = None,
+                 mask_complement: bool = False,
+                 algorithm: Optional[str] = None,
+                 workspace: Optional[object] = None,
+                 _batch: Optional[int] = None,
+                 _explored: bool = False,
+                 **kwargs) -> SpMSpVResult:
+        """Run ``y <- A x`` through the engine: select, execute, observe."""
+        from .dispatch import get_algorithm  # late: avoids import cycle
+
+        with self._lock:
+            requested = algorithm if algorithm is not None else self.algorithm
+            explored = _explored
+            if requested == "auto":
+                name, explored = self.select_algorithm(x)
+            else:
+                name = requested
+            fn = get_algorithm(name)
+
+            if workspace is None:
+                workspace = self.workspace
+            if _accepts_workspace(fn):
+                kwargs = dict(kwargs, workspace=workspace)
+            result = fn(self.matrix, x, self.ctx, semiring=semiring,
+                        sorted_output=sorted_output, mask=mask,
+                        mask_complement=mask_complement, **kwargs)
+
+            cost_ms = self._price.record_time_ms(result.record)
+            if name in self._models:
+                self._models[name].observe(x.nnz, cost_ms)
+            self.history.append(EngineCall(
+                index=self.total_calls, algorithm=name, requested=requested,
+                f=x.nnz, density=x.nnz / max(x.n, 1), cost_ms=cost_ms,
+                explored=explored, batch=_batch))
+            self.total_calls += 1
+            self.total_cost_ms += cost_ms
+            self.total_explored += int(explored)
+            if len(self.history) > 2 * self.max_history:
+                # cached engines live for the process: keep memory bounded
+                del self.history[:len(self.history) - self.max_history]
+            return result
+
+    def multiply_many(self, xs: Sequence[SparseVector], *,
+                      semiring: Semiring = PLUS_TIMES,
+                      sorted_output: Optional[bool] = None,
+                      masks: Optional[Sequence[Optional[SparseVector]]] = None,
+                      mask_complement: bool = False,
+                      algorithm: Optional[str] = None,
+                      **kwargs) -> List[SpMSpVResult]:
+        """Blocked execution of one matrix against many input vectors.
+
+        The whole batch shares the engine's workspace and — under ``"auto"``
+        — a single dispatch decision, made for the *densest* vector of the
+        block (the worst case for a vector-driven kernel).  This is the
+        multi-source BFS / blocked PageRank entry point.
+        """
+        xs = list(xs)
+        if masks is not None and len(masks) != len(xs):
+            raise ValueError(f"got {len(xs)} vectors but {len(masks)} masks")
+        batch = self._batches
+        self._batches += 1
+        requested = algorithm if algorithm is not None else self.algorithm
+        explored = False
+        if requested == "auto" and xs:
+            densest = max(xs, key=lambda x: x.nnz)
+            requested, explored = self.select_algorithm(densest)
+        results = []
+        for i, x in enumerate(xs):
+            results.append(self.multiply(
+                x, semiring=semiring, sorted_output=sorted_output,
+                mask=masks[i] if masks is not None else None,
+                mask_complement=mask_complement, algorithm=requested,
+                # one exploration decision per batch: flag only its first call
+                _batch=batch, _explored=explored and i == 0, **kwargs))
+        return results
+
+    # ------------------------------------------------------------------ #
+    # introspection (consumed by repro.analysis.reporting)
+    # ------------------------------------------------------------------ #
+    def algorithms_used(self) -> List[str]:
+        """Distinct kernels executed, in first-use order."""
+        seen: "OrderedDict[str, None]" = OrderedDict()
+        for call in self.history:
+            seen.setdefault(call.algorithm, None)
+        return list(seen)
+
+    @property
+    def switch_count(self) -> int:
+        """How many times consecutive calls used different algorithms."""
+        return sum(1 for a, b in zip(self.history, self.history[1:])
+                   if a.algorithm != b.algorithm)
+
+    def summary(self) -> Dict[str, object]:
+        """Aggregate statistics of the engine's lifetime (for reporting).
+
+        ``algorithms_used`` and ``switches`` are computed over the retained
+        history window (``max_history`` recent calls); the scalar totals are
+        lifetime counters.
+        """
+        return {
+            "calls": self.total_calls,
+            "batches": self._batches,
+            "algorithms_used": self.algorithms_used(),
+            "switches": self.switch_count,
+            "explored_calls": self.total_explored,
+            "total_cost_ms": self.total_cost_ms,
+            "workspace": self.workspace.stats(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"SpMSpVEngine(matrix={self.matrix.nrows}x{self.matrix.ncols}, "
+                f"algorithm={self.algorithm!r}, calls={len(self.history)})")
+
+
+# --------------------------------------------------------------------------- #
+# engine cache backing the repro.core.dispatch.spmspv shim
+# --------------------------------------------------------------------------- #
+_ENGINE_CACHE: "OrderedDict[tuple, SpMSpVEngine]" = OrderedDict()
+_ENGINE_CACHE_LIMIT = 8
+
+
+def engine_for(matrix: CSCMatrix, ctx: Optional[ExecutionContext] = None
+               ) -> SpMSpVEngine:
+    """The cached engine serving ``spmspv`` calls for ``(matrix, ctx)``.
+
+    Entries pin the matrix (so ids cannot be recycled while cached) and are
+    evicted LRU beyond a small limit; repeated calls on the same matrix —
+    the shape of every iterative algorithm and benchmark — therefore reuse
+    one workspace and one adaptive state.  Shim engines run with exploration
+    disabled: ``spmspv(..., algorithm="auto")`` on identical inputs must pick
+    the predicted-best kernel deterministically (benchmarks time it), so the
+    deliberate runner-up calls are an opt-in of explicitly constructed
+    engines.
+    """
+    ctx = ctx if ctx is not None else default_context()
+    key = (id(matrix), ctx)
+    engine = _ENGINE_CACHE.get(key)
+    if engine is not None and engine.matrix is matrix:
+        _ENGINE_CACHE.move_to_end(key)
+        return engine
+    engine = SpMSpVEngine(matrix, ctx, explore_every=0)
+    _ENGINE_CACHE[key] = engine
+    while len(_ENGINE_CACHE) > _ENGINE_CACHE_LIMIT:
+        _ENGINE_CACHE.popitem(last=False)
+    return engine
+
+
+def clear_engine_cache() -> None:
+    """Drop all cached engines (exposed for tests)."""
+    _ENGINE_CACHE.clear()

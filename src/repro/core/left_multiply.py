@@ -18,7 +18,6 @@ from ..formats.csc import CSCMatrix
 from ..formats.sparse_vector import SparseVector
 from ..parallel.context import ExecutionContext
 from ..semiring import PLUS_TIMES, Semiring
-from .dispatch import spmspv
 from .result import SpMSpVResult
 
 
@@ -49,9 +48,17 @@ def spmspv_left(matrix: CSCMatrix, x: SparseVector,
 
         raise DimensionMismatchError(
             f"left multiplication needs len(x) == nrows; got {x.n} vs {matrix.nrows}")
+    from .engine import SpMSpVEngine, engine_for
+
     if transposed is None:
+        # freshly built transpose: serve it from a one-shot engine so the
+        # throwaway matrix does not pin a slot in (and evict hot engines
+        # from) the shared spmspv cache
         transposed = transpose_for_left_multiply(matrix)
-    result = spmspv(transposed, x, ctx, algorithm=algorithm, semiring=semiring,
-                    sorted_output=sorted_output, mask=mask,
-                    mask_complement=mask_complement)
+        engine = SpMSpVEngine(transposed, ctx, explore_every=0)
+    else:
+        engine = engine_for(transposed, ctx)
+    result = engine.multiply(x, algorithm=algorithm, semiring=semiring,
+                             sorted_output=sorted_output, mask=mask,
+                             mask_complement=mask_complement)
     return result, transposed

@@ -69,6 +69,28 @@ def mask_vector(x: SparseVector, mask: SparseVector, *, complement: bool = False
     return x.select(mask.indices, complement=complement)
 
 
+def check_operands(matrix, x: SparseVector) -> None:
+    """Shared conformance check of every SpMSpV signature (``A`` is m-by-n, ``x`` length n)."""
+    if matrix.ncols != x.n:
+        raise DimensionMismatchError(
+            f"matrix has {matrix.ncols} columns but vector has length {x.n}")
+
+
+def finalize_output(y: SparseVector, semiring: Semiring, *,
+                    mask: Optional[SparseVector] = None,
+                    mask_complement: bool = False) -> SparseVector:
+    """Standard SpMSpV output post-processing: apply the mask, prune identities.
+
+    An output entry equal to the semiring's additive identity carries no
+    information (it is what an absent entry means), so it is dropped.  Keying
+    this off ``add_identity`` instead of ``semiring is PLUS_TIMES`` makes
+    user-defined plus-times-like semirings behave identically to the builtin.
+    """
+    if mask is not None:
+        y = y.select(mask.indices, complement=mask_complement)
+    return y.drop_values(semiring.add_identity)
+
+
 def assign_scalar(x: SparseVector, indices: np.ndarray, value: float) -> SparseVector:
     """Return a copy of ``x`` with ``value`` assigned at the given indices."""
     indices = np.asarray(indices, dtype=INDEX_DTYPE)

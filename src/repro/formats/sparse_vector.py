@@ -152,6 +152,27 @@ class SparseVector:
         return SparseVector(self.n, self.indices[keep], self.values[keep],
                             sorted=self.sorted, check=False)
 
+    def drop_values(self, value) -> "SparseVector":
+        """Return a copy without entries exactly equal to ``value`` (or NaN).
+
+        SpMSpV kernels use this with the semiring's additive identity: a
+        stored entry equal to the identity is indistinguishable from an
+        implicit (absent) one, so it is pruned from the output.  NaN entries
+        are pruned as well, matching the historical ``drop_zeros`` behavior
+        (``|NaN| > 0`` is false) so degenerate products like ``inf * 0``
+        cannot poison iterative algorithms.
+        """
+        if self.nnz == 0:
+            return self
+        with np.errstate(invalid="ignore"):
+            keep = self.values != value
+            if self.values.dtype.kind in "fc":
+                keep &= ~np.isnan(self.values)
+        if keep.all():
+            return self
+        return SparseVector(self.n, self.indices[keep], self.values[keep],
+                            sorted=self.sorted, check=False)
+
     def select(self, mask_indices: np.ndarray, *, complement: bool = False) -> "SparseVector":
         """Keep only entries whose index is in ``mask_indices`` (or not in, if complement).
 

@@ -1,0 +1,315 @@
+"""Tests for the unified SpMSpV execution engine.
+
+Covers the contract of :class:`repro.core.engine.SpMSpVEngine`:
+
+* persistent workspaces — iterative runs perform zero per-iteration
+  ``BucketStore``/SPA allocations and reuse the *same* workspace objects,
+  with results bit-identical to fresh-allocation runs;
+* adaptive dispatch — ``algorithm="auto"`` follows the §V density seed and
+  switches kernels as a frontier sequence densifies, then refines from
+  observed costs (including deliberate exploration calls);
+* batched execution — ``multiply_many`` agrees with per-vector ``spmspv``
+  for every registered algorithm, and multi-source BFS matches per-source
+  single BFS runs;
+* the identity-based output pruning that replaced the fragile
+  ``semiring is PLUS_TIMES`` check.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import bfs, bfs_multi_source, pagerank, pagerank_dense_reference
+from repro.analysis import format_engine_history, format_workspace_stats, summarize_engine
+from repro.baselines.common import merge_by_row, merge_entries
+from repro.core import (
+    SpMSpVEngine,
+    SpMSpVWorkspace,
+    clear_engine_cache,
+    engine_for,
+    get_algorithm,
+    spmspv,
+)
+from repro.core.buckets import BucketStore
+from repro.core.dispatch import AUTO_DENSITY_SWITCH, available_algorithms
+from repro.core.spa import SparseAccumulator
+from repro.errors import DimensionMismatchError
+from repro.formats import SparseVector
+from repro.graphs import erdos_renyi
+from repro.parallel import default_context
+from repro.semiring import MIN_PLUS, MIN_SELECT2ND, PLUS_TIMES, Semiring
+
+from conftest import random_csc, random_sparse_vector
+
+ALGORITHMS = ["bucket", "combblas_spa", "combblas_heap", "graphmat", "sort"]
+
+
+def densifying_frontiers(n, sizes, seed=0):
+    rng = np.random.default_rng(seed)
+    frontiers = []
+    for nnz in sizes:
+        idx = np.sort(rng.choice(n, size=min(nnz, n), replace=False))
+        frontiers.append(SparseVector(n, idx, rng.random(len(idx)) + 0.1))
+    return frontiers
+
+
+# --------------------------------------------------------------------------- #
+# persistent workspaces
+# --------------------------------------------------------------------------- #
+def test_engine_reuses_the_same_workspace_objects():
+    matrix = random_csc(60, 60, 0.1, seed=1)
+    engine = SpMSpVEngine(matrix, default_context(num_threads=3), algorithm="bucket")
+    store, spa, scratch = (engine.workspace.bucket_store, engine.workspace.spa,
+                           engine.workspace.scratch)
+    for seed in range(6):
+        engine.multiply(random_sparse_vector(60, 12, seed=seed))
+    assert engine.workspace.bucket_store is store
+    assert engine.workspace.spa is spa
+    assert engine.workspace.scratch is scratch
+    assert engine.workspace.stats()["acquisitions"] >= 6  # bucket store per call
+
+
+def test_iterative_bfs_performs_no_per_iteration_allocations(monkeypatch):
+    matrix = erdos_renyi(400, 5.0, seed=2)
+    counts = {"bucket_store": 0, "spa": 0}
+    orig_store_init = BucketStore.__init__
+    orig_spa_init = SparseAccumulator.__init__
+
+    def counting_store(self, *args, **kwargs):
+        counts["bucket_store"] += 1
+        orig_store_init(self, *args, **kwargs)
+
+    def counting_spa(self, *args, **kwargs):
+        counts["spa"] += 1
+        orig_spa_init(self, *args, **kwargs)
+
+    monkeypatch.setattr(BucketStore, "__init__", counting_store)
+    monkeypatch.setattr(SparseAccumulator, "__init__", counting_spa)
+    result = bfs(matrix, 0, default_context(num_threads=4), algorithm="bucket")
+    assert result.num_iterations >= 3, "graph too easy: BFS must iterate"
+    # one BucketStore and one SPA at engine construction, zero per iteration
+    assert counts["bucket_store"] == 1
+    assert counts["spa"] == 1
+    assert all(r.info.get("workspace_reused") for r in result.records)
+
+
+def test_workspace_reuse_is_bit_identical_to_fresh_runs():
+    matrix = random_csc(50, 45, 0.15, seed=3)
+    ctx = default_context(num_threads=4)
+    for algorithm in ALGORITHMS:
+        engine = SpMSpVEngine(matrix, ctx, algorithm=algorithm)
+        for semiring in (PLUS_TIMES, MIN_PLUS, MIN_SELECT2ND):
+            for seed in range(4):  # repeated calls hit warm, previously-used buffers
+                x = random_sparse_vector(45, 10, seed=seed)
+                reused = engine.multiply(x, semiring=semiring)
+                fresh = get_algorithm(algorithm)(matrix, x, ctx, semiring=semiring)
+                assert np.array_equal(reused.vector.indices, fresh.vector.indices)
+                assert np.array_equal(reused.vector.values, fresh.vector.values)
+
+
+def test_bfs_and_pagerank_through_engine_match_fresh_allocation_loops():
+    matrix = erdos_renyi(300, 6.0, seed=4)
+    ctx = default_context(num_threads=2)
+    result = bfs(matrix, 0, ctx, algorithm="bucket")
+
+    # replicate the BFS loop with a fresh kernel call per level (no workspace)
+    n = matrix.ncols
+    bucket = get_algorithm("bucket")
+    levels = np.full(n, -1, dtype=np.int64)
+    levels[0] = 0
+    frontier = SparseVector(n, np.array([0]), np.array([0.0]))
+    visited = [np.array([0], dtype=np.int64)]
+    level = 0
+    while frontier.nnz:
+        level += 1
+        mask = SparseVector.full_like_indices(n, np.concatenate(visited), 1.0)
+        reached = bucket(matrix, frontier, ctx, semiring=MIN_SELECT2ND,
+                         mask=mask, mask_complement=True).vector
+        if reached.nnz == 0:
+            break
+        levels[reached.indices] = level
+        visited.append(reached.indices.copy())
+        frontier = SparseVector(n, reached.indices.copy(),
+                                reached.indices.astype(np.float64),
+                                sorted=reached.sorted, check=False)
+    assert np.array_equal(result.levels, levels)
+
+    pr = pagerank(matrix, ctx, algorithm="bucket", tol=1e-10)
+    dense = pagerank_dense_reference(matrix, tol=1e-12)
+    np.testing.assert_allclose(pr.scores, dense, atol=1e-6)
+    assert pr.engine is not None and len(pr.engine.history) == pr.num_iterations
+
+
+def test_dense_scratch_merge_matches_merge_by_row():
+    rng = np.random.default_rng(7)
+    rows = rng.integers(0, 30, size=64)
+    values = rng.random(64) + 0.1
+    workspace = SpMSpVWorkspace(30)
+    for semiring in (PLUS_TIMES, MIN_PLUS):
+        for sort_output in (True, False):
+            expect_ind, expect_val = merge_by_row(rows, values, semiring,
+                                                  sort_output=sort_output)
+            got_ind, got_val = merge_entries(rows, values, semiring, m=30,
+                                             sort_output=sort_output,
+                                             workspace=workspace)
+            assert np.array_equal(expect_ind, got_ind)
+            assert np.array_equal(expect_val, got_val)
+
+
+def test_workspace_rejects_wrong_matrix_dimension():
+    workspace = SpMSpVWorkspace(10)
+    matrix = random_csc(20, 20, 0.2, seed=5)
+    x = random_sparse_vector(20, 4, seed=5)
+    with pytest.raises(DimensionMismatchError):
+        get_algorithm("bucket")(matrix, x, workspace=workspace)
+
+
+# --------------------------------------------------------------------------- #
+# adaptive dispatch
+# --------------------------------------------------------------------------- #
+def test_auto_switches_algorithms_as_frontier_densifies():
+    matrix = erdos_renyi(500, 6.0, seed=6)
+    engine = SpMSpVEngine(matrix, default_context(num_threads=2), algorithm="auto")
+    sizes = [2, 5, 10, 20, 120, 250, 400, 480]
+    for x in densifying_frontiers(500, sizes, seed=6):
+        engine.multiply(x)
+    used = engine.algorithms_used()
+    assert len(used) > 1, f"auto never switched: {used}"
+    assert engine.switch_count >= 1
+    # sparse calls went vector-driven, the densest call matrix-driven
+    assert engine.history[0].algorithm == "bucket"
+    densities = [c.density for c in engine.history]
+    assert any(c.algorithm == "graphmat" for c in engine.history
+               if True) and max(densities) >= AUTO_DENSITY_SWITCH
+
+
+def test_auto_through_dispatch_shim_selects_multiple_algorithms():
+    clear_engine_cache()
+    matrix = erdos_renyi(500, 6.0, seed=8)
+    ctx = default_context(num_threads=2)
+    executed = set()
+    for x in densifying_frontiers(500, [2, 8, 30, 150, 300, 450, 490], seed=8):
+        result = spmspv(matrix, x, ctx, algorithm="auto")
+        executed.add(result.record.algorithm)
+    assert len(executed) > 1, f"dispatch auto ran only {executed}"
+    # the shim served every call from one cached engine with one workspace
+    engine = engine_for(matrix, ctx)
+    assert len(engine.history) == 7
+    assert engine_for(matrix, ctx) is engine
+
+
+def test_online_cost_model_refines_and_explores():
+    matrix = erdos_renyi(300, 5.0, seed=9)
+    engine = SpMSpVEngine(matrix, default_context(), algorithm="auto",
+                          explore_every=2)
+    # alternate sparse/dense so both candidate models accumulate samples
+    sizes = [3, 280, 6, 290, 9, 270, 12, 260, 15, 250]
+    for x in densifying_frontiers(300, sizes, seed=9):
+        engine.multiply(x)
+    models = engine._models
+    assert all(m.count >= 2 for m in models.values())
+    assert all(m.predict(50) is not None for m in models.values())
+    assert any(c.explored for c in engine.history), \
+        "trained engine should periodically explore the runner-up"
+
+
+def test_fixed_algorithm_and_per_call_override():
+    matrix = random_csc(40, 40, 0.1, seed=10)
+    engine = SpMSpVEngine(matrix, algorithm="graphmat")
+    x = random_sparse_vector(40, 6, seed=10)
+    assert engine.multiply(x).record.algorithm == "graphmat"
+    assert engine.multiply(x, algorithm="bucket").record.algorithm == "spmspv_bucket"
+    assert [c.algorithm for c in engine.history] == ["graphmat", "bucket"]
+
+
+# --------------------------------------------------------------------------- #
+# batched multi-vector execution
+# --------------------------------------------------------------------------- #
+def test_algorithm_list_covers_the_registry():
+    get_algorithm("bucket")  # force lazy registration
+    assert set(ALGORITHMS) == set(available_algorithms())
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_multiply_many_agrees_with_per_vector_spmspv(algorithm):
+    matrix = random_csc(50, 50, 0.12, seed=11)
+    ctx = default_context(num_threads=3)
+    xs = [random_sparse_vector(50, nnz, seed=20 + nnz) for nnz in (3, 8, 17, 30)]
+    engine = SpMSpVEngine(matrix, ctx, algorithm=algorithm)
+    batch = engine.multiply_many(xs)
+    assert len(batch) == len(xs)
+    for x, result in zip(xs, batch):
+        direct = get_algorithm(algorithm)(matrix, x, ctx)
+        assert np.array_equal(result.vector.indices, direct.vector.indices)
+        assert np.array_equal(result.vector.values, direct.vector.values)
+    assert all(c.batch == 0 for c in engine.history)
+
+
+def test_multiply_many_applies_per_vector_masks():
+    matrix = random_csc(30, 30, 0.2, seed=12)
+    engine = SpMSpVEngine(matrix, algorithm="bucket")
+    xs = [random_sparse_vector(30, 5, seed=s) for s in (1, 2)]
+    masks = [SparseVector.full_like_indices(30, np.arange(15), 1.0),
+             SparseVector.full_like_indices(30, np.arange(15, 30), 1.0)]
+    out = engine.multiply_many(xs, masks=masks, mask_complement=True)
+    assert all(i >= 15 for i in out[0].vector.indices)
+    assert all(i < 15 for i in out[1].vector.indices)
+    with pytest.raises(ValueError):
+        engine.multiply_many(xs, masks=masks[:1])
+
+
+def test_multi_source_bfs_matches_single_source_runs():
+    matrix = erdos_renyi(350, 5.0, seed=13)
+    ctx = default_context(num_threads=2)
+    sources = [0, 7, 123]
+    multi = bfs_multi_source(matrix, sources, ctx, algorithm="bucket")
+    for k, source in enumerate(sources):
+        single = bfs(matrix, source, ctx, algorithm="bucket")
+        assert np.array_equal(multi.levels[k], single.levels)
+        assert np.array_equal(multi.parents[k], single.parents)
+        extracted = multi.result_for(source)
+        assert np.array_equal(extracted.levels, single.levels)
+        assert extracted.num_iterations == single.num_iterations
+    assert multi.engine is not None
+    # the whole batched traversal ran on one workspace
+    assert multi.engine.workspace.stats()["acquisitions"] >= len(multi.engine.history)
+
+
+# --------------------------------------------------------------------------- #
+# identity-based output pruning (replaces `semiring is PLUS_TIMES`)
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_user_defined_plus_times_semiring_drops_zeros_like_builtin(algorithm):
+    my_plus_times = Semiring("user_plus_times", np.add, 0.0, lambda a, b: a * b)
+    # column 0 and column 1 both hit row 0 with cancelling contributions
+    dense = np.array([
+        [1.0, -1.0, 0.0],
+        [2.0, 0.0, 0.0],
+        [0.0, 0.0, 3.0],
+    ])
+    from repro.formats import CSCMatrix
+    matrix = CSCMatrix.from_dense(dense)
+    x = SparseVector.from_dense(np.array([1.0, 1.0, 0.0]))
+    ctx = default_context()
+    builtin = get_algorithm(algorithm)(matrix, x, ctx, semiring=PLUS_TIMES)
+    custom = get_algorithm(algorithm)(matrix, x, ctx, semiring=my_plus_times)
+    # row 0 cancels to the additive identity and must be pruned for both
+    assert 0 not in builtin.vector.indices
+    assert 0 not in custom.vector.indices
+    assert np.array_equal(builtin.vector.indices, custom.vector.indices)
+    assert np.array_equal(builtin.vector.values, custom.vector.values)
+
+
+# --------------------------------------------------------------------------- #
+# reporting layer
+# --------------------------------------------------------------------------- #
+def test_engine_reporting_renders():
+    matrix = erdos_renyi(200, 4.0, seed=14)
+    engine = SpMSpVEngine(matrix, algorithm="auto")
+    for x in densifying_frontiers(200, [2, 10, 60, 150], seed=14):
+        engine.multiply(x)
+    history = format_engine_history(engine, max_rows=3)
+    assert "algorithm" in history and "(1 more calls)" in history
+    stats = format_workspace_stats(engine.workspace)
+    assert "allocations_saved" in stats
+    summary = summarize_engine(engine)
+    assert "SpMSpV calls" in summary and "workspace" in summary
