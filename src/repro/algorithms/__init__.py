@@ -21,11 +21,19 @@ from .mis import (
     is_maximal_independent_set,
     maximal_independent_set,
 )
-from .pagerank import PageRankResult, column_stochastic, pagerank, pagerank_dense_reference
+from .pagerank import (
+    BlockedPageRankResult,
+    PageRankResult,
+    column_stochastic,
+    pagerank,
+    pagerank_block,
+    pagerank_dense_reference,
+)
 from .sssp import SSSPResult, sssp
 
 __all__ = [
     "BFSResult",
+    "BlockedPageRankResult",
     "ConnectedComponentsResult",
     "LocalClusterResult",
     "MISResult",
@@ -46,6 +54,7 @@ __all__ = [
     "maximal_bipartite_matching",
     "maximal_independent_set",
     "pagerank",
+    "pagerank_block",
     "pagerank_dense_reference",
     "sssp",
     "validate_bfs_tree",

@@ -20,7 +20,7 @@ import numpy as np
 
 from .._typing import INDEX_DTYPE
 from ..core.engine import SpMSpVEngine
-from ..core.result import SpMSpVResult
+from ..core.result import DetachableResult, SpMSpVResult
 from ..formats.csc import CSCMatrix
 from ..formats.sparse_vector import SparseVector
 from ..graphs.graph import Graph
@@ -30,7 +30,7 @@ from ..semiring import MIN_SELECT2ND
 
 
 @dataclass
-class BFSResult:
+class BFSResult(DetachableResult):
     """Outcome of a breadth-first search."""
 
     source: int
@@ -138,7 +138,7 @@ def bfs(graph: Graph | CSCMatrix, source: int,
 
 
 @dataclass
-class MultiSourceBFSResult:
+class MultiSourceBFSResult(DetachableResult):
     """Outcome of a batched multi-source breadth-first search."""
 
     sources: List[int]
@@ -169,13 +169,18 @@ class MultiSourceBFSResult:
 def bfs_multi_source(graph: Graph | CSCMatrix, sources: List[int],
                      ctx: Optional[ExecutionContext] = None, *,
                      algorithm: str = "bucket",
-                     max_levels: Optional[int] = None) -> MultiSourceBFSResult:
+                     max_levels: Optional[int] = None,
+                     block_mode: str = "auto") -> MultiSourceBFSResult:
     """Run independent BFS traversals from several sources as one batched job.
 
     Every level performs one :meth:`~repro.core.engine.SpMSpVEngine.multiply_many`
     over the block of still-active frontiers, so all searches share a single
-    persistent workspace and a single per-level dispatch decision — the
-    batched multi-vector workload the engine exists for.
+    persistent workspace, a single per-level dispatch decision, and — when
+    the engine's block cost model favours it — the fused block kernel (one
+    gather/scatter per level for all frontiers).  ``block_mode`` forces the
+    fused (``"fused"``) or per-vector (``"looped"``) path; both are
+    bit-identical, so this is a performance knob only (used by the
+    block-fusion benchmark).
     """
     matrix = graph.matrix if isinstance(graph, Graph) else graph
     if matrix.nrows != matrix.ncols:
@@ -214,7 +219,7 @@ def bfs_multi_source(graph: Graph | CSCMatrix, sources: List[int],
         masks = [SparseVector.full_like_indices(n, np.concatenate(visited[i]), 1.0)
                  for i in active]
         results = engine.multiply_many(xs, semiring=MIN_SELECT2ND, masks=masks,
-                                       mask_complement=True)
+                                       mask_complement=True, block_mode=block_mode)
         for i, result in zip(active, results):
             reached = result.vector
             if reached.nnz == 0:

@@ -22,6 +22,7 @@ import numpy as np
 
 from .._typing import INDEX_DTYPE
 from ..core.engine import SpMSpVEngine
+from ..core.result import DetachableResult
 from ..formats.csc import CSCMatrix
 from ..formats.sparse_vector import SparseVector
 from ..parallel.context import ExecutionContext, default_context
@@ -30,7 +31,7 @@ from ..semiring import MIN_SELECT2ND
 
 
 @dataclass
-class MatchingResult:
+class MatchingResult(DetachableResult):
     """Outcome of the maximal bipartite matching."""
 
     #: for every left vertex (row), the matched right vertex (column) or -1

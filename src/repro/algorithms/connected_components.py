@@ -17,6 +17,7 @@ import numpy as np
 
 from .._typing import INDEX_DTYPE
 from ..core.engine import SpMSpVEngine
+from ..core.result import DetachableResult
 from ..formats.csc import CSCMatrix
 from ..formats.sparse_vector import SparseVector
 from ..graphs.graph import Graph
@@ -26,7 +27,7 @@ from ..semiring import MIN_SELECT2ND
 
 
 @dataclass
-class ConnectedComponentsResult:
+class ConnectedComponentsResult(DetachableResult):
     """Outcome of the connected-components computation."""
 
     #: component label per vertex (the smallest vertex id in the component)

@@ -22,6 +22,7 @@ import numpy as np
 
 from .._typing import INDEX_DTYPE
 from ..core.engine import SpMSpVEngine
+from ..core.result import DetachableResult
 from ..formats.csc import CSCMatrix
 from ..formats.sparse_vector import SparseVector
 from ..graphs.graph import Graph
@@ -32,7 +33,7 @@ from .pagerank import column_stochastic
 
 
 @dataclass
-class LocalClusterResult:
+class LocalClusterResult(DetachableResult):
     """Outcome of the ACL local clustering around a seed vertex."""
 
     seed: int

@@ -17,6 +17,7 @@ import numpy as np
 
 from .._typing import INDEX_DTYPE
 from ..core.engine import SpMSpVEngine
+from ..core.result import DetachableResult
 from ..formats.csc import CSCMatrix
 from ..formats.sparse_vector import SparseVector
 from ..graphs.graph import Graph
@@ -26,7 +27,7 @@ from ..semiring import MAX_SELECT2ND
 
 
 @dataclass
-class MISResult:
+class MISResult(DetachableResult):
     """Outcome of the maximal-independent-set computation."""
 
     #: boolean membership flag per vertex

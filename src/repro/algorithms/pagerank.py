@@ -21,6 +21,7 @@ import numpy as np
 
 from .._typing import INDEX_DTYPE
 from ..core.engine import SpMSpVEngine
+from ..core.result import DetachableResult
 from ..formats.coo import COOMatrix
 from ..formats.csc import CSCMatrix
 from ..formats.sparse_vector import SparseVector
@@ -50,7 +51,7 @@ def column_stochastic(matrix: CSCMatrix) -> CSCMatrix:
 
 
 @dataclass
-class PageRankResult:
+class PageRankResult(DetachableResult):
     """Outcome of the data-driven PageRank computation."""
 
     scores: np.ndarray
@@ -111,8 +112,11 @@ def pagerank(graph: Graph | CSCMatrix,
         new_delta_dense = np.zeros(n)
         if spread.nnz:
             new_delta_dense[spread.indices] = damping * spread.values
-        # dangling vertices spread their delta uniformly through the teleport vector
-        dangling_mass = float(delta.to_dense()[dangling].sum()) if len(dangling) else 0.0
+        # dangling vertices spread their delta uniformly through the teleport
+        # vector; O(nnz) membership sum — densifying the delta would cost O(n)
+        dangling_mass = float(delta.values[np.isin(
+            delta.indices, dangling, assume_unique=True)].sum()) \
+            if len(dangling) and delta.nnz else 0.0
         if dangling_mass:
             new_delta_dense += damping * dangling_mass * teleport
         scores += new_delta_dense
@@ -123,6 +127,104 @@ def pagerank(graph: Graph | CSCMatrix,
     scores /= scores.sum()
     return PageRankResult(scores=scores, num_iterations=iterations,
                           active_sizes=active_sizes, records=records, engine=engine)
+
+
+@dataclass
+class BlockedPageRankResult(DetachableResult):
+    """Outcome of a blocked (multi-personalization) PageRank computation."""
+
+    #: scores[i] is the score vector of the i-th personalization
+    scores: np.ndarray
+    #: iterations until every personalization converged (or hit the cap)
+    num_iterations: int
+    #: per-personalization iteration counts (match standalone ``pagerank`` runs)
+    iterations_per_source: List[int] = field(default_factory=list)
+    #: total active (still-changing) vertices per iteration, over the block
+    active_sizes: List[int] = field(default_factory=list)
+    engine: Optional[SpMSpVEngine] = None
+
+    @property
+    def num_sources(self) -> int:
+        return int(self.scores.shape[0])
+
+    def top(self, i: int, k: int = 10) -> List[tuple]:
+        """The k highest-ranked vertices of personalization ``i``."""
+        order = np.argsort(self.scores[i])[::-1][:k]
+        return [(int(v), float(self.scores[i, v])) for v in order]
+
+
+def pagerank_block(graph: Graph | CSCMatrix,
+                   personalizations: List[np.ndarray],
+                   ctx: Optional[ExecutionContext] = None, *,
+                   algorithm: str = "bucket",
+                   damping: float = 0.85,
+                   tol: float = 1e-8,
+                   max_iterations: int = 200,
+                   block_mode: str = "auto") -> BlockedPageRankResult:
+    """Run k personalized PageRank computations as one blocked job.
+
+    Every iteration multiplies the transition matrix by the **block** of the
+    still-active delta vectors through one
+    :meth:`~repro.core.engine.SpMSpVEngine.multiply_many` — one workspace, one
+    dispatch decision and (when the block cost model favours it) one fused
+    gather/scatter for all k personalizations.  Each personalization follows
+    exactly the iteration of :func:`pagerank`, so ``scores[i]`` equals a
+    standalone ``pagerank(..., personalization=personalizations[i])`` run
+    bit for bit.  ``block_mode`` forces the fused/looped block path (a
+    performance knob; both paths are bit-identical).
+    """
+    matrix = graph.matrix if isinstance(graph, Graph) else graph
+    if matrix.nrows != matrix.ncols:
+        raise ValueError("PageRank requires a square adjacency matrix")
+    n = matrix.ncols
+    ctx = ctx if ctx is not None else default_context()
+    transition = column_stochastic(matrix)
+    engine = SpMSpVEngine(transition, ctx, algorithm=algorithm)
+    dangling = np.flatnonzero(np.diff(transition.indptr) == 0)
+
+    k = len(personalizations)
+    teleports = []
+    for personalization in personalizations:
+        teleport = np.zeros(n)
+        teleport[np.asarray(personalization, dtype=INDEX_DTYPE)] = 1.0
+        teleport /= teleport.sum()
+        teleports.append(teleport)
+
+    scores = np.stack(teleports) if k else np.zeros((0, n))
+    deltas: List[SparseVector] = [SparseVector.from_dense(t) for t in teleports]
+    iterations_per_source = [0] * k
+    active_sizes: List[int] = []
+    level = 0
+
+    while any(d.nnz for d in deltas) and level < max_iterations:
+        level += 1
+        active = [i for i in range(k) if deltas[i].nnz]
+        active_sizes.append(sum(deltas[i].nnz for i in active))
+        results = engine.multiply_many([deltas[i] for i in active],
+                                       semiring=PLUS_TIMES, block_mode=block_mode)
+        for i, result in zip(active, results):
+            iterations_per_source[i] += 1
+            spread = result.vector
+            new_delta_dense = np.zeros(n)
+            if spread.nnz:
+                new_delta_dense[spread.indices] = damping * spread.values
+            # same O(nnz) membership sum as `pagerank` (bit-identical paths)
+            dangling_mass = float(deltas[i].values[np.isin(
+                deltas[i].indices, dangling, assume_unique=True)].sum()) \
+                if len(dangling) and deltas[i].nnz else 0.0
+            if dangling_mass:
+                new_delta_dense += damping * dangling_mass * teleports[i]
+            scores[i] += new_delta_dense
+            active_idx = np.flatnonzero(np.abs(new_delta_dense) > tol)
+            deltas[i] = SparseVector(n, active_idx.astype(INDEX_DTYPE),
+                                     new_delta_dense[active_idx],
+                                     sorted=True, check=False)
+
+    for i in range(k):
+        scores[i] /= scores[i].sum()
+    return BlockedPageRankResult(scores=scores, num_iterations=level,
+                                 iterations_per_source=iterations_per_source,
+                                 active_sizes=active_sizes, engine=engine)
 
 
 def pagerank_dense_reference(graph: Graph | CSCMatrix, *, damping: float = 0.85,

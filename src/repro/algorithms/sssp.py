@@ -17,6 +17,7 @@ import numpy as np
 
 from .._typing import INDEX_DTYPE
 from ..core.engine import SpMSpVEngine
+from ..core.result import DetachableResult
 from ..errors import ReproError
 from ..formats.csc import CSCMatrix
 from ..formats.sparse_vector import SparseVector
@@ -27,7 +28,7 @@ from ..semiring import MIN_PLUS
 
 
 @dataclass
-class SSSPResult:
+class SSSPResult(DetachableResult):
     """Outcome of the single-source shortest path computation."""
 
     source: int

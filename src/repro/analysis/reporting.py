@@ -87,7 +87,9 @@ def format_engine_history(engine: "SpMSpVEngine", *,
         clipped = len(calls) - max_rows
         calls = calls[:max_rows]
     rows = [[c.index, c.algorithm, c.f, float(c.density), float(c.cost_ms),
-             "explore" if c.explored else ("batch" if c.batch is not None else "")]
+             "explore" if c.explored
+             else ("fused" if c.fused
+                   else ("batch" if c.batch is not None else ""))]
             for c in calls]
     text = format_table(
         ["call", "algorithm", "nnz(x)", "density", "cost (ms)", "note"], rows,

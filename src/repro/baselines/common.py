@@ -28,6 +28,8 @@ from ..core.workspace import SpMSpVWorkspace, as_workspace, merge_by_row  # noqa
 from ..formats.csc import CSCMatrix
 from ..formats.partition import split_ranges
 from ..formats.sparse_vector import SparseVector
+from ..parallel.metrics import PhaseRecord, WorkMetrics
+from ..parallel.partitioner import partition_by_weight
 from ..semiring import Semiring
 
 # cache: id(matrix.indices) -> (strong ref to the indices array, {threads: counts}).
@@ -81,6 +83,51 @@ def strip_nonempty_columns(matrix: CSCMatrix, num_threads: int) -> np.ndarray:
 def clear_caches() -> None:
     """Drop all cached per-matrix data (exposed for tests)."""
     _STRIP_NZC_CACHE.clear()
+
+
+def gather_cost_chunks(matrix: CSCMatrix, indices: np.ndarray, num_threads: int):
+    """Column weights and contiguous per-thread chunks of a multi-column gather.
+
+    ``weights[p]`` is ``nnz(A(:, indices[p]))`` — the matrix nonzeros the p-th
+    selected column contributes — and the chunks balance those weights across
+    threads (the §III-B nonzero-balanced split).  This is the one place the
+    gather phase of every vector-driven kernel derives its work split from.
+    """
+    indices = np.asarray(indices, dtype=INDEX_DTYPE)
+    if len(indices):
+        weights = matrix.indptr[indices + 1] - matrix.indptr[indices]
+    else:
+        weights = np.empty(0, dtype=INDEX_DTYPE)
+    return weights, partition_by_weight(weights, num_threads)
+
+
+def priced_gather_phase(col_weights: np.ndarray, chunks, *, name: str = "gather",
+                        pair_weights: Optional[np.ndarray] = None) -> PhaseRecord:
+    """Price a vectorized column gather as a per-thread :class:`PhaseRecord`.
+
+    Each thread reads its chunk of selected columns (vector entry + column
+    pointer per column, every matrix nonzero of the column) and produces one
+    scaled product per *output pair*.  For a single input vector a column's
+    pair count equals its nonzero count; a fused vector block passes
+    ``pair_weights`` = (column nnz) x (vectors sharing the column), so the
+    gather is charged once while the multiply is charged per (row, vector-id)
+    pair.  This is the shared code path through which ``spmspv_sort`` and the
+    block kernel price their gathers.
+    """
+    if pair_weights is None:
+        pair_weights = col_weights
+    phase = PhaseRecord(name=name, parallel=True)
+    for chunk in chunks:
+        entries = int(col_weights[chunk].sum()) if len(chunk) else 0
+        pairs = int(pair_weights[chunk].sum()) if len(chunk) else 0
+        phase.thread_metrics.append(WorkMetrics(
+            vector_reads=len(chunk),
+            colptr_reads=len(chunk),
+            matrix_nnz_reads=entries,
+            multiplications=pairs,
+            buffer_writes=pairs,
+        ))
+    return phase
 
 
 def gather_selected(matrix: CSCMatrix, x: SparseVector, semiring: Semiring):

@@ -28,9 +28,14 @@ from ..formats.csc import CSCMatrix
 from ..formats.sparse_vector import SparseVector
 from ..parallel.context import ExecutionContext, default_context
 from ..parallel.metrics import ExecutionRecord, PhaseRecord, WorkMetrics
-from ..parallel.partitioner import partition_by_weight
 from ..semiring import PLUS_TIMES, Semiring
-from .common import check_operands, gather_selected, merge_entries
+from .common import (
+    check_operands,
+    gather_cost_chunks,
+    gather_selected,
+    merge_entries,
+    priced_gather_phase,
+)
 
 
 def spmspv_sort(matrix: CSCMatrix, x: SparseVector,
@@ -53,22 +58,10 @@ def spmspv_sort(matrix: CSCMatrix, x: SparseVector,
     record = ExecutionRecord(algorithm="spmspv_sort", num_threads=t,
                              info={"m": m, "n": matrix.ncols, "f": f})
 
-    # gather phase (parallel over the nonzeros of x, balanced by column weight)
-    col_weights = (matrix.indptr[x.indices + 1] - matrix.indptr[x.indices]) if f else \
-        np.empty(0, dtype=INDEX_DTYPE)
-    chunks = partition_by_weight(col_weights, t)
-    gather_phase = PhaseRecord(name="gather", parallel=True)
-    for tid in range(t):
-        chunk = chunks[tid]
-        entries = int(col_weights[chunk].sum()) if len(chunk) else 0
-        gather_phase.thread_metrics.append(WorkMetrics(
-            vector_reads=len(chunk),
-            colptr_reads=len(chunk),
-            matrix_nnz_reads=entries,
-            multiplications=entries,
-            buffer_writes=entries,
-        ))
-    record.add_phase(gather_phase)
+    # gather phase (parallel over the nonzeros of x, balanced by column weight),
+    # priced through the shared gather helpers like every other kernel
+    col_weights, chunks = gather_cost_chunks(matrix, x.indices, t)
+    record.add_phase(priced_gather_phase(col_weights, chunks))
 
     rows, scaled = gather_selected(matrix, x, semiring)
     total = len(rows)

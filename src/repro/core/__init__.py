@@ -9,10 +9,11 @@ from .dispatch import (
     register_algorithm,
     spmspv,
 )
-from .engine import EngineCall, SpMSpVEngine, clear_engine_cache, engine_for
+from .engine import CostFit, EngineCall, SpMSpVEngine, clear_engine_cache, engine_for
 from .left_multiply import spmspv_left, transpose_for_left_multiply
 from .result import SpMSpVResult
 from .spa import SparseAccumulator
+from .spmspv_block import spmspv_bucket_block
 from .spmspv_bucket import spmspv_bucket, spmspv_bucket_reference
 from .vector_ops import (
     assign_scalar,
@@ -23,12 +24,14 @@ from .vector_ops import (
     reduce_vector,
     where_values,
 )
-from .workspace import DenseScratch, SpMSpVWorkspace
+from .workspace import BlockBuffers, DenseScratch, SpMSpVWorkspace
 
 __all__ = [
     "AUTO_DENSITY_SWITCH",
+    "BlockBuffers",
     "BucketOffsets",
     "BucketStore",
+    "CostFit",
     "DenseScratch",
     "EngineCall",
     "SpMSpVEngine",
@@ -51,6 +54,7 @@ __all__ = [
     "register_algorithm",
     "spmspv",
     "spmspv_bucket",
+    "spmspv_bucket_block",
     "spmspv_bucket_reference",
     "spmspv_left",
     "transpose_for_left_multiply",

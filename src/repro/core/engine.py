@@ -19,7 +19,11 @@ live, instead of being re-plumbed by every graph algorithm:
   exploration call keeping the losing model fresh.
 * **Batched multi-vector execution** — :meth:`SpMSpVEngine.multiply_many`
   runs a block of input vectors (multi-source BFS frontiers, blocked
-  PageRank deltas) through one dispatch decision and one shared workspace.
+  PageRank deltas) through one dispatch decision and one shared workspace,
+  and — when the block cost model favours it — through the genuinely fused
+  block kernel (:func:`repro.core.spmspv_block.spmspv_bucket_block`): one
+  gather and one scatter for the whole vector block instead of a per-vector
+  loop.
 
 :func:`engine_for` caches engines per ``(matrix, context)`` so the
 backward-compatible :func:`repro.core.dispatch.spmspv` entry point also
@@ -30,14 +34,18 @@ from __future__ import annotations
 
 import inspect
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..formats.csc import CSCMatrix
 from ..formats.sparse_vector import SparseVector
-from ..machine.cost_model import cost_model_for
+from ..formats.vector_block import SparseVectorBlock
+from ..machine.cost_model import block_features, cost_model_for, dispatch_features
 from ..parallel.context import ExecutionContext, default_context
 from ..semiring import PLUS_TIMES, Semiring
 from .result import SpMSpVResult
@@ -60,40 +68,55 @@ def _accepts_workspace(fn) -> bool:
         return False
 
 
-class OnlineCostModel:
-    """Per-algorithm online fit of ``cost_ms ≈ alpha + beta · nnz(x)``.
+class CostFit:
+    """Online multi-feature least-squares fit of ``cost ≈ w · φ``.
 
-    A running least-squares over the (f, cost) observations harvested from
-    execution records.  Two samples at distinct f are enough to predict; the
-    engine keeps exploring so the fit tracks the workload.
+    A running accumulation of the normal equations over observed
+    ``(features, cost)`` pairs, solved with a small ridge term so the
+    naturally collinear features (``nnz(x)``, density and nzc all grow
+    together on one matrix) stay well-posed.  Two samples are enough to
+    predict — the seed heuristic hands over early and the engine keeps
+    exploring so the fit tracks the workload.  This generalizes the previous
+    single-feature ``alpha + beta · nnz(x)`` fit to the richer
+    (nnz(x), density, nzc) features of
+    :func:`repro.machine.cost_model.dispatch_features` and the block
+    features of :func:`repro.machine.cost_model.block_features`.
     """
 
-    __slots__ = ("count", "sum_f", "sum_c", "sum_ff", "sum_fc")
+    __slots__ = ("dim", "count", "xtx", "xty", "_weights")
 
-    def __init__(self):
+    def __init__(self, dim: int = 4):
+        self.dim = int(dim)
         self.count = 0
-        self.sum_f = 0.0
-        self.sum_c = 0.0
-        self.sum_ff = 0.0
-        self.sum_fc = 0.0
+        self.xtx = np.zeros((self.dim, self.dim))
+        self.xty = np.zeros(self.dim)
+        self._weights: Optional[np.ndarray] = None
 
-    def observe(self, f: int, cost_ms: float) -> None:
+    def observe(self, features: np.ndarray, cost_ms: float) -> None:
+        phi = np.asarray(features, dtype=np.float64)
         self.count += 1
-        self.sum_f += f
-        self.sum_c += cost_ms
-        self.sum_ff += f * f
-        self.sum_fc += f * cost_ms
+        self.xtx += np.outer(phi, phi)
+        self.xty += phi * cost_ms
+        self._weights = None  # refit lazily on the next prediction
 
-    def predict(self, f: int) -> Optional[float]:
-        """Predicted cost at frontier size ``f`` (None until enough samples)."""
+    def weights(self) -> Optional[np.ndarray]:
+        """The current ridge-regularized fit (None until enough samples)."""
         if self.count < 2:
             return None
-        denom = self.count * self.sum_ff - self.sum_f * self.sum_f
-        if denom <= 0.0:  # all samples at the same f: fall back to the mean
-            return self.sum_c / self.count
-        beta = (self.count * self.sum_fc - self.sum_f * self.sum_c) / denom
-        alpha = (self.sum_c - beta * self.sum_f) / self.count
-        return max(alpha + beta * f, 0.0)
+        if self._weights is None:
+            # scale-aware ridge: tiny against the data, big enough to pin the
+            # null space of collinear features
+            lam = 1e-8 * (np.trace(self.xtx) / self.dim + 1.0)
+            self._weights = np.linalg.solve(
+                self.xtx + lam * np.eye(self.dim), self.xty)
+        return self._weights
+
+    def predict(self, features: np.ndarray) -> Optional[float]:
+        """Predicted cost for a feature vector (None until enough samples)."""
+        w = self.weights()
+        if w is None:
+            return None
+        return max(float(w @ np.asarray(features, dtype=np.float64)), 0.0)
 
 
 @dataclass
@@ -111,6 +134,8 @@ class EngineCall:
     explored: bool = False
     #: batch id for calls issued through multiply_many, else None
     batch: Optional[int] = None
+    #: True when the call was served by the fused block kernel
+    fused: bool = False
 
 
 class SpMSpVEngine:
@@ -166,11 +191,17 @@ class SpMSpVEngine:
         self.total_calls = 0
         self.total_cost_ms = 0.0
         self.total_explored = 0
-        self._models: Dict[str, OnlineCostModel] = {
-            name: OnlineCostModel() for name in self.candidates}
+        self._models: Dict[str, CostFit] = {
+            name: CostFit(dim=4) for name in self.candidates}
+        #: wall-clock fits of blocked execution ('fused' vs 'looped'), over the
+        #: block features (k, total nnz, union width, sharing ratio)
+        self._block_fits: Dict[str, CostFit] = {
+            mode: CostFit(dim=5) for mode in ("fused", "looped")}
         self._price = cost_model_for(self.ctx.platform)
         self._modeled_calls = 0
+        self._modeled_blocks = 0
         self._batches = 0
+        self._fused_batches = 0
         # one multiplication at a time per engine: concurrent callers of the
         # spmspv shim share this engine's workspace, which is not reentrant
         self._lock = threading.Lock()
@@ -186,11 +217,32 @@ class SpMSpVEngine:
             return matrix_driven[0]
         return vector_driven[0] if vector_driven else self.candidates[0]
 
-    def select_algorithm(self, x: SparseVector) -> Tuple[str, bool]:
-        """Pick the algorithm for one input vector; returns ``(name, explored)``."""
+    def call_features(self, x: SparseVector) -> np.ndarray:
+        """The (bias, nnz(x), density, nzc) features of one call on this matrix.
+
+        ``nzc`` is the number of selected columns that are non-empty in the
+        matrix — an O(nnz(x)) indptr probe, and the feature that separates
+        hub-heavy frontiers from flat ones at equal nnz(x).
+        """
+        f = x.nnz
+        if f:
+            nzc = int(np.count_nonzero(
+                self.matrix.indptr[x.indices + 1] - self.matrix.indptr[x.indices]))
+        else:
+            nzc = 0
+        return dispatch_features(f, x.n, nzc)
+
+    def select_algorithm(self, x: SparseVector,
+                         features: Optional[np.ndarray] = None) -> Tuple[str, bool]:
+        """Pick the algorithm for one input vector; returns ``(name, explored)``.
+
+        ``features`` lets a caller that already computed :meth:`call_features`
+        (the nzc probe is O(nnz(x))) pass them in instead of recomputing.
+        """
         f = x.nnz
         density = f / max(x.n, 1)
-        predictions = {name: self._models[name].predict(f) for name in self.candidates}
+        phi = features if features is not None else self.call_features(x)
+        predictions = {name: self._models[name].predict(phi) for name in self.candidates}
         if all(p is not None for p in predictions.values()):
             ranked = sorted(self.candidates, key=lambda name: predictions[name])
             self._modeled_calls += 1
@@ -219,8 +271,10 @@ class SpMSpVEngine:
         with self._lock:
             requested = algorithm if algorithm is not None else self.algorithm
             explored = _explored
+            phi = None  # call features, computed at most once per call
             if requested == "auto":
-                name, explored = self.select_algorithm(x)
+                phi = self.call_features(x)
+                name, explored = self.select_algorithm(x, features=phi)
             else:
                 name = requested
             fn = get_algorithm(name)
@@ -235,7 +289,9 @@ class SpMSpVEngine:
 
             cost_ms = self._price.record_time_ms(result.record)
             if name in self._models:
-                self._models[name].observe(x.nnz, cost_ms)
+                if phi is None:
+                    phi = self.call_features(x)
+                self._models[name].observe(phi, cost_ms)
             self.history.append(EngineCall(
                 index=self.total_calls, algorithm=name, requested=requested,
                 f=x.nnz, density=x.nnz / max(x.n, 1), cost_ms=cost_ms,
@@ -248,20 +304,89 @@ class SpMSpVEngine:
                 del self.history[:len(self.history) - self.max_history]
             return result
 
+    # ------------------------------------------------------------------ #
+    # blocked execution
+    # ------------------------------------------------------------------ #
+    def _block_eligible(self, xs: List[SparseVector], requested: str,
+                        kwargs: Dict) -> bool:
+        """Whether this batch can run through the fused block kernel.
+
+        The fused kernel is the block variant of the bucket algorithm, so the
+        batch must have resolved to ``"bucket"``; it also needs ≥ 2 vectors of
+        one dtype (mixed-dtype blocks would promote the value slab and break
+        bit-identity with per-vector calls) and no kernel-specific kwargs.
+        """
+        return (requested == "bucket" and len(xs) >= 2 and not kwargs
+                and len({x.dtype for x in xs}) == 1)
+
+    @staticmethod
+    def _block_stats(xs: List[SparseVector]) -> Tuple[int, int]:
+        """``(total_nnz, union_nnz)`` of a batch, without building the block.
+
+        The fused-vs-looped decision only needs these two scalars; the full
+        :class:`SparseVectorBlock` (value slab, membership mask, positions)
+        is O(union x k) and is built only for batches that actually fuse.
+        """
+        total_nnz = sum(x.nnz for x in xs)
+        nonempty = [x.indices for x in xs if x.nnz]
+        union_nnz = int(len(np.unique(np.concatenate(nonempty)))) if nonempty else 0
+        return total_nnz, union_nnz
+
+    def select_block_mode(self, block: SparseVectorBlock) -> Tuple[str, bool]:
+        """Fused or looped execution for one block; returns ``(mode, explored)``."""
+        return self._select_block_mode(
+            block_features(block.k, block.total_nnz, block.union_nnz),
+            block.k, block.sharing_ratio())
+
+    def _select_block_mode(self, phi: np.ndarray, k: int, sharing: float
+                           ) -> Tuple[str, bool]:
+        """The decision behind :meth:`select_block_mode`, from precomputed features.
+
+        Seeded by a sharing/width heuristic — fuse wide blocks (k ≥ 4), and
+        narrower ones only when their column unions overlap enough for the
+        shared gather to pay — then refined online from *measured wall time*
+        of fused and looped batches over the block features
+        ``(k, total nnz, union width, sharing)``.  Wall time, not simulated
+        time, because the two paths do the same algorithmic work: fusion wins
+        by eliminating per-vector dispatch and gather overhead, which only
+        the clock sees.
+        """
+        predictions = {mode: fit.predict(phi)
+                       for mode, fit in self._block_fits.items()}
+        if all(p is not None for p in predictions.values()):
+            ranked = sorted(self._block_fits, key=lambda mode: predictions[mode])
+            self._modeled_blocks += 1
+            if (self.explore_every > 0
+                    and self._modeled_blocks % self.explore_every == 0):
+                return ranked[1], True
+            return ranked[0], False
+        if k >= 4 or sharing >= 1.5:
+            return "fused", False
+        return "looped", False
+
     def multiply_many(self, xs: Sequence[SparseVector], *,
                       semiring: Semiring = PLUS_TIMES,
                       sorted_output: Optional[bool] = None,
                       masks: Optional[Sequence[Optional[SparseVector]]] = None,
                       mask_complement: bool = False,
                       algorithm: Optional[str] = None,
+                      block_mode: str = "auto",
                       **kwargs) -> List[SpMSpVResult]:
         """Blocked execution of one matrix against many input vectors.
 
         The whole batch shares the engine's workspace and — under ``"auto"``
         — a single dispatch decision, made for the *densest* vector of the
-        block (the worst case for a vector-driven kernel).  This is the
-        multi-source BFS / blocked PageRank entry point.
+        block (the worst case for a vector-driven kernel).  When the batch
+        resolves to the bucket kernel, the engine additionally chooses between
+        the **fused block kernel** (one gather/scatter/merge for the whole
+        block, :func:`~repro.core.spmspv_block.spmspv_bucket_block`) and the
+        per-vector loop, per :meth:`select_block_mode`; ``block_mode`` forces
+        the choice (``"fused"`` / ``"looped"``) instead of ``"auto"``.  Both
+        paths return bit-identical results.  This is the multi-source BFS /
+        blocked PageRank entry point.
         """
+        if block_mode not in ("auto", "fused", "looped"):
+            raise ValueError(f"block_mode must be auto|fused|looped, got {block_mode!r}")
         xs = list(xs)
         if masks is not None and len(masks) != len(xs):
             raise ValueError(f"got {len(xs)} vectors but {len(masks)} masks")
@@ -272,6 +397,33 @@ class SpMSpVEngine:
         if requested == "auto" and xs:
             densest = max(xs, key=lambda x: x.nnz)
             requested, explored = self.select_algorithm(densest)
+
+        eligible = self._block_eligible(xs, requested, kwargs)
+        mode = "looped"
+        block_explored = False
+        phi: Optional[np.ndarray] = None
+        if eligible:
+            total_nnz, union_nnz = self._block_stats(xs)
+            phi = block_features(len(xs), total_nnz, union_nnz)
+            if block_mode == "auto":
+                mode, block_explored = self._select_block_mode(
+                    phi, len(xs), total_nnz / max(union_nnz, 1))
+            else:
+                # forced mode: fused only applies to eligible batches — an
+                # ineligible one (e.g. a single surviving BFS frontier) quietly
+                # runs the per-vector loop, which is bit-identical anyway
+                mode = block_mode
+
+        if mode == "fused":
+            return self._multiply_block(
+                xs, phi, batch=batch,
+                semiring=semiring, sorted_output=sorted_output, masks=masks,
+                mask_complement=mask_complement, requested=requested,
+                explored=explored or block_explored)
+
+        # observed window spans the same per-call pricing/bookkeeping the
+        # fused window spans, so the two wall-time fits stay comparable
+        t0 = time.perf_counter()
         results = []
         for i, x in enumerate(xs):
             results.append(self.multiply(
@@ -280,7 +432,51 @@ class SpMSpVEngine:
                 mask_complement=mask_complement, algorithm=requested,
                 # one exploration decision per batch: flag only its first call
                 _batch=batch, _explored=explored and i == 0, **kwargs))
+        if eligible:
+            self._block_fits["looped"].observe(
+                phi, (time.perf_counter() - t0) * 1e3)
         return results
+
+    def _multiply_block(self, xs: List[SparseVector],
+                        phi: Optional[np.ndarray], *, batch: int,
+                        semiring: Semiring, sorted_output: Optional[bool],
+                        masks: Optional[Sequence[Optional[SparseVector]]],
+                        mask_complement: bool, requested: str,
+                        explored: bool) -> List[SpMSpVResult]:
+        """Run one batch through the fused block kernel, observing its cost."""
+        from .spmspv_block import spmspv_bucket_block  # late: avoids import cycle
+
+        with self._lock:
+            # the observed window covers everything fusion-specific the looped
+            # path does not pay — block packing, the fused kernel, and the
+            # per-result pricing/bookkeeping below — so the fused and looped
+            # wall-time fits stay comparable
+            t0 = time.perf_counter()
+            block = SparseVectorBlock.from_vectors(xs)
+            if phi is None:
+                phi = block_features(block.k, block.total_nnz, block.union_nnz)
+            results = spmspv_bucket_block(
+                self.matrix, block, self.ctx, semiring=semiring,
+                sorted_output=sorted_output, masks=masks,
+                mask_complement=mask_complement, workspace=self.workspace)
+            self._fused_batches += 1
+            nnzs = block.nnz_per_vector()
+            for i, result in enumerate(results):
+                cost_ms = self._price.record_time_ms(result.record)
+                f = int(nnzs[i])
+                self.history.append(EngineCall(
+                    index=self.total_calls, algorithm="bucket_block",
+                    requested=requested, f=f, density=f / max(block.n, 1),
+                    cost_ms=cost_ms, explored=explored and i == 0, batch=batch,
+                    fused=True))
+                self.total_calls += 1
+                self.total_cost_ms += cost_ms
+            self._block_fits["fused"].observe(
+                phi, (time.perf_counter() - t0) * 1e3)
+            self.total_explored += int(explored)
+            if len(self.history) > 2 * self.max_history:
+                del self.history[:len(self.history) - self.max_history]
+            return results
 
     # ------------------------------------------------------------------ #
     # introspection (consumed by repro.analysis.reporting)
@@ -308,6 +504,7 @@ class SpMSpVEngine:
         return {
             "calls": self.total_calls,
             "batches": self._batches,
+            "fused_batches": self._fused_batches,
             "algorithms_used": self.algorithms_used(),
             "switches": self.switch_count,
             "explored_calls": self.total_explored,

@@ -1,0 +1,290 @@
+"""Fused vector-block SpMSpV: the bucket algorithm over (row, vector-id) pairs.
+
+:meth:`SpMSpVEngine.multiply_many <repro.core.engine.SpMSpVEngine.multiply_many>`
+historically looped k independent :func:`~repro.core.spmspv_bucket.spmspv_bucket`
+calls — k column gathers, k scatters, k merges, k rounds of interpreter
+overhead.  :func:`spmspv_bucket_block` is the genuinely fused variant: the
+whole :class:`~repro.formats.vector_block.SparseVectorBlock` is executed with
+
+* **one gather** — the shared column union is pulled out of the matrix once
+  (:meth:`~repro.formats.csc.CSCMatrix.gather_columns_block`) and the
+  semiring multiply is broadcast across all k vectors in a single vectorized
+  pass; columns selected by several vectors are never re-gathered;
+* **one scatter** — the gathered entries are expanded into a flat array of
+  ``(row, vector-id)`` pairs (each vector's pairs in its *original* gather
+  order, replayed from the block's stored positions) living in persistent
+  :class:`~repro.core.workspace.BlockBuffers`;
+* **one merge** — a single stable sort of the composite key
+  ``vector-id · m + row`` plays the role of the per-bucket SPA merges for
+  the whole block at once.  Every ``(vector, row)`` run contains exactly the
+  entries the per-vector kernel would merge, in the same order, so the
+  semiring reduction is **bit-identical** to k independent ``multiply`` calls
+  (including unsorted inputs and first-touch unsorted output);
+* **one output pass** — unique pairs are permuted into each vector's
+  per-bucket output order and sliced into k output vectors.
+
+The four phases are priced like the per-vector bucket kernel — estimate /
+bucketing / spa_merge / output, with the pair counts of Algorithm 1 applied
+to (row, vector-id) pairs — and each vector's
+:class:`~repro.core.result.SpMSpVResult` carries its proportional share of
+the block's work, so the fused records sum to the block total (the gather
+is charged once across the block: that is the fusion saving).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from .._typing import INDEX_DTYPE
+from ..formats.csc import CSCMatrix
+from ..formats.sparse_vector import SparseVector
+from ..formats.vector_block import SparseVectorBlock
+from ..machine.cache import estimate_column_gather_misses, estimate_scatter_misses
+from ..parallel.context import ExecutionContext, default_context
+from ..parallel.metrics import ExecutionRecord, PhaseRecord, WorkMetrics
+from ..semiring import PLUS_TIMES, Semiring
+from .buckets import bucket_of_rows
+from .result import SpMSpVResult
+from .spmspv_bucket import _radix_sort_ops
+from .vector_ops import check_operands, finalize_output
+from .workspace import BlockBuffers, SpMSpVWorkspace
+
+
+def _scaled_threads(totals: WorkMetrics, num_threads: int, share: float
+                    ) -> List[WorkMetrics]:
+    """Split one vector's share of block-phase totals evenly over the threads.
+
+    One scaled record repeated ``num_threads`` times: consumers only read, and
+    the cost model prices replicated objects once.
+    """
+    return [totals.scale(share / num_threads)] * num_threads
+
+
+def spmspv_bucket_block(matrix: CSCMatrix,
+                        block: Union[SparseVectorBlock, Sequence[SparseVector]],
+                        ctx: Optional[ExecutionContext] = None, *,
+                        semiring: Semiring = PLUS_TIMES,
+                        sorted_output: Optional[bool] = None,
+                        masks: Optional[Sequence[Optional[SparseVector]]] = None,
+                        mask_complement: bool = False,
+                        workspace: Optional[SpMSpVWorkspace] = None
+                        ) -> List[SpMSpVResult]:
+    """Multiply one CSC matrix by a block of k sparse vectors in one fused pass.
+
+    Parameters mirror :func:`~repro.core.spmspv_bucket.spmspv_bucket`, with
+    ``block`` either a :class:`SparseVectorBlock` or a plain sequence of
+    :class:`SparseVector` (packed on the fly) and ``masks`` an optional
+    per-vector mask list.  ``sorted_output=None`` resolves per vector, exactly
+    as the per-vector kernel does.  Returns one :class:`SpMSpVResult` per
+    vector, indices and values exactly equal to k independent per-vector
+    calls.
+    """
+    ctx = ctx if ctx is not None else default_context()
+    if not isinstance(block, SparseVectorBlock):
+        block = SparseVectorBlock.from_vectors(block)
+    check_operands(matrix, block)
+    if masks is not None and len(masks) != block.k:
+        raise ValueError(f"got {block.k} vectors but {len(masks)} masks")
+    ws = workspace if isinstance(workspace, SpMSpVWorkspace) else None
+    if ws is not None:
+        ws.check_rows(matrix.nrows)
+
+    t_start = time.perf_counter()
+    m, n = matrix.shape
+    t = ctx.num_threads
+    nb = ctx.num_buckets
+    k = block.k
+    u = block.union_nnz
+    nnz_per_vec = block.nnz_per_vector()
+    out_sorted = [sorted_output if sorted_output is not None
+                  else (block.sorted_flags[i] and ctx.sorted_vectors)
+                  for i in range(k)]
+
+    # ------------------------------------------------------------------ #
+    # one gather over the whole column union (+ multiply, see below)
+    # ------------------------------------------------------------------ #
+    from ..baselines.common import gather_cost_chunks, priced_gather_phase
+
+    col_weights, chunks = gather_cost_chunks(matrix, block.indices, t)
+
+    # pair counts: gathered entry e fans out to one (row, vector-id) pair per
+    # vector that stores entry src_g[e] of the union
+    member_counts = block.member.sum(axis=1).astype(INDEX_DTYPE) if u else \
+        np.empty(0, dtype=INDEX_DTYPE)
+    pair_weights = (col_weights * member_counts) if u else col_weights
+    df_per_vec = np.array(
+        [int(col_weights[pos].sum()) if len(pos) else 0 for pos in block.positions],
+        dtype=np.int64)
+    total_pairs = int(df_per_vec.sum())
+    share = (df_per_vec / total_pairs) if total_pairs else np.full(k, 1.0 / max(k, 1))
+    total_g = int(col_weights.sum()) if u else 0
+
+    # The multiply is broadcast across the (union gather) x (k vectors) slab
+    # only while that slab stays close to the true pair count — dense,
+    # heavily-shared blocks (PageRank deltas, overlapping BFS frontiers).  A
+    # weakly-shared block would waste k/sharing times the multiplies (and a
+    # (total, k) temporary) on products no vector needs, so it computes each
+    # vector's df_i products directly during the expansion instead; both
+    # paths produce identical scalars.
+    broadcast = total_pairs > 0 and total_g * k <= 2 * total_pairs
+    rows_g, vals_g, _src_g, scaled = matrix.gather_columns_block(
+        block.indices, block.values if broadcast else None,
+        multiply=semiring.multiply)
+    out_dtype = np.result_type(matrix.dtype, block.dtype)
+
+    # Phase 0: ESTIMATE-BUCKETS over the union (priced via the shared helpers)
+    estimate_phase = priced_gather_phase(col_weights, chunks, name="estimate")
+    for tm in estimate_phase.thread_metrics:
+        tm.multiplications = 0   # the estimate pass only counts, it scales nothing
+        tm.buffer_writes = nb    # per-(thread, bucket) counters
+
+    # ------------------------------------------------------------------ #
+    # one scatter: expand into flat (row, vector-id, value) pairs
+    # ------------------------------------------------------------------ #
+    if ws is not None:
+        buffers = ws.acquire_block(max(total_pairs, 1), dtype=out_dtype)
+    else:
+        buffers = BlockBuffers(max(total_pairs, 1), dtype=out_dtype)
+    exp_rows = buffers.rows[:total_pairs]
+    exp_keys = buffers.keys[:total_pairs]
+    exp_vals = buffers.values[:total_pairs]
+
+    # flat segment table of the union gather: column p of the union occupies
+    # rows_g[starts_u[p] : starts_u[p] + col_weights[p]]
+    starts_u = np.zeros(u + 1, dtype=np.int64)
+    if u:
+        np.cumsum(col_weights, out=starts_u[1:])
+    seg_offsets = np.zeros(k + 1, dtype=np.int64)
+    np.cumsum(df_per_vec, out=seg_offsets[1:])
+    for i in range(k):
+        pos = block.positions[i]
+        lo, hi = int(seg_offsets[i]), int(seg_offsets[i + 1])
+        if hi == lo:
+            continue
+        lengths = col_weights[pos]
+        # replay vector i's own gather order from the compact union gather
+        offs = np.zeros(len(pos), dtype=np.int64)
+        np.cumsum(lengths[:-1], out=offs[1:])
+        gpos = (np.repeat(starts_u[pos], lengths)
+                + np.arange(hi - lo, dtype=np.int64) - np.repeat(offs, lengths))
+        np.take(rows_g, gpos, out=exp_rows[lo:hi])
+        if broadcast:
+            exp_vals[lo:hi] = scaled[gpos, i]
+        else:
+            # same scalars as the broadcast slab (and as the per-vector
+            # kernel): A values in this vector's gather order times its own
+            # x value repeated over each column's entries
+            exp_vals[lo:hi] = semiring.multiply(
+                vals_g[gpos], np.repeat(block.values[pos, i], lengths))
+        np.add(exp_rows[lo:hi], np.int64(i) * m, out=exp_keys[lo:hi])
+
+    bucketing_phase = PhaseRecord(name="bucketing", parallel=True)
+    pairs_per_chunk = [int(pair_weights[chunk].sum()) if len(chunk) else 0
+                      for chunk in chunks]
+    entries_per_chunk = [int(col_weights[chunk].sum()) if len(chunk) else 0
+                        for chunk in chunks]
+    for tid in range(t):
+        metrics = WorkMetrics(
+            vector_reads=len(chunks[tid]),
+            colptr_reads=len(chunks[tid]),
+            matrix_nnz_reads=entries_per_chunk[tid],
+            multiplications=pairs_per_chunk[tid],
+            bucket_writes=pairs_per_chunk[tid],
+        )
+        if ctx.private_buffer_size > 0:
+            metrics.buffer_writes += pairs_per_chunk[tid]
+        metrics.cache_line_misses = estimate_column_gather_misses(
+            len(chunks[tid]), entries_per_chunk[tid], n, input_sorted=True)
+        bucketing_phase.thread_metrics.append(metrics)
+
+    # ------------------------------------------------------------------ #
+    # one merge: composite-key sort + segmented semiring reduction
+    # ------------------------------------------------------------------ #
+    if total_pairs:
+        order = np.argsort(exp_keys, kind="stable")
+        sorted_keys = exp_keys[order]
+        sorted_vals = exp_vals[order]
+        run_starts = np.concatenate(([0], np.flatnonzero(np.diff(sorted_keys)) + 1))
+        merged = semiring.reduceat(sorted_vals, run_starts)
+        ukey = sorted_keys[run_starts]
+        uvec = (ukey // m).astype(INDEX_DTYPE)
+        urow = (ukey % m).astype(INDEX_DTYPE)
+        first_pos = order[run_starts]  # stable sort: first occurrence of each run
+        if not all(out_sorted):
+            # per-vector output order: buckets ascending; inside a bucket rows
+            # ascending (sorted output) or by first touch (unsorted output)
+            bucket_u = bucket_of_rows(urow, nb, m)
+            big = np.int64(max(m, total_pairs) + 1)
+            sorted_flags_arr = np.array(out_sorted, dtype=bool)
+            rank = np.where(sorted_flags_arr[uvec], urow.astype(np.int64),
+                            first_pos.astype(np.int64))
+            comp = (uvec.astype(np.int64) * nb + bucket_u.astype(np.int64)) * big + rank
+            perm = np.argsort(comp, kind="stable")
+            urow, merged = urow[perm], merged[perm]
+        out_counts = np.bincount(uvec, minlength=k)
+    else:
+        urow = np.empty(0, dtype=INDEX_DTYPE)
+        merged = np.empty(0, dtype=out_dtype)
+        out_counts = np.zeros(k, dtype=np.int64)
+    out_offsets = np.zeros(k + 1, dtype=np.int64)
+    np.cumsum(out_counts, out=out_offsets[1:])
+    nnz_out = int(out_offsets[-1])
+
+    merge_totals = WorkMetrics(
+        spa_inits=total_pairs,
+        spa_updates=total_pairs,
+        additions=max(total_pairs - nnz_out, 0),
+        buffer_writes=nnz_out,
+        sort_elements=sum(_radix_sort_ops(int(out_counts[i]))
+                          for i in range(k) if out_sorted[i]),
+    )
+    # the merge working set is one bucket's row span per (bucket, vector) slice
+    bucket_span_rows = max(1, -(-m // nb))
+    merge_totals.cache_line_misses = estimate_scatter_misses(
+        2 * total_pairs, bucket_span_rows, ctx.platform.l2_kb)
+    merge_phase = PhaseRecord(name="spa_merge", parallel=True)
+    merge_phase.thread_metrics = _scaled_threads(merge_totals, t, 1.0)
+
+    output_phase = PhaseRecord(name="output", parallel=True)
+    output_phase.serial_metrics = WorkMetrics(additions=nb)
+    output_phase.thread_metrics = _scaled_threads(
+        WorkMetrics(output_writes=nnz_out, cache_line_misses=nnz_out), t, 1.0)
+
+    wall_s = time.perf_counter() - t_start
+
+    # ------------------------------------------------------------------ #
+    # slice per-vector outputs and apportion the block record
+    # ------------------------------------------------------------------ #
+    results: List[SpMSpVResult] = []
+    block_phases = (estimate_phase, bucketing_phase, merge_phase, output_phase)
+    # each vector's record carries its proportional share of the block phase
+    # totals, split evenly across threads (the true per-thread split belongs
+    # to the fused pass as a whole, not to any one vector)
+    phase_totals = [(p.name, p.total_work(), p.barriers) for p in block_phases]
+    for i in range(k):
+        lo, hi = int(out_offsets[i]), int(out_offsets[i + 1])
+        y = SparseVector(m, urow[lo:hi].copy(), merged[lo:hi].copy(),
+                         sorted=out_sorted[i], check=False)
+        y = finalize_output(y, semiring,
+                            mask=masks[i] if masks is not None else None,
+                            mask_complement=mask_complement)
+        record = ExecutionRecord(
+            algorithm="spmspv_bucket_block", num_threads=t,
+            info={"m": m, "n": n, "nnz_A": matrix.nnz, "f": int(nnz_per_vec[i]),
+                  "df": int(df_per_vec[i]), "nnz_y": y.nnz, "fused": True,
+                  "block_k": k, "block_union": u, "block_pairs": total_pairs,
+                  "workspace_reused": ws is not None})
+        s = float(share[i])
+        for name, totals, barriers in phase_totals:
+            scaled_phase = PhaseRecord(name=name, parallel=True, barriers=barriers)
+            scaled_phase.thread_metrics = _scaled_threads(totals, t, s)
+            record.add_phase(scaled_phase)
+        record.wall_time_s = wall_s / k
+        results.append(SpMSpVResult(
+            vector=y, record=record,
+            info={"f": int(nnz_per_vec[i]), "df": int(df_per_vec[i]),
+                  "nnz_y": y.nnz, "fused": True}))
+    return results

@@ -102,6 +102,39 @@ class DenseScratch:
         return uind, self.values[uind].copy()
 
 
+class BlockBuffers:
+    """Reusable flat buffers for the fused block kernel's (row, vector-id) pairs.
+
+    The fused kernel (:mod:`repro.core.spmspv_block`) expands the shared
+    column-union gather into one flat array of (row, vector-id, value) pairs —
+    its single scatter — and merges them with one composite-key sort.  These
+    three parallel arrays back that expansion; like the
+    :class:`~repro.core.buckets.BucketStore` they are allocated once and
+    regrown geometrically, so iterative batched workloads (multi-source BFS,
+    blocked PageRank) perform zero per-iteration slab allocations.
+    """
+
+    __slots__ = ("capacity", "rows", "keys", "values")
+
+    def __init__(self, capacity: int, dtype=np.float64):
+        self.capacity = max(int(capacity), 1)
+        self.rows = np.empty(self.capacity, dtype=INDEX_DTYPE)
+        self.keys = np.empty(self.capacity, dtype=np.int64)
+        self.values = np.empty(self.capacity, dtype=dtype)
+
+    def ensure_capacity(self, needed: int, dtype=None) -> bool:
+        """Grow/retype the backing arrays; returns True if a reallocation happened."""
+        if needed > self.capacity or (dtype is not None
+                                      and np.dtype(dtype) != self.values.dtype):
+            self.capacity = max(needed, self.capacity)
+            self.rows = np.empty(self.capacity, dtype=INDEX_DTYPE)
+            self.keys = np.empty(self.capacity, dtype=np.int64)
+            self.values = np.empty(self.capacity,
+                                   dtype=dtype if dtype is not None else self.values.dtype)
+            return True
+        return False
+
+
 class SpMSpVWorkspace:
     """Every reusable buffer an SpMSpV kernel needs, preallocated once per matrix.
 
@@ -116,6 +149,9 @@ class SpMSpVWorkspace:
         self.bucket_store = BucketStore(max(int(capacity), 1), dtype=dtype)
         self.spa = SparseAccumulator(self.nrows, semiring=semiring, dtype=dtype)
         self.scratch = DenseScratch(self.nrows, dtype=dtype)
+        #: block-expansion buffers, created lazily on the first fused block call
+        #: so single-vector workloads never pay for them
+        self.block: Optional[BlockBuffers] = None
         #: buffer (re)allocations performed, including the three at construction
         self.allocations = 3
         #: kernel calls served from already-allocated buffers
@@ -154,6 +190,17 @@ class SpMSpVWorkspace:
             self.allocations += 1
         return self.scratch
 
+    def acquire_block(self, needed: int, dtype=None) -> BlockBuffers:
+        """The fused-kernel pair buffers, grown/retyped for this block multiply."""
+        self.acquisitions += 1
+        if self.block is None:
+            self.block = BlockBuffers(needed, dtype=dtype if dtype is not None
+                                      else np.float64)
+            self.allocations += 1
+        elif self.block.ensure_capacity(needed, dtype=dtype):
+            self.allocations += 1
+        return self.block
+
     # ------------------------------------------------------------------ #
     def stats(self) -> Dict[str, float]:
         """Reuse statistics for the reporting layer."""
@@ -165,6 +212,7 @@ class SpMSpVWorkspace:
             "reuse_fraction": saved / self.acquisitions if self.acquisitions else 0.0,
             "bucket_capacity": self.bucket_store.capacity,
             "spa_rows": self.spa.m,
+            "block_capacity": self.block.capacity if self.block is not None else 0,
         }
 
     def __repr__(self) -> str:  # pragma: no cover

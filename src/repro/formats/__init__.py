@@ -38,6 +38,7 @@ from .partition import (
     split_ranges,
 )
 from .sparse_vector import SparseVector
+from .vector_block import SparseVectorBlock
 
 __all__ = [
     "BitVector",
@@ -49,6 +50,7 @@ __all__ = [
     "GridPartition",
     "RowSplit",
     "SparseVector",
+    "SparseVectorBlock",
     "column_split",
     "convert",
     "from_scipy",

@@ -204,6 +204,39 @@ class CSCMatrix:
         positions = np.repeat(starts, lengths) + within
         return self.indices[positions], self.data[positions], source
 
+    def gather_columns_block(self, cols: np.ndarray, values_slab: Optional[np.ndarray] = None,
+                             multiply=None) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
+                                                     Optional[np.ndarray]]:
+        """Gather a column union once and broadcast-multiply it against a value slab.
+
+        This is the block counterpart of :meth:`gather_columns`: ``cols`` is
+        the (typically shared) column union of a
+        :class:`~repro.formats.vector_block.SparseVectorBlock`, gathered in
+        **one** vectorized pass, and ``values_slab`` is the block's
+        ``(len(cols), k)`` value slab.  The multiply is broadcast across all k
+        vectors in a single vectorized call: the returned ``scaled`` has shape
+        ``(total, k)`` with ``scaled[e, i] = multiply(values[e], slab[src[e], i])``
+        — every vector's scaled contribution for every gathered nonzero,
+        without gathering any column twice.
+
+        Returns ``(rows, values, source, scaled)``; ``scaled`` is None when no
+        slab is given (plain union gather).
+        """
+        rows, vals, src = self.gather_columns(cols)
+        if values_slab is None:
+            return rows, vals, src, None
+        values_slab = np.asarray(values_slab)
+        if values_slab.ndim != 2 or values_slab.shape[0] != len(as_index_array(cols)):
+            raise DimensionMismatchError(
+                f"values_slab must be (len(cols), k), got {values_slab.shape}")
+        mul = multiply if multiply is not None else np.multiply
+        if len(rows) == 0:
+            k = values_slab.shape[1]
+            out_dtype = np.result_type(self.dtype, values_slab.dtype)
+            return rows, vals, src, np.empty((0, k), dtype=out_dtype)
+        scaled = np.asarray(mul(vals[:, None], values_slab[src]))
+        return rows, vals, src, scaled
+
     def selected_nnz(self, cols: np.ndarray) -> int:
         """Total number of nonzeros in the selected columns (``d·f`` of the analysis)."""
         cols = as_index_array(cols)

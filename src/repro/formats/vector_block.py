@@ -1,0 +1,175 @@
+"""A block of k sparse vectors sharing one column-union index set.
+
+The batched workloads this package serves — multi-source BFS frontiers,
+blocked PageRank deltas, batched frontier expansion — multiply one matrix
+against *k* sparse vectors per iteration.  Executing them one at a time pays
+the column gather, the bucket scatter and the Python dispatch overhead k
+times, even though the vectors typically select heavily overlapping column
+sets.  :class:`SparseVectorBlock` is the input format of the fused block
+kernel (:mod:`repro.core.spmspv_block`): it stores
+
+* ``indices`` — the **sorted union** of the k vectors' nonzero indices
+  (length ``u``), so the matrix columns are gathered once per batch;
+* ``values`` — a ``(u, k)`` value slab, column ``i`` holding vector ``i``'s
+  values at the union positions (semiring-agnostic zero fill elsewhere —
+  absent entries are masked out, never combined);
+* ``member`` — a ``(u, k)`` boolean membership mask (vector ``i`` stores an
+  entry at union position ``p`` iff ``member[p, i]``);
+* ``positions`` — per vector, the union positions of its entries **in the
+  vector's own storage order**.  This is what makes block execution exactly
+  reproduce per-vector kernels even for unsorted input vectors: the fused
+  kernel replays each vector's original gather order, so floating-point
+  reductions see their addends in the identical sequence.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from .._typing import INDEX_DTYPE
+from ..errors import DimensionMismatchError, FormatError
+from .sparse_vector import SparseVector
+
+
+class SparseVectorBlock:
+    """k sparse vectors of one length stored over a shared column union."""
+
+    __slots__ = ("n", "k", "indices", "values", "member", "positions",
+                 "sorted_flags")
+
+    def __init__(self, n: int, k: int, indices: np.ndarray, values: np.ndarray,
+                 member: np.ndarray, positions: List[np.ndarray],
+                 sorted_flags: Sequence[bool], *, check: bool = True):
+        self.n = int(n)
+        self.k = int(k)
+        self.indices = np.asarray(indices, dtype=INDEX_DTYPE)
+        self.values = np.asarray(values)
+        self.member = np.asarray(member, dtype=bool)
+        self.positions = list(positions)
+        self.sorted_flags = [bool(s) for s in sorted_flags]
+        if check:
+            self.validate()
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_vectors(cls, xs: Sequence[SparseVector]) -> "SparseVectorBlock":
+        """Pack a list of equal-length sparse vectors into one block.
+
+        The vectors keep their identity exactly: :meth:`to_vectors` returns
+        vectors with the same indices *in the same storage order* (and the
+        same sortedness flags), so ``from_vectors``/``to_vectors`` round-trips
+        bit-for-bit.
+        """
+        xs = list(xs)
+        if not xs:
+            raise FormatError("a SparseVectorBlock needs at least one vector")
+        n = xs[0].n
+        for x in xs:
+            if x.n != n:
+                raise DimensionMismatchError(
+                    f"block vectors must share one length: got {x.n} and {n}")
+        k = len(xs)
+        dtype = np.result_type(*[x.dtype for x in xs]) if k else np.float64
+        all_indices = [x.indices for x in xs if x.nnz]
+        union = (np.unique(np.concatenate(all_indices)) if all_indices
+                 else np.empty(0, dtype=INDEX_DTYPE)).astype(INDEX_DTYPE, copy=False)
+        u = len(union)
+        values = np.zeros((u, k), dtype=dtype)
+        member = np.zeros((u, k), dtype=bool)
+        positions: List[np.ndarray] = []
+        for i, x in enumerate(xs):
+            pos = np.searchsorted(union, x.indices).astype(INDEX_DTYPE, copy=False)
+            positions.append(pos)
+            member[pos, i] = True
+            values[pos, i] = x.values
+        return cls(n, k, union, values, member, positions,
+                   [x.sorted for x in xs], check=False)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @property
+    def union_nnz(self) -> int:
+        """Size of the shared column union (``u``) — the block's gather width."""
+        return int(len(self.indices))
+
+    @property
+    def dtype(self):
+        return self.values.dtype
+
+    def nnz_per_vector(self) -> np.ndarray:
+        """``nnz(x_i)`` for every vector of the block."""
+        return np.array([len(p) for p in self.positions], dtype=INDEX_DTYPE)
+
+    @property
+    def total_nnz(self) -> int:
+        """Sum of the per-vector nnz (the looped kernels' total gather width)."""
+        return int(self.nnz_per_vector().sum())
+
+    def density(self) -> float:
+        """Block density: stored entries over the k·n logical slots."""
+        return self.total_nnz / (self.k * self.n) if self.n and self.k else 0.0
+
+    def sharing_ratio(self) -> float:
+        """How many vectors touch each union column on average (≥ 1).
+
+        ``total_nnz / union_nnz``: the factor by which the fused gather is
+        narrower than the k per-vector gathers.  1.0 means fully disjoint
+        vectors (fusion only saves dispatch overhead), k means identical ones.
+        """
+        u = self.union_nnz
+        return self.total_nnz / u if u else 1.0
+
+    def all_sorted(self) -> bool:
+        """Whether every vector of the block is stored in sorted index order."""
+        return all(self.sorted_flags)
+
+    def mask_for(self, i: int) -> np.ndarray:
+        """Boolean membership of vector ``i`` over the union positions."""
+        return self.member[:, i]
+
+    def validate(self) -> None:
+        """Check the structural invariants tying union, slab, masks and positions."""
+        u = len(self.indices)
+        if self.values.shape != (u, self.k):
+            raise FormatError(
+                f"value slab must be ({u}, {self.k}), got {self.values.shape}")
+        if self.member.shape != (u, self.k):
+            raise FormatError(
+                f"membership mask must be ({u}, {self.k}), got {self.member.shape}")
+        if len(self.positions) != self.k or len(self.sorted_flags) != self.k:
+            raise FormatError("positions/sorted_flags must have one entry per vector")
+        if u:
+            if self.indices.min() < 0 or self.indices.max() >= self.n:
+                raise FormatError("union index out of range")
+            if np.any(np.diff(self.indices) <= 0):
+                raise FormatError("union indices must be strictly increasing")
+        for i, pos in enumerate(self.positions):
+            if len(pos) != int(np.count_nonzero(self.member[:, i])):
+                raise FormatError(f"vector {i}: positions disagree with membership")
+            if len(pos) and (pos.min() < 0 or pos.max() >= u):
+                raise FormatError(f"vector {i}: position out of union range")
+
+    # ------------------------------------------------------------------ #
+    # conversions
+    # ------------------------------------------------------------------ #
+    def vector(self, i: int) -> SparseVector:
+        """Reconstruct vector ``i`` exactly as it was packed (order included)."""
+        pos = self.positions[i]
+        return SparseVector(self.n, self.indices[pos], self.values[pos, i],
+                            sorted=self.sorted_flags[i], check=False)
+
+    def to_vectors(self) -> List[SparseVector]:
+        """Unpack the block into its k vectors (exact round-trip of ``from_vectors``)."""
+        return [self.vector(i) for i in range(self.k)]
+
+    def __len__(self) -> int:
+        return self.k
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"SparseVectorBlock(k={self.k}, n={self.n}, union={self.union_nnz}, "
+                f"total_nnz={self.total_nnz}, dtype={self.dtype})")

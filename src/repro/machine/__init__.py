@@ -2,14 +2,26 @@
 
 from .cache import CacheStats, SetAssociativeCache, estimate_column_gather_misses, \
     estimate_scatter_misses
-from .cost_model import DEFAULT_WEIGHTS_NS, CostModel, cost_model_for
+from .cost_model import (
+    BLOCK_FEATURE_NAMES,
+    DEFAULT_WEIGHTS_NS,
+    DISPATCH_FEATURE_NAMES,
+    CostModel,
+    block_features,
+    cost_model_for,
+    dispatch_features,
+)
 from .platforms import EDISON, KNL, LAPTOP, PLATFORMS, Platform, get_platform
 from .simulator import SimulatedRun, simulate_record, simulate_records, speedup_curve
 
 __all__ = [
+    "BLOCK_FEATURE_NAMES",
     "CacheStats",
     "CostModel",
     "DEFAULT_WEIGHTS_NS",
+    "DISPATCH_FEATURE_NAMES",
+    "block_features",
+    "dispatch_features",
     "EDISON",
     "KNL",
     "LAPTOP",

@@ -21,10 +21,39 @@ few ns, a cache miss tens of ns, a barrier a few µs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Dict
 
-from ..parallel.metrics import ExecutionRecord, PhaseRecord, WorkMetrics
+import numpy as np
+
+from ..parallel.metrics import METRIC_FIELDS, ExecutionRecord, PhaseRecord, WorkMetrics
 from .platforms import EDISON, Platform
+
+# --------------------------------------------------------------------------- #
+# feature vectors consumed by the engine's online cost fits
+# --------------------------------------------------------------------------- #
+#: features of one SpMSpV call: bias, frontier size, frontier density and the
+#: number of *non-empty* selected columns (ROADMAP: "density + nzc, not just
+#: nnz(x)").  nzc separates hub-heavy frontiers (few useful columns, large
+#: d·f) from flat ones at the same nnz(x), which a single-feature fit on
+#: nnz(x) cannot express.
+DISPATCH_FEATURE_NAMES = ("bias", "nnz_x", "density", "nzc")
+
+#: features of one blocked multiply: bias, block width k, total stored
+#: entries, column-union width, and the sharing ratio total/union (how much
+#: of the gather the fused kernel deduplicates).
+BLOCK_FEATURE_NAMES = ("bias", "k", "total_nnz", "union_nnz", "sharing")
+
+
+def dispatch_features(nnz_x: int, n: int, nzc: int) -> np.ndarray:
+    """Feature vector of one SpMSpV call for :class:`repro.core.engine.CostFit`."""
+    return np.array([1.0, float(nnz_x), nnz_x / max(n, 1), float(nzc)])
+
+
+def block_features(k: int, total_nnz: int, union_nnz: int) -> np.ndarray:
+    """Feature vector of one blocked multiply (fused-vs-looped decision)."""
+    return np.array([1.0, float(k), float(total_nnz), float(union_nnz),
+                     total_nnz / max(union_nnz, 1)])
 
 #: nanosecond cost per counted operation on a reference (Edison-class) core.
 DEFAULT_WEIGHTS_NS: Dict[str, float] = {
@@ -66,21 +95,29 @@ class CostModel:
         # per-core speed scales every core-side cost
         return base / self.platform.core_speed
 
+    @cached_property
+    def _weight_table(self) -> Dict[str, float]:
+        """Per-counter effective weights, resolved once per model instance."""
+        return {name: self.weight(name) for name in METRIC_FIELDS}
+
     def thread_cost_ns(self, metrics: WorkMetrics) -> float:
         """Total cost (ns) of one thread's work, ignoring memory-system contention."""
+        table = self._weight_table
         total = 0.0
-        for name, count in metrics.as_dict().items():
+        for name in METRIC_FIELDS:
+            count = getattr(metrics, name)
             if count:
-                total += count * self.weight(name)
+                total += count * table[name]
         return total
 
     def irregular_cost_ns(self, metrics: WorkMetrics) -> float:
         """Cost (ns) of the irregular-memory portion of one thread's work."""
+        table = self._weight_table
         total = 0.0
         for name in IRREGULAR_FIELDS:
             count = getattr(metrics, name)
             if count:
-                total += count * self.weight(name)
+                total += count * table[name]
         return total
 
     # ------------------------------------------------------------------ #
@@ -99,9 +136,17 @@ class CostModel:
         if not phase.thread_metrics:
             return self.thread_cost_ns(phase.serial_metrics) + overhead
 
-        per_thread = [self.thread_cost_ns(m) for m in phase.thread_metrics]
+        # replicated thread metrics (e.g. the block kernel's evenly-apportioned
+        # shares are one object repeated t times) are priced once
+        costs: Dict[int, float] = {}
+        irregulars: Dict[int, float] = {}
+        for m in phase.thread_metrics:
+            if id(m) not in costs:
+                costs[id(m)] = self.thread_cost_ns(m)
+                irregulars[id(m)] = self.irregular_cost_ns(m)
+        per_thread = [costs[id(m)] for m in phase.thread_metrics]
         critical_path = max(per_thread)
-        total_irregular = sum(self.irregular_cost_ns(m) for m in phase.thread_metrics)
+        total_irregular = sum(irregulars[id(m)] for m in phase.thread_metrics)
         channels = max(1, self.platform.memory_channels)
         bandwidth_bound = total_irregular / channels
         serial_part = self.thread_cost_ns(phase.serial_metrics)

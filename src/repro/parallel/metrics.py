@@ -65,8 +65,8 @@ class WorkMetrics:
     def merge(self, other: "WorkMetrics") -> "WorkMetrics":
         """Return the field-wise sum of two metric records."""
         merged = WorkMetrics()
-        for f in fields(WorkMetrics):
-            setattr(merged, f.name, getattr(self, f.name) + getattr(other, f.name))
+        for name in METRIC_FIELDS:
+            setattr(merged, name, getattr(self, name) + getattr(other, name))
         return merged
 
     def __add__(self, other: "WorkMetrics") -> "WorkMetrics":
@@ -75,14 +75,14 @@ class WorkMetrics:
     def scale(self, factor: float) -> "WorkMetrics":
         """Return a copy with every counter multiplied by ``factor`` (rounded)."""
         scaled = WorkMetrics()
-        for f in fields(WorkMetrics):
-            setattr(scaled, f.name, int(round(getattr(self, f.name) * factor)))
+        for name in METRIC_FIELDS:
+            setattr(scaled, name, int(round(getattr(self, name) * factor)))
         return scaled
 
     def total_operations(self) -> int:
         """Unweighted sum of all counters except synchronization events."""
-        return sum(getattr(self, f.name) for f in fields(WorkMetrics)
-                   if f.name != "sync_events")
+        return sum(getattr(self, name) for name in METRIC_FIELDS
+                   if name != "sync_events")
 
     def arithmetic_operations(self) -> int:
         """Multiplications + additions — the work a lower-bound-attaining algorithm needs."""
@@ -94,7 +94,7 @@ class WorkMetrics:
 
     def as_dict(self) -> Dict[str, int]:
         """Counters as a plain dict (stable field order)."""
-        return {f.name: getattr(self, f.name) for f in fields(WorkMetrics)}
+        return {name: getattr(self, name) for name in METRIC_FIELDS}
 
     @classmethod
     def sum(cls, items: Iterable["WorkMetrics"]) -> "WorkMetrics":
@@ -107,6 +107,11 @@ class WorkMetrics:
     def __repr__(self) -> str:  # pragma: no cover
         nonzero = {k: v for k, v in self.as_dict().items() if v}
         return f"WorkMetrics({nonzero})"
+
+
+#: counter names, resolved once — kernels and the cost model iterate metric
+#: fields on every call, and ``dataclasses.fields`` is too slow for that
+METRIC_FIELDS = tuple(f.name for f in fields(WorkMetrics))
 
 
 @dataclass
@@ -132,6 +137,17 @@ class PhaseRecord:
 
     def num_threads(self) -> int:
         return max(len(self.thread_metrics), 1)
+
+    def compact(self) -> "PhaseRecord":
+        """Summary-only copy: per-thread lists collapsed into one total record.
+
+        Total work is preserved exactly; the per-thread split (and with it
+        the critical-path timing detail) is dropped.  Used by
+        :meth:`~repro.core.result.SpMSpVResult.detach` for results retained
+        long after their timings have been read.
+        """
+        return PhaseRecord(name=self.name, parallel=False, thread_metrics=[],
+                           serial_metrics=self.total_work(), barriers=self.barriers)
 
 
 @dataclass
@@ -171,3 +187,9 @@ class ExecutionRecord:
 
     def phase_names(self) -> List[str]:
         return [p.name for p in self.phases]
+
+    def compact(self) -> "ExecutionRecord":
+        """Summary-only copy with every phase collapsed (see :meth:`PhaseRecord.compact`)."""
+        return ExecutionRecord(algorithm=self.algorithm, num_threads=self.num_threads,
+                               phases=[p.compact() for p in self.phases],
+                               info=dict(self.info), wall_time_s=self.wall_time_s)

@@ -1,0 +1,339 @@
+"""Tests for the fused vector-block SpMSpV path.
+
+Covers the contract of the block-execution stack:
+
+* :class:`~repro.formats.vector_block.SparseVectorBlock` round-trips its
+  vectors exactly — indices, values, *storage order* and sortedness flags —
+  including unsorted and empty vectors (property-based);
+* the fused kernel (:func:`~repro.core.spmspv_block.spmspv_bucket_block` /
+  ``multiply_many(block_mode="fused")``) is **bit-identical** to per-vector
+  ``multiply`` across every semiring, masked/unmasked, every
+  ``sorted_output`` mode and sorted/unsorted inputs;
+* the engine's block dispatch actually takes the fused path for dense-enough
+  blocks, reuses the persistent block buffers, learns from observed wall
+  times, and the forced modes behave;
+* blocked PageRank and multi-source BFS match their per-source runs through
+  the fused path;
+* ``detach()`` releases engine workspaces and compacts records.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import bfs, bfs_multi_source, pagerank, pagerank_block
+from repro.core import CostFit, SpMSpVEngine, spmspv_bucket_block
+from repro.core.spmspv_bucket import spmspv_bucket
+from repro.formats import CSCMatrix, SparseVector, SparseVectorBlock
+from repro.graphs import erdos_renyi
+from repro.machine import block_features, dispatch_features
+from repro.parallel import default_context
+from repro.semiring import (
+    MAX_SELECT2ND,
+    MAX_TIMES,
+    MIN_PLUS,
+    MIN_SELECT1ST,
+    MIN_SELECT2ND,
+    OR_AND,
+    PLUS_TIMES,
+)
+
+from conftest import random_csc, random_sparse_vector
+
+ALL_SEMIRINGS = [PLUS_TIMES, MIN_PLUS, MAX_TIMES, OR_AND, MIN_SELECT2ND,
+                 MAX_SELECT2ND, MIN_SELECT1ST]
+
+SETTINGS = dict(deadline=None, max_examples=30,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+def make_block_vectors(n, sizes, seed=0, *, sorted=True, dtype=np.float64):
+    vecs = []
+    for j, nnz in enumerate(sizes):
+        x = random_sparse_vector(n, nnz, seed=seed * 100 + j, sorted=sorted)
+        if dtype is not np.float64:
+            x = SparseVector(n, x.indices, x.values.astype(dtype),
+                             sorted=x.sorted, check=False)
+        vecs.append(x)
+    return vecs
+
+
+# --------------------------------------------------------------------------- #
+# SparseVectorBlock round-trip
+# --------------------------------------------------------------------------- #
+@st.composite
+def vector_lists(draw, max_n=40, max_k=6, max_nnz=20):
+    n = draw(st.integers(1, max_n))
+    k = draw(st.integers(1, max_k))
+    vecs = []
+    for _ in range(k):
+        nnz = draw(st.integers(0, min(n, max_nnz)))
+        indices = draw(st.lists(st.integers(0, n - 1), min_size=nnz, max_size=nnz,
+                                unique=True))
+        vals = draw(st.lists(st.floats(-5, 5, allow_nan=False, allow_infinity=False),
+                             min_size=nnz, max_size=nnz))
+        shuffle = draw(st.booleans())
+        indices = np.array(indices, dtype=np.int64)
+        vals = np.array(vals)
+        if not shuffle:
+            order = np.argsort(indices)
+            indices, vals = indices[order], vals[order]
+        vecs.append(SparseVector(n, indices, vals,
+                                 sorted=bool(nnz <= 1 or not shuffle),
+                                 check=False))
+    return vecs
+
+
+@given(vector_lists())
+@settings(**SETTINGS)
+def test_vector_block_round_trip_is_exact(vecs):
+    block = SparseVectorBlock.from_vectors(vecs)
+    block.validate()
+    back = block.to_vectors()
+    assert len(back) == len(vecs)
+    for original, restored in zip(vecs, back):
+        # exact round-trip: same indices in the same storage order, same values
+        assert np.array_equal(original.indices, restored.indices)
+        assert np.array_equal(original.values, restored.values)
+        assert original.sorted == restored.sorted
+    assert block.total_nnz == sum(v.nnz for v in vecs)
+    assert block.union_nnz <= block.total_nnz or block.total_nnz == 0
+    assert block.sharing_ratio() >= 1.0
+
+
+def test_vector_block_basic_statistics():
+    n = 20
+    a = SparseVector.from_dense(np.array([1.0] * 10 + [0.0] * 10))
+    b = SparseVector.from_dense(np.array([0.0] * 5 + [2.0] * 10 + [0.0] * 5))
+    block = SparseVectorBlock.from_vectors([a, b])
+    assert block.k == 2 and block.n == n
+    assert block.union_nnz == 15 and block.total_nnz == 20
+    assert block.sharing_ratio() == pytest.approx(20 / 15)
+    assert block.density() == pytest.approx(20 / 40)
+    assert np.array_equal(block.nnz_per_vector(), [10, 10])
+    assert block.mask_for(0).sum() == 10
+    assert block.all_sorted()
+
+
+def test_vector_block_rejects_mismatched_lengths():
+    from repro.errors import DimensionMismatchError
+    with pytest.raises(DimensionMismatchError):
+        SparseVectorBlock.from_vectors([SparseVector.empty(4), SparseVector.empty(5)])
+
+
+# --------------------------------------------------------------------------- #
+# fused kernel == per-vector kernel, across the whole combination matrix
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("semiring", ALL_SEMIRINGS, ids=lambda s: s.name)
+@pytest.mark.parametrize("sorted_output", [None, True, False])
+@pytest.mark.parametrize("with_mask", [False, True])
+def test_fused_block_is_bit_identical_to_per_vector(semiring, sorted_output, with_mask):
+    rng = np.random.default_rng(7)
+    for num_threads in (1, 3):
+        ctx = default_context(num_threads=num_threads)
+        for input_sorted in (True, False):
+            matrix = random_csc(48, 45, 0.15, seed=5)
+            dtype = bool if semiring is OR_AND else np.float64
+            xs = make_block_vectors(45, (0, 3, 11, 25), seed=9,
+                                    sorted=input_sorted, dtype=dtype)
+            if semiring is OR_AND:
+                xs = [SparseVector(45, x.indices, np.ones(x.nnz, dtype=bool),
+                                   sorted=x.sorted, check=False) for x in xs]
+            masks = None
+            mask_complement = False
+            if with_mask:
+                masks = [SparseVector.full_like_indices(
+                    48, np.sort(rng.choice(48, size=20, replace=False)), 1.0)
+                    for _ in xs]
+                mask_complement = True
+            fused = spmspv_bucket_block(matrix, xs, ctx, semiring=semiring,
+                                        sorted_output=sorted_output, masks=masks,
+                                        mask_complement=mask_complement)
+            for i, x in enumerate(xs):
+                direct = spmspv_bucket(matrix, x, ctx, semiring=semiring,
+                                       sorted_output=sorted_output,
+                                       mask=masks[i] if masks else None,
+                                       mask_complement=mask_complement)
+                assert np.array_equal(fused[i].vector.indices, direct.vector.indices)
+                assert np.array_equal(fused[i].vector.values, direct.vector.values)
+                assert fused[i].vector.sorted == direct.vector.sorted
+                assert fused[i].info["fused"]
+
+
+def test_fused_block_through_engine_matches_engine_multiply():
+    matrix = random_csc(60, 60, 0.12, seed=11)
+    ctx = default_context(num_threads=2)
+    xs = [random_sparse_vector(60, nnz, seed=40 + nnz) for nnz in (4, 9, 18, 33)]
+    fused_engine = SpMSpVEngine(matrix, ctx, algorithm="bucket")
+    fused = fused_engine.multiply_many(xs, block_mode="fused")
+    looped_engine = SpMSpVEngine(matrix, ctx, algorithm="bucket")
+    looped = looped_engine.multiply_many(xs, block_mode="looped")
+    for f, l in zip(fused, looped):
+        assert np.array_equal(f.vector.indices, l.vector.indices)
+        assert np.array_equal(f.vector.values, l.vector.values)
+    assert all(c.fused for c in fused_engine.history)
+    assert not any(c.fused for c in looped_engine.history)
+
+
+@given(vector_lists(max_n=30, max_k=5, max_nnz=15))
+@settings(**SETTINGS)
+def test_fused_block_bit_identity_property(vecs):
+    matrix = random_csc(25, vecs[0].n, 0.2, seed=3)
+    ctx = default_context(num_threads=2)
+    fused = spmspv_bucket_block(matrix, vecs, ctx, semiring=PLUS_TIMES)
+    for i, x in enumerate(vecs):
+        direct = spmspv_bucket(matrix, x, ctx, semiring=PLUS_TIMES)
+        assert np.array_equal(fused[i].vector.indices, direct.vector.indices)
+        assert np.array_equal(fused[i].vector.values, direct.vector.values)
+
+
+# --------------------------------------------------------------------------- #
+# engine block dispatch
+# --------------------------------------------------------------------------- #
+def test_engine_takes_fused_path_for_dense_enough_blocks():
+    matrix = random_csc(80, 80, 0.1, seed=21)
+    engine = SpMSpVEngine(matrix, default_context(num_threads=2), algorithm="bucket")
+    # a wide (k=8), dense-ish block: the seed heuristic must fuse it
+    xs = [random_sparse_vector(80, 30, seed=s) for s in range(8)]
+    results = engine.multiply_many(xs)
+    assert all(r.info.get("fused") for r in results)
+    assert all(c.fused and c.algorithm == "bucket_block" for c in engine.history)
+    assert engine.summary()["fused_batches"] == 1
+    # the persistent block buffers were created once and reused next batch
+    capacity = engine.workspace.block.capacity
+    engine.multiply_many(xs)
+    assert engine.workspace.block.capacity == capacity
+    assert engine.workspace.stats()["block_capacity"] == capacity
+
+
+def test_engine_loops_narrow_disjoint_blocks():
+    matrix = random_csc(80, 80, 0.1, seed=22)
+    engine = SpMSpVEngine(matrix, default_context(num_threads=2), algorithm="bucket")
+    # k=2 with disjoint supports: sharing_ratio == 1, below the fuse seed
+    a = SparseVector.full_like_indices(80, np.arange(0, 10), 1.0)
+    b = SparseVector.full_like_indices(80, np.arange(40, 50), 1.0)
+    engine.multiply_many([a, b])
+    assert not any(c.fused for c in engine.history)
+
+
+def test_block_mode_validation_and_mixed_dtype_fallback():
+    matrix = random_csc(30, 30, 0.2, seed=23)
+    engine = SpMSpVEngine(matrix, algorithm="bucket")
+    xs = [random_sparse_vector(30, 5, seed=s) for s in (1, 2, 3, 4)]
+    with pytest.raises(ValueError):
+        engine.multiply_many(xs, block_mode="sideways")
+    # mixed dtypes are ineligible: forced fused quietly loops instead
+    mixed = [xs[0], SparseVector(30, xs[1].indices,
+                                 xs[1].values.astype(np.float32),
+                                 sorted=xs[1].sorted, check=False)]
+    results = engine.multiply_many(mixed, block_mode="fused")
+    assert not any(r.info.get("fused") for r in results)
+
+
+def test_block_cost_fit_learns_and_drives_the_decision():
+    matrix = random_csc(60, 60, 0.12, seed=24)
+    engine = SpMSpVEngine(matrix, default_context(num_threads=2),
+                          algorithm="bucket", explore_every=0)
+    xs = [random_sparse_vector(60, 12, seed=s) for s in range(6)]
+    engine.multiply_many(xs, block_mode="fused")
+    engine.multiply_many(xs, block_mode="fused")
+    engine.multiply_many(xs, block_mode="looped")
+    engine.multiply_many(xs, block_mode="looped")
+    block = SparseVectorBlock.from_vectors(xs)
+    phi = block_features(block.k, block.total_nnz, block.union_nnz)
+    fits = engine._block_fits
+    assert fits["fused"].count == 2 and fits["looped"].count == 2
+    assert fits["fused"].predict(phi) is not None
+    assert fits["looped"].predict(phi) is not None
+    # both fits trained: the auto decision is now model-driven
+    mode, explored = engine.select_block_mode(block)
+    assert mode in ("fused", "looped") and not explored
+    predictions = {m: fits[m].predict(phi) for m in fits}
+    assert mode == min(predictions, key=predictions.get)
+
+
+def test_cost_fit_multifeature_recovers_a_planted_model():
+    fit = CostFit(dim=4)
+    rng = np.random.default_rng(5)
+    w_true = np.array([0.5, 0.01, 2.0, 0.005])
+    for _ in range(50):
+        f = int(rng.integers(1, 500))
+        nzc = int(rng.integers(1, f + 1))
+        phi = dispatch_features(f, 1000, nzc)
+        fit.observe(phi, float(w_true @ phi))
+    phi = dispatch_features(123, 1000, 77)
+    assert fit.predict(phi) == pytest.approx(float(w_true @ phi), rel=1e-3)
+
+
+# --------------------------------------------------------------------------- #
+# algorithms through the fused path
+# --------------------------------------------------------------------------- #
+def test_multi_source_bfs_fused_matches_looped_and_single_runs():
+    matrix = erdos_renyi(250, 5.0, seed=31)
+    ctx = default_context(num_threads=2)
+    sources = list(range(8))
+    fused = bfs_multi_source(matrix, sources, ctx, block_mode="fused")
+    looped = bfs_multi_source(matrix, sources, ctx, block_mode="looped")
+    assert np.array_equal(fused.levels, looped.levels)
+    assert np.array_equal(fused.parents, looped.parents)
+    assert fused.engine.summary()["fused_batches"] > 0
+    for k, source in enumerate(sources[:3]):
+        single = bfs(matrix, source, ctx, algorithm="bucket")
+        assert np.array_equal(fused.levels[k], single.levels)
+        assert np.array_equal(fused.parents[k], single.parents)
+
+
+def test_blocked_pagerank_matches_per_source_runs_exactly():
+    matrix = erdos_renyi(150, 5.0, seed=32)
+    ctx = default_context(num_threads=2)
+    perss = [np.array([0, 5]), np.array([10]), np.array([20, 30, 40]),
+             np.array([7, 70])]
+    for mode in ("fused", "looped"):
+        blocked = pagerank_block(matrix, perss, ctx, block_mode=mode)
+        for i, p in enumerate(perss):
+            single = pagerank(matrix, ctx, personalization=p)
+            assert np.array_equal(blocked.scores[i], single.scores)
+            assert blocked.iterations_per_source[i] == single.num_iterations
+
+
+# --------------------------------------------------------------------------- #
+# detach: summary-only results
+# --------------------------------------------------------------------------- #
+def test_detach_releases_engine_and_compacts_records():
+    matrix = erdos_renyi(120, 4.0, seed=33)
+    result = bfs(matrix, 0, default_context(num_threads=3))
+    workspace = result.engine.workspace
+    total_before = [r.total_work().as_dict() for r in result.records]
+    assert result.detach() is result
+    assert result.engine is None
+    assert result.engine_summary["calls"] == len(result.records)
+    assert result.engine_summary["workspace"]["spa_rows"] == workspace.spa.m
+    # records are compacted to totals: per-thread lists gone, work preserved
+    for record, before in zip(result.records, total_before):
+        assert all(not p.thread_metrics for p in record.phases)
+        assert record.total_work().as_dict() == before
+    # levels/parents untouched
+    assert result.levels[0] == 0
+
+
+def test_spmspv_result_detach_keeps_vector_and_info():
+    matrix = random_csc(40, 40, 0.15, seed=34)
+    x = random_sparse_vector(40, 8, seed=34)
+    result = spmspv_bucket(matrix, x, default_context(num_threads=4))
+    indices = result.vector.indices.copy()
+    work = result.record.total_work().as_dict()
+    assert result.detach() is result
+    assert np.array_equal(result.vector.indices, indices)
+    assert result.record.total_work().as_dict() == work
+    assert all(not p.thread_metrics for p in result.record.phases)
+
+
+def test_blocked_pagerank_detach():
+    matrix = erdos_renyi(80, 4.0, seed=35)
+    result = pagerank_block(matrix, [np.array([0]), np.array([1])],
+                            default_context())
+    assert result.engine is not None
+    result.detach()
+    assert result.engine is None
+    assert result.engine_summary["batches"] >= result.num_iterations

@@ -203,11 +203,15 @@ def test_online_cost_model_refines_and_explores():
                           explore_every=2)
     # alternate sparse/dense so both candidate models accumulate samples
     sizes = [3, 280, 6, 290, 9, 270, 12, 260, 15, 250]
-    for x in densifying_frontiers(300, sizes, seed=9):
+    frontiers = densifying_frontiers(300, sizes, seed=9)
+    for x in frontiers:
         engine.multiply(x)
     models = engine._models
     assert all(m.count >= 2 for m in models.values())
-    assert all(m.predict(50) is not None for m in models.values())
+    # the multi-feature fit predicts from (bias, nnz(x), density, nzc) features
+    phi = engine.call_features(frontiers[0])
+    assert len(phi) == 4
+    assert all(m.predict(phi) is not None for m in models.values())
     assert any(c.explored for c in engine.history), \
         "trained engine should periodically explore the runner-up"
 
@@ -270,8 +274,9 @@ def test_multi_source_bfs_matches_single_source_runs():
         assert np.array_equal(extracted.levels, single.levels)
         assert extracted.num_iterations == single.num_iterations
     assert multi.engine is not None
-    # the whole batched traversal ran on one workspace
-    assert multi.engine.workspace.stats()["acquisitions"] >= len(multi.engine.history)
+    # the whole batched traversal ran on one workspace: every batch acquired
+    # its buffers from it (a fused batch serves all k calls in one acquisition)
+    assert multi.engine.workspace.stats()["acquisitions"] >= multi.engine._batches
 
 
 # --------------------------------------------------------------------------- #
