@@ -3,11 +3,17 @@
 Measures the wall-clock speedup of the fused vector-block kernel
 (:func:`repro.core.spmspv_block.spmspv_bucket_block`, one gather/scatter per
 batch) over the per-vector loop, across block widths k, on the RMAT suite
-graphs — the multi-source-BFS-shaped workload the fusion exists for.  Two
+graphs — the multi-source-BFS-shaped workload the fusion exists for.  Four
 workloads per (graph, k):
 
 * ``multiply_many`` — k random frontiers through one engine, forced
   ``block_mode="fused"`` vs ``"looped"`` (the primitive itself);
+* ``multiply_many_masked`` — the same with per-vector complement masks over
+  half the rows (the multi-source-BFS shape), exercising the early-masking
+  fold: dead (row, vector-id) pairs dropped at scatter time;
+* ``merge_modes`` — forced-fused execution with **dense** frontiers (the
+  high-d·f regime where the PR 2 global composite-key sort was sort-bound),
+  segmented per-(vector, bucket) merge vs the legacy global sort;
 * ``bfs_multi_source`` — a full k-source BFS in each mode (the end-to-end
   algorithm).
 
@@ -17,8 +23,10 @@ speedups over time.  Exit status is the regression gate used by CI:
 
     python benchmarks/bench_block_fusion.py --quick --check
 
-fails (exit 1) if fused is *slower* than looped at k=16 on the smoke graph.
-A full run additionally reports the paper-style target: >= 2x at k >= 8.
+fails (exit 1) if fused is *slower* than looped at k=16 on the smoke graph
+(unmasked or masked), or if the segmented merge is slower than the global
+sort at the high-d·f configuration.  A full run additionally reports the
+paper-style target: >= 2x fused-vs-looped at k >= 8.
 """
 
 from __future__ import annotations
@@ -50,6 +58,10 @@ QUICK_KS = [4, 16]
 CHECK_K = 16
 #: full-run target from the issue: >= 2x at k >= 8
 TARGET_SPEEDUP, TARGET_K = 2.0, 8
+#: dense-frontier divisor of the high-d·f merge-mode configurations
+#: (frontier nnz = ncols // HIGH_DF_DIVISOR — the regime where the global
+#: composite-key sort dominated the fused kernel)
+HIGH_DF_DIVISOR = 8
 
 
 def random_frontiers(n: int, k: int, nnz: int, seed: int):
@@ -59,6 +71,14 @@ def random_frontiers(n: int, k: int, nnz: int, seed: int):
         idx = np.sort(rng.choice(n, size=min(nnz, n), replace=False))
         frontiers.append(SparseVector(n, idx, rng.random(len(idx)) + 0.1))
     return frontiers
+
+
+def random_masks(m: int, k: int, seed: int):
+    """Per-vector masks over half the rows (the visited-set shape of BFS)."""
+    rng = np.random.default_rng(seed)
+    return [SparseVector.full_like_indices(
+        m, np.sort(rng.choice(m, size=m // 2, replace=False)), 1.0)
+        for _ in range(k)]
 
 
 def time_best(fn, rounds: int) -> float:
@@ -71,16 +91,49 @@ def time_best(fn, rounds: int) -> float:
     return best
 
 
-def bench_multiply_many(matrix, ctx, k: int, nnz: int, rounds: int):
+def time_best_interleaved(fns: dict, rounds: int) -> dict:
+    """Best-of-N for several competitors, rounds interleaved.
+
+    Alternating the competitors inside every round (instead of timing one
+    fully before the other) exposes them to the same allocator / frequency /
+    cache drift, so their *ratio* — which is what the regression gates
+    check — stays stable even when absolute times wander.
+    """
+    best = {name: float("inf") for name in fns}
+    for _ in range(rounds):
+        for name, fn in fns.items():
+            t0 = time.perf_counter()
+            fn()
+            best[name] = min(best[name], (time.perf_counter() - t0) * 1e3)
+    return best
+
+
+def bench_multiply_many(matrix, ctx, k: int, nnz: int, rounds: int,
+                        masked: bool = False):
     """Forced fused vs looped multiply_many over k random frontiers."""
     frontiers = random_frontiers(matrix.ncols, k, nnz, seed=17 * k + 1)
-    times = {}
+    masks = random_masks(matrix.nrows, k, seed=29 * k + 3) if masked else None
+    runs = {}
     for mode in ("looped", "fused"):
         engine = SpMSpVEngine(matrix, ctx, algorithm="bucket")
-        engine.multiply_many(frontiers, block_mode=mode)  # warm workspace
-        times[mode] = time_best(
-            lambda: engine.multiply_many(frontiers, block_mode=mode), rounds)
-    return times
+        run = lambda engine=engine, mode=mode: engine.multiply_many(
+            frontiers, masks=masks, mask_complement=masked, block_mode=mode)
+        run()  # warm workspace
+        runs[mode] = run
+    return time_best_interleaved(runs, rounds)
+
+
+def bench_merge_modes(matrix, ctx, k: int, nnz: int, rounds: int):
+    """Segmented vs global merge inside the fused kernel, dense frontiers."""
+    frontiers = random_frontiers(matrix.ncols, k, nnz, seed=23 * k + 5)
+    runs = {}
+    for merge in ("global", "segmented"):
+        engine = SpMSpVEngine(matrix, ctx, algorithm="bucket")
+        run = lambda engine=engine, merge=merge: engine.multiply_many(
+            frontiers, block_mode="fused", block_merge=merge)
+        run()  # warm workspace
+        runs[merge] = run
+    return time_best_interleaved(runs, rounds)
 
 
 def bench_bfs(matrix, ctx, k: int, rounds: int):
@@ -115,6 +168,7 @@ def run(quick: bool, threads: int, rounds: int) -> dict:
         report["graphs"].append({"name": name, "scale": scale,
                                  "vertices": matrix.ncols, "edges": matrix.nnz})
         frontier_nnz = max(64, matrix.ncols // 64)
+        dense_nnz = max(256, matrix.ncols // HIGH_DF_DIVISOR)
         for k in ks:
             mm = bench_multiply_many(matrix, ctx, k, frontier_nnz, rounds)
             report["results"].append({
@@ -125,6 +179,27 @@ def run(quick: bool, threads: int, rounds: int) -> dict:
                 "speedup": round(mm["looped"] / mm["fused"], 4)
                 if mm["fused"] > 0 else float("inf"),
             })
+            if k >= 4:
+                masked = bench_multiply_many(matrix, ctx, k, frontier_nnz,
+                                             rounds, masked=True)
+                report["results"].append({
+                    "graph": name, "workload": "multiply_many_masked", "k": k,
+                    "frontier_nnz": frontier_nnz,
+                    "fused_ms": round(masked["fused"], 4),
+                    "looped_ms": round(masked["looped"], 4),
+                    "speedup": round(masked["looped"] / masked["fused"], 4)
+                    if masked["fused"] > 0 else float("inf"),
+                })
+            if k >= 8:
+                merge = bench_merge_modes(matrix, ctx, k, dense_nnz, rounds)
+                report["results"].append({
+                    "graph": name, "workload": "merge_modes", "k": k,
+                    "frontier_nnz": dense_nnz,
+                    "segmented_ms": round(merge["segmented"], 4),
+                    "global_ms": round(merge["global"], 4),
+                    "speedup": round(merge["global"] / merge["segmented"], 4)
+                    if merge["segmented"] > 0 else float("inf"),
+                })
             if k >= 4:
                 bfs_times = bench_bfs(matrix, ctx, k, rounds)
                 report["results"].append({
@@ -138,31 +213,43 @@ def run(quick: bool, threads: int, rounds: int) -> dict:
     mm_at_target = [r["speedup"] for r in report["results"]
                     if r["workload"] == "multiply_many" and r["k"] >= TARGET_K]
     mm_at_check = [r["speedup"] for r in report["results"]
-                   if r["workload"] == "multiply_many" and r["k"] == CHECK_K]
+                   if r["workload"] in ("multiply_many", "multiply_many_masked")
+                   and r["k"] == CHECK_K]
+    merge_speedups = [r["speedup"] for r in report["results"]
+                      if r["workload"] == "merge_modes"]
     report["summary"] = {
         "min_speedup_at_target_k": min(mm_at_target) if mm_at_target else None,
         "target_met": bool(mm_at_target and min(mm_at_target) >= TARGET_SPEEDUP),
         "min_speedup_at_check_k": min(mm_at_check) if mm_at_check else None,
-        "check_passed": bool(mm_at_check and min(mm_at_check) >= 1.0),
+        "min_segmented_vs_global": min(merge_speedups) if merge_speedups else None,
+        "check_passed": bool(
+            mm_at_check and min(mm_at_check) >= 1.0
+            and merge_speedups and min(merge_speedups) >= 1.0),
     }
     return report
 
 
 def print_table(report: dict) -> None:
-    header = f"{'graph':<16} {'workload':<18} {'k':>4} {'looped ms':>10} " \
-             f"{'fused ms':>10} {'speedup':>8}"
+    header = f"{'graph':<16} {'workload':<20} {'k':>4} {'baseline ms':>12} " \
+             f"{'new ms':>10} {'speedup':>8}"
     print(header)
     print("-" * len(header))
     for r in report["results"]:
-        print(f"{r['graph']:<16} {r['workload']:<18} {r['k']:>4} "
-              f"{r['looped_ms']:>10.3f} {r['fused_ms']:>10.3f} "
-              f"{r['speedup']:>7.2f}x")
+        if r["workload"] == "merge_modes":
+            base, new = r["global_ms"], r["segmented_ms"]
+        else:
+            base, new = r["looped_ms"], r["fused_ms"]
+        print(f"{r['graph']:<16} {r['workload']:<20} {r['k']:>4} "
+              f"{base:>12.3f} {new:>10.3f} {r['speedup']:>7.2f}x")
     s = report["summary"]
     print(f"\nmin speedup at k>={TARGET_K} (multiply_many): "
           f"{s['min_speedup_at_target_k']} "
           f"(target {TARGET_SPEEDUP}x met: {s['target_met']})")
-    print(f"min speedup at k={CHECK_K}: {s['min_speedup_at_check_k']} "
-          f"(regression check passed: {s['check_passed']})")
+    print(f"min fused-vs-looped at k={CHECK_K} (incl. masked): "
+          f"{s['min_speedup_at_check_k']}")
+    print(f"min segmented-vs-global merge (high d·f): "
+          f"{s['min_segmented_vs_global']}")
+    print(f"regression check passed: {s['check_passed']}")
 
 
 def main(argv=None) -> int:
@@ -170,7 +257,9 @@ def main(argv=None) -> int:
     parser.add_argument("--quick", action="store_true",
                         help="smoke mode: one small graph, k in {4, 16}")
     parser.add_argument("--check", action="store_true",
-                        help="exit 1 if fused is slower than looped at k=16")
+                        help="exit 1 if fused is slower than looped at k=16 "
+                             "(unmasked or masked) or the segmented merge is "
+                             "slower than the global sort")
     parser.add_argument("--threads", type=int, default=8,
                         help="emulated thread count of the execution context "
                              "(Edison-style multi-threaded runs, as the other "
@@ -191,8 +280,9 @@ def main(argv=None) -> int:
     print_table(report)
     print(f"\nwrote {args.out}")
     if args.check and not report["summary"]["check_passed"]:
-        print(f"FAIL: fused multiply_many slower than looped at k={CHECK_K}",
-              file=sys.stderr)
+        print("FAIL: block-fusion regression gate "
+              f"(fused-vs-looped at k={CHECK_K} incl. masked, and "
+              "segmented-vs-global merge) not met", file=sys.stderr)
         return 1
     return 0
 

@@ -177,10 +177,14 @@ def bfs_multi_source(graph: Graph | CSCMatrix, sources: List[int],
     over the block of still-active frontiers, so all searches share a single
     persistent workspace, a single per-level dispatch decision, and — when
     the engine's block cost model favours it — the fused block kernel (one
-    gather/scatter per level for all frontiers).  ``block_mode`` forces the
-    fused (``"fused"``) or per-vector (``"looped"``) path; both are
-    bit-identical, so this is a performance knob only (used by the
-    block-fusion benchmark).
+    gather/scatter per level for all frontiers).  The per-search
+    visited-vertex masks are folded into the fused scatter (early masking):
+    edges leading back into a search's visited set are dropped before the
+    block merge ever sees them, which is what keeps mid-traversal levels —
+    where most of the frontier's neighbourhood is already visited — at
+    O(surviving pairs) merge work.  ``block_mode`` forces the fused
+    (``"fused"``) or per-vector (``"looped"``) path; both are bit-identical,
+    so this is a performance knob only (used by the block-fusion benchmark).
     """
     matrix = graph.matrix if isinstance(graph, Graph) else graph
     if matrix.nrows != matrix.ncols:

@@ -67,18 +67,39 @@ class PageRankResult(DetachableResult):
         return [(int(v), float(self.scores[v])) for v in order]
 
 
+def _restrict_mask(n: int, restrict: Optional[np.ndarray]) -> Optional[SparseVector]:
+    """The structural mask confining rank spreading to a vertex subset.
+
+    Returns None for no restriction.  The mask is applied to every SpMSpV of
+    the iteration — with the engine's early-masking fold, spread headed for
+    vertices outside the subset is dropped at scatter time instead of being
+    merged and discarded.
+    """
+    if restrict is None:
+        return None
+    vertices = np.unique(np.asarray(restrict, dtype=INDEX_DTYPE))
+    if len(vertices) == 0:
+        raise ValueError("restrict needs at least one vertex")
+    return SparseVector.full_like_indices(n, vertices, 1.0)
+
+
 def pagerank(graph: Graph | CSCMatrix,
              ctx: Optional[ExecutionContext] = None, *,
              algorithm: str = "bucket",
              damping: float = 0.85,
              tol: float = 1e-8,
              max_iterations: int = 200,
-             personalization: Optional[np.ndarray] = None) -> PageRankResult:
+             personalization: Optional[np.ndarray] = None,
+             restrict: Optional[np.ndarray] = None) -> PageRankResult:
     """Compute PageRank scores with the sparse delta (data-driven) iteration.
 
     The returned scores sum to 1.  ``personalization`` restricts the teleport
     distribution to the given vertices (personalized PageRank), which also
     makes the active set — and therefore every SpMSpV — much sparser.
+    ``restrict`` confines rank *spreading* to the given vertex subset (a
+    subgraph walk): every SpMSpV is masked with the subset, so mass headed
+    outside it is dropped — pair the restriction with a personalization
+    inside the subset for a fully confined walk.
     """
     matrix = graph.matrix if isinstance(graph, Graph) else graph
     if matrix.nrows != matrix.ncols:
@@ -88,6 +109,7 @@ def pagerank(graph: Graph | CSCMatrix,
     transition = column_stochastic(matrix)
     engine = SpMSpVEngine(transition, ctx, algorithm=algorithm)
     dangling = np.flatnonzero(np.diff(transition.indptr) == 0)
+    mask = _restrict_mask(n, restrict)
 
     if personalization is None:
         teleport = np.full(n, 1.0 / n)
@@ -106,7 +128,7 @@ def pagerank(graph: Graph | CSCMatrix,
     while delta.nnz and iterations < max_iterations:
         iterations += 1
         active_sizes.append(delta.nnz)
-        result = engine.multiply(delta, semiring=PLUS_TIMES)
+        result = engine.multiply(delta, semiring=PLUS_TIMES, mask=mask)
         records.append(result.record)
         spread = result.vector
         new_delta_dense = np.zeros(n)
@@ -160,7 +182,8 @@ def pagerank_block(graph: Graph | CSCMatrix,
                    damping: float = 0.85,
                    tol: float = 1e-8,
                    max_iterations: int = 200,
-                   block_mode: str = "auto") -> BlockedPageRankResult:
+                   block_mode: str = "auto",
+                   restrict: Optional[np.ndarray] = None) -> BlockedPageRankResult:
     """Run k personalized PageRank computations as one blocked job.
 
     Every iteration multiplies the transition matrix by the **block** of the
@@ -171,7 +194,10 @@ def pagerank_block(graph: Graph | CSCMatrix,
     exactly the iteration of :func:`pagerank`, so ``scores[i]`` equals a
     standalone ``pagerank(..., personalization=personalizations[i])`` run
     bit for bit.  ``block_mode`` forces the fused/looped block path (a
-    performance knob; both paths are bit-identical).
+    performance knob; both paths are bit-identical).  ``restrict`` confines
+    rank spreading to a vertex subset exactly as in :func:`pagerank`; the
+    per-vector masks it induces are folded into the fused kernel's scatter,
+    so the batched restricted walk never merges dead (row, vector-id) pairs.
     """
     matrix = graph.matrix if isinstance(graph, Graph) else graph
     if matrix.nrows != matrix.ncols:
@@ -181,6 +207,7 @@ def pagerank_block(graph: Graph | CSCMatrix,
     transition = column_stochastic(matrix)
     engine = SpMSpVEngine(transition, ctx, algorithm=algorithm)
     dangling = np.flatnonzero(np.diff(transition.indptr) == 0)
+    mask = _restrict_mask(n, restrict)
 
     k = len(personalizations)
     teleports = []
@@ -200,8 +227,10 @@ def pagerank_block(graph: Graph | CSCMatrix,
         level += 1
         active = [i for i in range(k) if deltas[i].nnz]
         active_sizes.append(sum(deltas[i].nnz for i in active))
-        results = engine.multiply_many([deltas[i] for i in active],
-                                       semiring=PLUS_TIMES, block_mode=block_mode)
+        results = engine.multiply_many(
+            [deltas[i] for i in active], semiring=PLUS_TIMES,
+            masks=[mask] * len(active) if mask is not None else None,
+            block_mode=block_mode)
         for i, result in zip(active, results):
             iterations_per_source[i] += 1
             spread = result.vector

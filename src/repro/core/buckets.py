@@ -31,6 +31,47 @@ def bucket_of_rows(rows: np.ndarray, num_buckets: int, num_rows: int) -> np.ndar
     return (rows * num_buckets) // num_rows
 
 
+#: digit width of the staged radix argsort: 15 bits keeps every digit value
+#: inside a *signed* int16, the widest integer key NumPy still radix-sorts
+_DIGIT_BITS = 15
+_DIGIT_MASK = (1 << _DIGIT_BITS) - 1
+
+
+def stable_row_argsort(rows: np.ndarray, num_rows: int,
+                       staging: np.ndarray | None = None) -> np.ndarray:
+    """Stable argsort of row ids, radix-sorted by staged 15-bit digits.
+
+    NumPy dispatches ``kind="stable"`` to a linear-time radix sort only for
+    integer keys of at most 16 bits; wider keys fall back to timsort — the
+    O(p·log p) comparison sorting the bucket algorithm's merges exist to
+    avoid.  Row ids are bounded by the matrix's row count, so they are
+    sorted as one int16 digit when ``num_rows`` fits in 15 bits, or as two
+    staged LSB radix passes (low digit, then high digit of the partially
+    ordered keys) up to 30 bits; beyond that the plain stable argsort is
+    used.  A stable sort's permutation is unique, so every path returns
+    exactly ``np.argsort(rows, kind="stable")``.
+
+    ``staging`` is an optional reusable int16 scratch array of at least
+    ``len(rows)`` elements (see
+    :attr:`repro.core.workspace.BlockBuffers.sort_keys`).
+    """
+    p = len(rows)
+    if p <= 1:
+        return np.arange(p, dtype=np.intp)
+    if num_rows > (1 << (2 * _DIGIT_BITS)):
+        return np.argsort(rows, kind="stable")
+    if staging is None or len(staging) < p:
+        staging = np.empty(p, dtype=np.int16)
+    digits = staging[:p]
+    if num_rows <= (1 << _DIGIT_BITS):
+        digits[:] = rows
+        return np.argsort(digits, kind="stable")
+    digits[:] = rows & _DIGIT_MASK
+    order = np.argsort(digits, kind="stable")
+    digits[:] = rows[order] >> _DIGIT_BITS
+    return order[np.argsort(digits, kind="stable")]
+
+
 def bucket_row_ranges(num_buckets: int, num_rows: int) -> List[Tuple[int, int]]:
     """The half-open row range covered by each bucket (inverse of :func:`bucket_of_rows`)."""
     ranges = []

@@ -194,9 +194,10 @@ class SpMSpVEngine:
         self._models: Dict[str, CostFit] = {
             name: CostFit(dim=4) for name in self.candidates}
         #: wall-clock fits of blocked execution ('fused' vs 'looped'), over the
-        #: block features (k, total nnz, union width, sharing ratio)
+        #: block features (k, total nnz, union width, sharing ratio, mask
+        #: selectivity, merge-segment count)
         self._block_fits: Dict[str, CostFit] = {
-            mode: CostFit(dim=5) for mode in ("fused", "looped")}
+            mode: CostFit(dim=7) for mode in ("fused", "looped")}
         self._price = cost_model_for(self.ctx.platform)
         self._modeled_calls = 0
         self._modeled_blocks = 0
@@ -332,10 +333,40 @@ class SpMSpVEngine:
         union_nnz = int(len(np.unique(np.concatenate(nonempty)))) if nonempty else 0
         return total_nnz, union_nnz
 
-    def select_block_mode(self, block: SparseVectorBlock) -> Tuple[str, bool]:
+    def _mask_keep_fraction(self, masks: Optional[Sequence[Optional[SparseVector]]],
+                            mask_complement: bool, k: int) -> float:
+        """Expected fraction of scattered pairs the early masks let through.
+
+        This is the mask-selectivity feature of the block cost fits: the
+        structural densities of the masks (``nnz/m``, complemented if asked),
+        averaged over the batch with maskless vectors counting as 1.0.
+        """
+        if masks is None or k == 0:
+            return 1.0
+        m = max(self.matrix.nrows, 1)
+        total = 0.0
+        for mask in masks:
+            if mask is None:
+                total += 1.0
+            else:
+                density = mask.nnz / m
+                total += (1.0 - density) if mask_complement else density
+        return total / k
+
+    def _block_phi(self, k: int, total_nnz: int, union_nnz: int,
+                   mask_keep: float) -> np.ndarray:
+        """The block feature vector, with this engine's merge-segment count."""
+        return block_features(k, total_nnz, union_nnz, mask_keep=mask_keep,
+                              segments=k * self.ctx.num_buckets)
+
+    def select_block_mode(self, block: SparseVectorBlock,
+                          masks: Optional[Sequence[Optional[SparseVector]]] = None,
+                          mask_complement: bool = False) -> Tuple[str, bool]:
         """Fused or looped execution for one block; returns ``(mode, explored)``."""
         return self._select_block_mode(
-            block_features(block.k, block.total_nnz, block.union_nnz),
+            self._block_phi(block.k, block.total_nnz, block.union_nnz,
+                            self._mask_keep_fraction(masks, mask_complement,
+                                                     block.k)),
             block.k, block.sharing_ratio())
 
     def _select_block_mode(self, phi: np.ndarray, k: int, sharing: float
@@ -371,6 +402,7 @@ class SpMSpVEngine:
                       mask_complement: bool = False,
                       algorithm: Optional[str] = None,
                       block_mode: str = "auto",
+                      block_merge: str = "segmented",
                       **kwargs) -> List[SpMSpVResult]:
         """Blocked execution of one matrix against many input vectors.
 
@@ -378,15 +410,25 @@ class SpMSpVEngine:
         — a single dispatch decision, made for the *densest* vector of the
         block (the worst case for a vector-driven kernel).  When the batch
         resolves to the bucket kernel, the engine additionally chooses between
-        the **fused block kernel** (one gather/scatter/merge for the whole
-        block, :func:`~repro.core.spmspv_block.spmspv_bucket_block`) and the
+        the **fused block kernel** (one gather, one masked scatter and one
+        segmented merge for the whole block,
+        :func:`~repro.core.spmspv_block.spmspv_bucket_block`) and the
         per-vector loop, per :meth:`select_block_mode`; ``block_mode`` forces
-        the choice (``"fused"`` / ``"looped"``) instead of ``"auto"``.  Both
-        paths return bit-identical results.  This is the multi-source BFS /
-        blocked PageRank entry point.
+        the choice (``"fused"`` / ``"looped"``) instead of ``"auto"``, and
+        ``block_merge`` selects the fused kernel's merge strategy
+        (``"segmented"`` per-(vector, bucket) merge, or the legacy
+        ``"global"`` composite-key sort — a perf knob for the regression
+        harness).  Per-vector ``masks`` are folded into the fused scatter, so
+        masked batches (multi-source BFS frontiers, restricted PageRank) do
+        O(surviving pairs) merge work.  All paths return bit-identical
+        results.  This is the multi-source BFS / blocked PageRank entry
+        point.
         """
         if block_mode not in ("auto", "fused", "looped"):
             raise ValueError(f"block_mode must be auto|fused|looped, got {block_mode!r}")
+        if block_merge not in ("segmented", "global"):
+            raise ValueError(
+                f"block_merge must be segmented|global, got {block_merge!r}")
         xs = list(xs)
         if masks is not None and len(masks) != len(xs):
             raise ValueError(f"got {len(xs)} vectors but {len(masks)} masks")
@@ -404,7 +446,9 @@ class SpMSpVEngine:
         phi: Optional[np.ndarray] = None
         if eligible:
             total_nnz, union_nnz = self._block_stats(xs)
-            phi = block_features(len(xs), total_nnz, union_nnz)
+            phi = self._block_phi(len(xs), total_nnz, union_nnz,
+                                  self._mask_keep_fraction(masks, mask_complement,
+                                                           len(xs)))
             if block_mode == "auto":
                 mode, block_explored = self._select_block_mode(
                     phi, len(xs), total_nnz / max(union_nnz, 1))
@@ -419,7 +463,7 @@ class SpMSpVEngine:
                 xs, phi, batch=batch,
                 semiring=semiring, sorted_output=sorted_output, masks=masks,
                 mask_complement=mask_complement, requested=requested,
-                explored=explored or block_explored)
+                explored=explored or block_explored, block_merge=block_merge)
 
         # observed window spans the same per-call pricing/bookkeeping the
         # fused window spans, so the two wall-time fits stay comparable
@@ -442,7 +486,8 @@ class SpMSpVEngine:
                         semiring: Semiring, sorted_output: Optional[bool],
                         masks: Optional[Sequence[Optional[SparseVector]]],
                         mask_complement: bool, requested: str,
-                        explored: bool) -> List[SpMSpVResult]:
+                        explored: bool,
+                        block_merge: str = "segmented") -> List[SpMSpVResult]:
         """Run one batch through the fused block kernel, observing its cost."""
         from .spmspv_block import spmspv_bucket_block  # late: avoids import cycle
 
@@ -454,11 +499,14 @@ class SpMSpVEngine:
             t0 = time.perf_counter()
             block = SparseVectorBlock.from_vectors(xs)
             if phi is None:
-                phi = block_features(block.k, block.total_nnz, block.union_nnz)
+                phi = self._block_phi(block.k, block.total_nnz, block.union_nnz,
+                                      self._mask_keep_fraction(
+                                          masks, mask_complement, block.k))
             results = spmspv_bucket_block(
                 self.matrix, block, self.ctx, semiring=semiring,
                 sorted_output=sorted_output, masks=masks,
-                mask_complement=mask_complement, workspace=self.workspace)
+                mask_complement=mask_complement, merge=block_merge,
+                workspace=self.workspace)
             self._fused_batches += 1
             nnzs = block.nnz_per_vector()
             for i, result in enumerate(results):

@@ -10,18 +10,32 @@ whole :class:`~repro.formats.vector_block.SparseVectorBlock` is executed with
   (:meth:`~repro.formats.csc.CSCMatrix.gather_columns_block`) and the
   semiring multiply is broadcast across all k vectors in a single vectorized
   pass; columns selected by several vectors are never re-gathered;
-* **one scatter** — the gathered entries are expanded into a flat array of
-  ``(row, vector-id)`` pairs (each vector's pairs in its *original* gather
-  order, replayed from the block's stored positions) living in persistent
-  :class:`~repro.core.workspace.BlockBuffers`;
-* **one merge** — a single stable sort of the composite key
-  ``vector-id · m + row`` plays the role of the per-bucket SPA merges for
-  the whole block at once.  Every ``(vector, row)`` run contains exactly the
-  entries the per-vector kernel would merge, in the same order, so the
-  semiring reduction is **bit-identical** to k independent ``multiply`` calls
-  (including unsorted inputs and first-touch unsorted output);
-* **one output pass** — unique pairs are permuted into each vector's
-  per-bucket output order and sliced into k output vectors.
+* **one masked scatter** — the gathered entries are expanded into a flat
+  array of ``(row, vector-id)`` pairs (each vector's pairs in its *original*
+  gather order, replayed from the block's stored positions) living in
+  persistent :class:`~repro.core.workspace.BlockBuffers`.  Per-vector masks
+  are folded in right here: a packed row bitmap
+  (:class:`~repro.formats.bitvector.BitVector`) is probed per gathered entry
+  and dead ``(row, vector-id)`` pairs never enter the buffers, so masked
+  batched workloads (multi-source BFS frontiers, restricted PageRank) do
+  O(surviving pairs) merge work;
+* **one segmented merge** — pairs are already partitioned by vector (each
+  vector's slice is contiguous), and each slice is merged with one stable
+  row sort + run reduction.  Because buckets are ascending row ranges, the
+  row sort *is* the bucket partition: the per-bucket segments fall out as
+  contiguous runs located with binary searches, each priced independently
+  and scheduled onto threads with the §III-A dynamic policy.  Compared with
+  the historical single global sort of the composite key
+  ``vector-id · m + row`` (still available as ``merge="global"``), the
+  segmented merge sorts k short key streams of range ``m`` instead of one
+  long stream of range ``k·m`` — no composite key construction, no
+  div/mod decode, smaller sort keys, cache-resident segments.  Every
+  ``(vector, row)`` run still contains exactly the entries the per-vector
+  kernel would merge, in the same order, so the semiring reduction is
+  **bit-identical** to k independent ``multiply`` calls (including unsorted
+  inputs, first-touch unsorted output, and early-masked calls);
+* **one output pass** — each vector's unique rows are permuted into its
+  per-bucket output order and wrapped into k output vectors.
 
 The four phases are priced like the per-vector bucket kernel — estimate /
 bucketing / spa_merge / output, with the pair counts of Algorithm 1 applied
@@ -45,12 +59,17 @@ from ..formats.vector_block import SparseVectorBlock
 from ..machine.cache import estimate_column_gather_misses, estimate_scatter_misses
 from ..parallel.context import ExecutionContext, default_context
 from ..parallel.metrics import ExecutionRecord, PhaseRecord, WorkMetrics
+from ..parallel.scheduler import schedule
 from ..semiring import PLUS_TIMES, Semiring
-from .buckets import bucket_of_rows
+from .buckets import bucket_of_rows, bucket_row_ranges, stable_row_argsort
 from .result import SpMSpVResult
 from .spmspv_bucket import _radix_sort_ops
-from .vector_ops import check_operands, finalize_output
+from .vector_ops import check_mask, check_operands, finalize_output, mask_bitmap, mask_keep
 from .workspace import BlockBuffers, SpMSpVWorkspace
+
+#: merge strategies of the fused kernel: the segmented per-(vector, bucket)
+#: merge (default) and the historical single global composite-key sort
+MERGE_MODES = ("segmented", "global")
 
 
 def _scaled_threads(totals: WorkMetrics, num_threads: int, share: float
@@ -63,6 +82,46 @@ def _scaled_threads(totals: WorkMetrics, num_threads: int, share: float
     return [totals.scale(share / num_threads)] * num_threads
 
 
+def _merge_vector_slice(rows: np.ndarray, vals: np.ndarray, semiring: Semiring,
+                        *, sort_keys: Optional[np.ndarray], sorted_output: bool,
+                        nb: int, m: int):
+    """Merge one vector's contiguous pair slice: stable row sort + run reduction.
+
+    Buckets are ascending row ranges, so the stable row sort (a staged
+    15-bit-digit radix via :func:`~repro.core.buckets.stable_row_argsort`,
+    not a comparison sort) simultaneously partitions the slice into its nb
+    bucket segments *and* row-sorts each segment — exactly the result of the
+    per-vector kernel's stable bucket scatter followed by per-bucket stable
+    row sorts, hence the bit-identical addend order.  Returns
+    ``(uind, merged, seg_sizes, seg_uniques)`` with the unique rows in the
+    vector's output order (buckets ascending; rows ascending inside a bucket
+    for sorted output, first touch otherwise).
+    """
+    order = stable_row_argsort(rows, m, staging=sort_keys)
+    sr = rows[order]
+    sv = vals[order]
+    starts = np.concatenate(([0], np.flatnonzero(np.diff(sr)) + 1))
+    uind = sr[starts]
+    merged = semiring.reduceat(sv, starts)
+    # per-bucket segment sizes / unique counts via binary search on the
+    # sorted rows (no data movement: segmentation is free once rows are sorted)
+    bounds = np.array([lo for lo, _hi in bucket_row_ranges(nb, m)] + [m],
+                      dtype=INDEX_DTYPE)
+    seg_sizes = np.diff(np.searchsorted(sr, bounds))
+    seg_uniques = np.diff(np.searchsorted(uind, bounds))
+    if not sorted_output:
+        # first-touch order inside each bucket, exactly as the per-vector
+        # kernel's unsorted variant: rank unique rows by the position of
+        # their first occurrence in the vector's original pair stream
+        first_pos = order[starts]
+        bucket_u = bucket_of_rows(uind, nb, m)
+        big = np.int64(max(len(rows), 1) + 1)
+        comp = bucket_u.astype(np.int64) * big + first_pos.astype(np.int64)
+        perm = np.argsort(comp, kind="stable")
+        uind, merged = uind[perm], merged[perm]
+    return uind, merged, seg_sizes, seg_uniques
+
+
 def spmspv_bucket_block(matrix: CSCMatrix,
                         block: Union[SparseVectorBlock, Sequence[SparseVector]],
                         ctx: Optional[ExecutionContext] = None, *,
@@ -70,6 +129,8 @@ def spmspv_bucket_block(matrix: CSCMatrix,
                         sorted_output: Optional[bool] = None,
                         masks: Optional[Sequence[Optional[SparseVector]]] = None,
                         mask_complement: bool = False,
+                        early_mask: bool = True,
+                        merge: str = "segmented",
                         workspace: Optional[SpMSpVWorkspace] = None
                         ) -> List[SpMSpVResult]:
     """Multiply one CSC matrix by a block of k sparse vectors in one fused pass.
@@ -77,17 +138,27 @@ def spmspv_bucket_block(matrix: CSCMatrix,
     Parameters mirror :func:`~repro.core.spmspv_bucket.spmspv_bucket`, with
     ``block`` either a :class:`SparseVectorBlock` or a plain sequence of
     :class:`SparseVector` (packed on the fly) and ``masks`` an optional
-    per-vector mask list.  ``sorted_output=None`` resolves per vector, exactly
-    as the per-vector kernel does.  Returns one :class:`SpMSpVResult` per
-    vector, indices and values exactly equal to k independent per-vector
-    calls.
+    per-vector mask list (each mask of length ``nrows`` — anything else
+    raises :class:`~repro.errors.DimensionError`).  ``early_mask`` folds the
+    masks into the scatter (bit-identical to finalize-time masking, see
+    module docstring); ``merge`` selects the segmented per-(vector, bucket)
+    merge or the historical ``"global"`` composite-key sort — also
+    bit-identical, kept for the perf-regression harness.
+    ``sorted_output=None`` resolves per vector, exactly as the per-vector
+    kernel does.  Returns one :class:`SpMSpVResult` per vector, indices and
+    values exactly equal to k independent per-vector calls.
     """
     ctx = ctx if ctx is not None else default_context()
+    if merge not in MERGE_MODES:
+        raise ValueError(f"merge must be one of {MERGE_MODES}, got {merge!r}")
     if not isinstance(block, SparseVectorBlock):
         block = SparseVectorBlock.from_vectors(block)
     check_operands(matrix, block)
     if masks is not None and len(masks) != block.k:
         raise ValueError(f"got {block.k} vectors but {len(masks)} masks")
+    if masks is not None:
+        for m_i in masks:
+            check_mask(m_i, matrix.nrows)
     ws = workspace if isinstance(workspace, SpMSpVWorkspace) else None
     if ws is not None:
         ws.check_rows(matrix.nrows)
@@ -102,6 +173,8 @@ def spmspv_bucket_block(matrix: CSCMatrix,
     out_sorted = [sorted_output if sorted_output is not None
                   else (block.sorted_flags[i] and ctx.sorted_vectors)
                   for i in range(k)]
+    bitmaps = ([mask_bitmap(masks[i], m) for i in range(k)]
+               if early_mask and masks is not None else None)
 
     # ------------------------------------------------------------------ #
     # one gather over the whole column union (+ multiply, see below)
@@ -119,7 +192,6 @@ def spmspv_bucket_block(matrix: CSCMatrix,
         [int(col_weights[pos].sum()) if len(pos) else 0 for pos in block.positions],
         dtype=np.int64)
     total_pairs = int(df_per_vec.sum())
-    share = (df_per_vec / total_pairs) if total_pairs else np.full(k, 1.0 / max(k, 1))
     total_g = int(col_weights.sum()) if u else 0
 
     # The multiply is broadcast across the (union gather) x (k vectors) slab
@@ -142,15 +214,22 @@ def spmspv_bucket_block(matrix: CSCMatrix,
         tm.buffer_writes = nb    # per-(thread, bucket) counters
 
     # ------------------------------------------------------------------ #
-    # one scatter: expand into flat (row, vector-id, value) pairs
+    # one masked scatter: expand into flat (row, vector-id, value) pairs
     # ------------------------------------------------------------------ #
+    # pairs dropped by an early mask never enter the buffers, so the buffers
+    # are sized by the unmasked upper bound and filled to the surviving count
+    use_small_keys = merge == "segmented" and m <= (1 << 30)
     if ws is not None:
-        buffers = ws.acquire_block(max(total_pairs, 1), dtype=out_dtype)
+        buffers = ws.acquire_block(max(total_pairs, 1), dtype=out_dtype,
+                                   keys=merge == "global",
+                                   sort_keys=use_small_keys)
     else:
-        buffers = BlockBuffers(max(total_pairs, 1), dtype=out_dtype)
-    exp_rows = buffers.rows[:total_pairs]
-    exp_keys = buffers.keys[:total_pairs]
-    exp_vals = buffers.values[:total_pairs]
+        buffers = BlockBuffers(max(total_pairs, 1), dtype=out_dtype,
+                               keys=merge == "global",
+                               sort_keys=use_small_keys)
+    exp_rows = buffers.rows
+    exp_keys = buffers.keys  # None unless the global merge asked for the slab
+    exp_vals = buffers.values
 
     # flat segment table of the union gather: column p of the union occupies
     # rows_g[starts_u[p] : starts_u[p] + col_weights[p]]
@@ -158,55 +237,120 @@ def spmspv_bucket_block(matrix: CSCMatrix,
     if u:
         np.cumsum(col_weights, out=starts_u[1:])
     seg_offsets = np.zeros(k + 1, dtype=np.int64)
-    np.cumsum(df_per_vec, out=seg_offsets[1:])
+    mask_probes = 0
+    cursor = 0
     for i in range(k):
         pos = block.positions[i]
-        lo, hi = int(seg_offsets[i]), int(seg_offsets[i + 1])
-        if hi == lo:
+        df_i = int(df_per_vec[i])
+        if df_i == 0:
+            seg_offsets[i + 1] = cursor
             continue
         lengths = col_weights[pos]
         # replay vector i's own gather order from the compact union gather
         offs = np.zeros(len(pos), dtype=np.int64)
         np.cumsum(lengths[:-1], out=offs[1:])
         gpos = (np.repeat(starts_u[pos], lengths)
-                + np.arange(hi - lo, dtype=np.int64) - np.repeat(offs, lengths))
-        np.take(rows_g, gpos, out=exp_rows[lo:hi])
+                + np.arange(df_i, dtype=np.int64) - np.repeat(offs, lengths))
+        rows_i = rows_g[gpos]
+        keep = None
+        if bitmaps is not None and bitmaps[i] is not None:
+            # early masking: dead (row, vector-id) pairs are dropped before
+            # they are scattered, merged or even multiplied
+            mask_probes += df_i
+            keep = mask_keep(bitmaps[i], rows_i, complement=mask_complement)
+            rows_i, gpos = rows_i[keep], gpos[keep]
+        lo, hi = cursor, cursor + len(rows_i)
+        exp_rows[lo:hi] = rows_i
         if broadcast:
             exp_vals[lo:hi] = scaled[gpos, i]
         else:
             # same scalars as the broadcast slab (and as the per-vector
             # kernel): A values in this vector's gather order times its own
             # x value repeated over each column's entries
-            exp_vals[lo:hi] = semiring.multiply(
-                vals_g[gpos], np.repeat(block.values[pos, i], lengths))
-        np.add(exp_rows[lo:hi], np.int64(i) * m, out=exp_keys[lo:hi])
+            xv = np.repeat(block.values[pos, i], lengths)
+            if keep is not None:
+                xv = xv[keep]
+            exp_vals[lo:hi] = semiring.multiply(vals_g[gpos], xv)
+        if merge == "global":
+            np.add(exp_rows[lo:hi], np.int64(i) * m, out=exp_keys[lo:hi])
+        seg_offsets[i + 1] = hi
+        cursor = hi
+    total_kept = cursor
+    kept_per_vec = np.diff(seg_offsets)
+    share = (kept_per_vec / total_kept) if total_kept else np.full(k, 1.0 / max(k, 1))
 
     bucketing_phase = PhaseRecord(name="bucketing", parallel=True)
     pairs_per_chunk = [int(pair_weights[chunk].sum()) if len(chunk) else 0
                       for chunk in chunks]
     entries_per_chunk = [int(col_weights[chunk].sum()) if len(chunk) else 0
                         for chunk in chunks]
+    kept_fraction = total_kept / total_pairs if total_pairs else 1.0
+    # only the masked vectors' pairs are probed: bill each chunk its share
+    probe_fraction = mask_probes / total_pairs if total_pairs else 0.0
     for tid in range(t):
+        kept_chunk = int(round(pairs_per_chunk[tid] * kept_fraction))
         metrics = WorkMetrics(
             vector_reads=len(chunks[tid]),
             colptr_reads=len(chunks[tid]),
             matrix_nnz_reads=entries_per_chunk[tid],
-            multiplications=pairs_per_chunk[tid],
-            bucket_writes=pairs_per_chunk[tid],
+            bitmap_probes=int(round(pairs_per_chunk[tid] * probe_fraction)),
+            multiplications=kept_chunk,
+            bucket_writes=kept_chunk,
         )
         if ctx.private_buffer_size > 0:
-            metrics.buffer_writes += pairs_per_chunk[tid]
+            metrics.buffer_writes += kept_chunk
         metrics.cache_line_misses = estimate_column_gather_misses(
             len(chunks[tid]), entries_per_chunk[tid], n, input_sorted=True)
         bucketing_phase.thread_metrics.append(metrics)
 
     # ------------------------------------------------------------------ #
-    # one merge: composite-key sort + segmented semiring reduction
+    # one merge: segmented per-(vector, bucket) by default, global sort legacy
     # ------------------------------------------------------------------ #
-    if total_pairs:
-        order = np.argsort(exp_keys, kind="stable")
-        sorted_keys = exp_keys[order]
-        sorted_vals = exp_vals[order]
+    merge_phase = PhaseRecord(name="spa_merge", parallel=True)
+    # the merge working set is one bucket's row span per (bucket, vector) slice
+    bucket_span_rows = max(1, -(-m // nb))
+    uind_per_vec: List[np.ndarray] = [np.empty(0, dtype=INDEX_DTYPE)] * k
+    uval_per_vec: List[np.ndarray] = [np.empty(0, dtype=out_dtype)] * k
+
+    if total_kept and merge == "segmented":
+        seg_sizes_all: List[int] = []
+        seg_uniques_all: List[int] = []
+        seg_sorted_all: List[bool] = []
+        for i in range(k):
+            lo, hi = int(seg_offsets[i]), int(seg_offsets[i + 1])
+            if hi == lo:
+                continue
+            uind, merged, seg_sizes, seg_uniques = _merge_vector_slice(
+                exp_rows[lo:hi], exp_vals[lo:hi], semiring,
+                sort_keys=buffers.sort_keys if use_small_keys else None,
+                sorted_output=out_sorted[i], nb=nb, m=m)
+            uind_per_vec[i] = uind
+            uval_per_vec[i] = merged
+            nonempty = seg_sizes > 0
+            seg_sizes_all.extend(seg_sizes[nonempty].tolist())
+            seg_uniques_all.extend(seg_uniques[nonempty].tolist())
+            seg_sorted_all.extend([out_sorted[i]] * int(nonempty.sum()))
+        # the (vector, bucket) segments are independent merges: schedule them
+        # onto the threads like the per-vector kernel schedules its buckets
+        assignment = schedule(seg_sizes_all, t, ctx.scheduling)
+        for tid in range(t):
+            metrics = WorkMetrics()
+            for s in assignment.items_per_thread[tid]:
+                size_s, uniq_s = seg_sizes_all[s], seg_uniques_all[s]
+                metrics.spa_inits += size_s
+                metrics.spa_updates += size_s
+                metrics.additions += size_s - uniq_s
+                metrics.buffer_writes += uniq_s
+                if seg_sorted_all[s]:
+                    metrics.sort_elements += _radix_sort_ops(uniq_s)
+                metrics.cache_line_misses += estimate_scatter_misses(
+                    2 * size_s, bucket_span_rows, ctx.platform.l2_kb)
+            merge_phase.thread_metrics.append(metrics)
+    elif total_kept:  # global composite-key sort (the pre-segmentation path)
+        keys = exp_keys[:total_kept]
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        sorted_vals = exp_vals[:total_kept][order]
         run_starts = np.concatenate(([0], np.flatnonzero(np.diff(sorted_keys)) + 1))
         merged = semiring.reduceat(sorted_vals, run_starts)
         ukey = sorted_keys[run_starts]
@@ -217,36 +361,40 @@ def spmspv_bucket_block(matrix: CSCMatrix,
             # per-vector output order: buckets ascending; inside a bucket rows
             # ascending (sorted output) or by first touch (unsorted output)
             bucket_u = bucket_of_rows(urow, nb, m)
-            big = np.int64(max(m, total_pairs) + 1)
+            big = np.int64(max(m, total_kept) + 1)
             sorted_flags_arr = np.array(out_sorted, dtype=bool)
             rank = np.where(sorted_flags_arr[uvec], urow.astype(np.int64),
                             first_pos.astype(np.int64))
             comp = (uvec.astype(np.int64) * nb + bucket_u.astype(np.int64)) * big + rank
             perm = np.argsort(comp, kind="stable")
-            urow, merged = urow[perm], merged[perm]
-        out_counts = np.bincount(uvec, minlength=k)
-    else:
-        urow = np.empty(0, dtype=INDEX_DTYPE)
-        merged = np.empty(0, dtype=out_dtype)
-        out_counts = np.zeros(k, dtype=np.int64)
-    out_offsets = np.zeros(k + 1, dtype=np.int64)
-    np.cumsum(out_counts, out=out_offsets[1:])
-    nnz_out = int(out_offsets[-1])
+            uvec, urow, merged = uvec[perm], urow[perm], merged[perm]
+        g_counts = np.bincount(uvec, minlength=k)
+        g_offsets = np.zeros(k + 1, dtype=np.int64)
+        np.cumsum(g_counts, out=g_offsets[1:])
+        for i in range(k):
+            lo, hi = int(g_offsets[i]), int(g_offsets[i + 1])
+            # copies: urow/merged are block-wide slabs the outputs must not pin
+            # (the segmented merge's per-vector arrays are already standalone)
+            uind_per_vec[i] = urow[lo:hi].copy()
+            uval_per_vec[i] = merged[lo:hi].copy()
 
-    merge_totals = WorkMetrics(
-        spa_inits=total_pairs,
-        spa_updates=total_pairs,
-        additions=max(total_pairs - nnz_out, 0),
-        buffer_writes=nnz_out,
-        sort_elements=sum(_radix_sort_ops(int(out_counts[i]))
-                          for i in range(k) if out_sorted[i]),
-    )
-    # the merge working set is one bucket's row span per (bucket, vector) slice
-    bucket_span_rows = max(1, -(-m // nb))
-    merge_totals.cache_line_misses = estimate_scatter_misses(
-        2 * total_pairs, bucket_span_rows, ctx.platform.l2_kb)
-    merge_phase = PhaseRecord(name="spa_merge", parallel=True)
-    merge_phase.thread_metrics = _scaled_threads(merge_totals, t, 1.0)
+    out_counts = np.array([len(uv) for uv in uind_per_vec], dtype=np.int64)
+    nnz_out = int(out_counts.sum())
+
+    if merge == "global" or not merge_phase.thread_metrics:
+        # global mode (and empty blocks): the sort is one block-wide pass, so
+        # its totals are split evenly — there are no independent segments
+        merge_totals = WorkMetrics(
+            spa_inits=total_kept,
+            spa_updates=total_kept,
+            additions=max(total_kept - nnz_out, 0),
+            buffer_writes=nnz_out,
+            sort_elements=sum(_radix_sort_ops(int(out_counts[i]))
+                              for i in range(k) if out_sorted[i]),
+        )
+        merge_totals.cache_line_misses = estimate_scatter_misses(
+            2 * total_kept, bucket_span_rows, ctx.platform.l2_kb)
+        merge_phase.thread_metrics = _scaled_threads(merge_totals, t, 1.0)
 
     output_phase = PhaseRecord(name="output", parallel=True)
     output_phase.serial_metrics = WorkMetrics(additions=nb)
@@ -256,7 +404,7 @@ def spmspv_bucket_block(matrix: CSCMatrix,
     wall_s = time.perf_counter() - t_start
 
     # ------------------------------------------------------------------ #
-    # slice per-vector outputs and apportion the block record
+    # wrap per-vector outputs and apportion the block record
     # ------------------------------------------------------------------ #
     results: List[SpMSpVResult] = []
     block_phases = (estimate_phase, bucketing_phase, merge_phase, output_phase)
@@ -265,17 +413,19 @@ def spmspv_bucket_block(matrix: CSCMatrix,
     # to the fused pass as a whole, not to any one vector)
     phase_totals = [(p.name, p.total_work(), p.barriers) for p in block_phases]
     for i in range(k):
-        lo, hi = int(out_offsets[i]), int(out_offsets[i + 1])
-        y = SparseVector(m, urow[lo:hi].copy(), merged[lo:hi].copy(),
+        early_i = bitmaps is not None and bitmaps[i] is not None
+        y = SparseVector(m, uind_per_vec[i], uval_per_vec[i],
                          sorted=out_sorted[i], check=False)
-        y = finalize_output(y, semiring,
-                            mask=masks[i] if masks is not None else None,
-                            mask_complement=mask_complement)
+        y = finalize_output(
+            y, semiring,
+            mask=None if early_i or masks is None else masks[i],
+            mask_complement=mask_complement)
         record = ExecutionRecord(
             algorithm="spmspv_bucket_block", num_threads=t,
             info={"m": m, "n": n, "nnz_A": matrix.nnz, "f": int(nnz_per_vec[i]),
-                  "df": int(df_per_vec[i]), "nnz_y": y.nnz, "fused": True,
-                  "block_k": k, "block_union": u, "block_pairs": total_pairs,
+                  "df": int(kept_per_vec[i]), "nnz_y": y.nnz, "fused": True,
+                  "block_k": k, "block_union": u, "block_pairs": total_kept,
+                  "merge": merge, "early_mask": early_i,
                   "workspace_reused": ws is not None})
         s = float(share[i])
         for name, totals, barriers in phase_totals:
@@ -285,6 +435,6 @@ def spmspv_bucket_block(matrix: CSCMatrix,
         record.wall_time_s = wall_s / k
         results.append(SpMSpVResult(
             vector=y, record=record,
-            info={"f": int(nnz_per_vec[i]), "df": int(df_per_vec[i]),
-                  "nnz_y": y.nnz, "fused": True}))
+            info={"f": int(nnz_per_vec[i]), "df": int(kept_per_vec[i]),
+                  "nnz_y": y.nnz, "fused": True, "merge": merge}))
     return results

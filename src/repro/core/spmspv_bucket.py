@@ -45,7 +45,13 @@ from ..parallel.threadpool import run_chunks
 from ..semiring import PLUS_TIMES, Semiring
 from .buckets import BucketStore, bucket_of_rows, compute_offsets
 from .result import SpMSpVResult
-from .vector_ops import check_operands, finalize_output
+from .vector_ops import (
+    check_mask,
+    check_operands,
+    finalize_output,
+    mask_bitmap,
+    mask_keep,
+)
 from .workspace import SpMSpVWorkspace
 
 
@@ -69,6 +75,7 @@ def spmspv_bucket(matrix: CSCMatrix, x: SparseVector,
                   sorted_output: Optional[bool] = None,
                   mask: Optional[SparseVector] = None,
                   mask_complement: bool = False,
+                  early_mask: bool = True,
                   workspace: Optional[BucketStore | SpMSpVWorkspace] = None
                   ) -> SpMSpVResult:
     """Multiply a CSC matrix by a sparse vector with the SpMSpV-bucket algorithm.
@@ -90,7 +97,16 @@ def spmspv_bucket(matrix: CSCMatrix, x: SparseVector,
     mask, mask_complement:
         Optional structural mask applied to the output (GraphBLAS-style).
         With ``mask_complement=True`` entries *in* the mask are dropped —
-        the pattern BFS uses to discard already-visited vertices.
+        the pattern BFS uses to discard already-visited vertices.  The mask
+        must span the matrix's row space (length ``nrows``), else
+        :class:`~repro.errors.DimensionError` is raised.
+    early_mask:
+        With the default True the mask is folded into the kernel: a packed
+        row bitmap is probed at scatter time and dead entries never enter
+        the buckets, so masked calls do O(surviving pairs) merge work
+        instead of merging everything and discarding at finalize.  Because
+        masking drops whole rows, the output is **bit-identical** to the
+        finalize-time path (``early_mask=False``, the pre-fold behavior).
     workspace:
         Optional preallocated storage reused across calls (the §III-A
         "Memory allocation" optimization): either a full
@@ -104,11 +120,13 @@ def spmspv_bucket(matrix: CSCMatrix, x: SparseVector,
     """
     ctx = ctx if ctx is not None else default_context()
     check_operands(matrix, x)
+    check_mask(mask, matrix.nrows)
     ws = workspace if isinstance(workspace, SpMSpVWorkspace) else None
     if ws is not None:
         ws.check_rows(matrix.nrows)
     if sorted_output is None:
         sorted_output = x.sorted and ctx.sorted_vectors
+    bitmap = mask_bitmap(mask, matrix.nrows) if early_mask else None
 
     t_start = time.perf_counter()
     m, n = matrix.shape
@@ -140,12 +158,19 @@ def spmspv_bucket(matrix: CSCMatrix, x: SparseVector,
             return metrics
         cols = x_indices[chunk]
         rows, vals, src = matrix.gather_columns(cols)
-        gathered[tid] = (rows, vals, src, chunk)
-        bucket_ids = bucket_of_rows(rows, nb, m)
-        counts[tid, :] = np.bincount(bucket_ids, minlength=nb)
         metrics.vector_reads = len(chunk)
         metrics.colptr_reads = len(chunk)
         metrics.matrix_nnz_reads = len(rows)
+        if bitmap is not None:
+            # early masking: probe the row bitmap once per gathered entry and
+            # drop dead rows here, so neither counting nor the scatter nor the
+            # merge ever sees them (the work-efficiency point of the fold)
+            metrics.bitmap_probes = len(rows)
+            keep = mask_keep(bitmap, rows, complement=mask_complement)
+            rows, vals, src = rows[keep], vals[keep], src[keep]
+        gathered[tid] = (rows, vals, src, chunk)
+        bucket_ids = bucket_of_rows(rows, nb, m)
+        counts[tid, :] = np.bincount(bucket_ids, minlength=nb)
         metrics.buffer_writes = nb
         return metrics
 
@@ -283,9 +308,13 @@ def spmspv_bucket(matrix: CSCMatrix, x: SparseVector,
     output_phase.thread_metrics = run_chunks(_output, t, use_thread_pool=ctx.use_thread_pool)
     record.add_phase(output_phase)
 
-    # the output lives in the row space of A, which has length m
+    # the output lives in the row space of A, which has length m; an
+    # early-applied mask must not be re-applied at finalize (it would be a
+    # no-op select costing O(nnz_y log) membership work)
     y = SparseVector(m, y_indices, y_values, sorted=sorted_output, check=False)
-    y = finalize_output(y, semiring, mask=mask, mask_complement=mask_complement)
+    y = finalize_output(y, semiring, mask=None if bitmap is not None else mask,
+                        mask_complement=mask_complement)
+    record.info["early_mask"] = bitmap is not None
 
     record.info["nnz_y"] = y.nnz
     record.wall_time_s = time.perf_counter() - t_start

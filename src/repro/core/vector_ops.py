@@ -13,7 +13,8 @@ from typing import Callable, Optional
 import numpy as np
 
 from .._typing import INDEX_DTYPE
-from ..errors import DimensionMismatchError
+from ..errors import DimensionError, DimensionMismatchError
+from ..formats.bitvector import BitVector
 from ..formats.sparse_vector import SparseVector
 from ..semiring import PLUS_TIMES, Semiring
 
@@ -76,6 +77,52 @@ def check_operands(matrix, x: SparseVector) -> None:
             f"matrix has {matrix.ncols} columns but vector has length {x.n}")
 
 
+def check_mask(mask: Optional[SparseVector], nrows: int) -> None:
+    """Validate that an output mask lives in the matrix's row space.
+
+    An output mask selects rows of ``y = A·x`` and must therefore have length
+    ``nrows``.  Historically a mask of the wrong length was silently accepted
+    (``select`` only compares indices, so an undersized mask just dropped
+    rows); now every kernel raises instead, in both the late (finalize-time)
+    and early (scatter-time) masking paths.
+    """
+    if mask is not None and mask.n != nrows:
+        raise DimensionError(
+            f"output mask has length {mask.n} but the matrix has {nrows} rows; "
+            f"masks select rows of y = A·x and must be of length nrows")
+
+
+def mask_bitmap(mask: Optional[SparseVector], nrows: int) -> Optional[BitVector]:
+    """The packed row-membership bitmap the early-masking kernels probe.
+
+    Returns None for no mask.  The bitmap spans the matrix's row space, so
+    :meth:`~repro.formats.bitvector.BitVector.are_set` is a valid O(1) probe
+    for any gathered row id (:func:`check_mask` is re-run here as the guard).
+    """
+    if mask is None:
+        return None
+    check_mask(mask, nrows)
+    return BitVector.from_indices(nrows, mask.indices)
+
+
+def mask_keep(bitmap: Optional[BitVector], rows: np.ndarray, *,
+              complement: bool = False) -> Optional[np.ndarray]:
+    """Boolean keep-filter of scattered row ids against a mask bitmap.
+
+    This is the scatter-time (early) form of the GraphBLAS structural mask:
+    an entry bound for row ``i`` survives iff ``i`` is in the mask (or not
+    in it, under ``complement``).  Because masking drops *whole rows*, the
+    surviving rows' addend streams — and therefore their floating-point
+    reductions and first-touch order — are untouched, which is what keeps
+    early-masked kernels bit-identical to finalize-time masking.  Returns
+    None when nothing is filtered (no bitmap).
+    """
+    if bitmap is None:
+        return None
+    member = bitmap.are_set(rows) if len(rows) else np.empty(0, dtype=bool)
+    return ~member if complement else member
+
+
 def finalize_output(y: SparseVector, semiring: Semiring, *,
                     mask: Optional[SparseVector] = None,
                     mask_complement: bool = False) -> SparseVector:
@@ -87,6 +134,7 @@ def finalize_output(y: SparseVector, semiring: Semiring, *,
     user-defined plus-times-like semirings behave identically to the builtin.
     """
     if mask is not None:
+        check_mask(mask, y.n)
         y = y.select(mask.indices, complement=mask_complement)
     return y.drop_values(semiring.add_identity)
 

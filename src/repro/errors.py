@@ -16,6 +16,10 @@ class DimensionMismatchError(ReproError, ValueError):
     """Operands have incompatible dimensions (e.g. ``A`` is m-by-n but ``x`` has length != n)."""
 
 
+#: short alias: both spellings raise/catch the same class
+DimensionError = DimensionMismatchError
+
+
 class FormatError(ReproError, ValueError):
     """A sparse data structure is malformed (bad pointers, out-of-range indices, ...)."""
 

@@ -56,6 +56,17 @@ class BitVector:
     def empty(cls, n: int, dtype=np.float64) -> "BitVector":
         return cls(n, np.empty(0, dtype=INDEX_DTYPE), np.empty(0, dtype=dtype), check=False)
 
+    @classmethod
+    def from_indices(cls, n: int, indices) -> "BitVector":
+        """Build a pure membership bitmap (all stored values 1).
+
+        This is the representation the masked SpMSpV kernels consult at
+        scatter time: only :meth:`are_set` matters, so the value list is a
+        token ``1.0`` per index.  ``indices`` need not be sorted.
+        """
+        indices = as_index_array(indices)
+        return cls(n, indices, np.ones(len(indices), dtype=np.float64), check=False)
+
     # ------------------------------------------------------------------ #
     @property
     def nnz(self) -> int:

@@ -40,9 +40,13 @@ from .platforms import EDISON, Platform
 DISPATCH_FEATURE_NAMES = ("bias", "nnz_x", "density", "nzc")
 
 #: features of one blocked multiply: bias, block width k, total stored
-#: entries, column-union width, and the sharing ratio total/union (how much
-#: of the gather the fused kernel deduplicates).
-BLOCK_FEATURE_NAMES = ("bias", "k", "total_nnz", "union_nnz", "sharing")
+#: entries, column-union width, the sharing ratio total/union (how much of
+#: the gather the fused kernel deduplicates), the mask selectivity (expected
+#: fraction of scattered pairs an early mask lets through — 1.0 unmasked: the
+#: feature that lets the fits price the merge by *surviving* pairs), and the
+#: independent merge-segment count k·nb of the segmented block merge.
+BLOCK_FEATURE_NAMES = ("bias", "k", "total_nnz", "union_nnz", "sharing",
+                       "mask_keep", "segments")
 
 
 def dispatch_features(nnz_x: int, n: int, nzc: int) -> np.ndarray:
@@ -50,10 +54,18 @@ def dispatch_features(nnz_x: int, n: int, nzc: int) -> np.ndarray:
     return np.array([1.0, float(nnz_x), nnz_x / max(n, 1), float(nzc)])
 
 
-def block_features(k: int, total_nnz: int, union_nnz: int) -> np.ndarray:
-    """Feature vector of one blocked multiply (fused-vs-looped decision)."""
+def block_features(k: int, total_nnz: int, union_nnz: int,
+                   mask_keep: float = 1.0, segments: int = 0) -> np.ndarray:
+    """Feature vector of one blocked multiply (fused-vs-looped decision).
+
+    ``mask_keep`` is the expected fraction of scattered (row, vector-id)
+    pairs surviving the early masks (1.0 when unmasked) and ``segments`` the
+    number of independent (vector, bucket) merge segments (``k·nb``; 0 when
+    the caller does not know the bucket count).
+    """
     return np.array([1.0, float(k), float(total_nnz), float(union_nnz),
-                     total_nnz / max(union_nnz, 1)])
+                     total_nnz / max(union_nnz, 1), float(mask_keep),
+                     float(segments)])
 
 #: nanosecond cost per counted operation on a reference (Edison-class) core.
 DEFAULT_WEIGHTS_NS: Dict[str, float] = {

@@ -337,3 +337,132 @@ def test_blocked_pagerank_detach():
     result.detach()
     assert result.engine is None
     assert result.engine_summary["batches"] >= result.num_iterations
+
+
+# --------------------------------------------------------------------------- #
+# segmented merge and early masking
+# --------------------------------------------------------------------------- #
+def test_block_merge_modes_bit_identical_through_engine():
+    matrix = random_csc(70, 70, 0.12, seed=51)
+    ctx = default_context(num_threads=3)
+    xs = [random_sparse_vector(70, nnz, seed=50 + nnz) for nnz in (5, 14, 26, 40)]
+    outputs = {}
+    for merge in ("segmented", "global"):
+        engine = SpMSpVEngine(matrix, ctx, algorithm="bucket")
+        outputs[merge] = engine.multiply_many(xs, block_mode="fused",
+                                              block_merge=merge)
+        assert all(r.info["merge"] == merge for r in outputs[merge])
+    for seg, glo in zip(outputs["segmented"], outputs["global"]):
+        assert np.array_equal(seg.vector.indices, glo.vector.indices)
+        assert np.array_equal(seg.vector.values, glo.vector.values)
+
+
+def test_block_merge_validation():
+    matrix = random_csc(30, 30, 0.2, seed=52)
+    engine = SpMSpVEngine(matrix, algorithm="bucket")
+    xs = [random_sparse_vector(30, 5, seed=s) for s in (1, 2)]
+    with pytest.raises(ValueError):
+        engine.multiply_many(xs, block_merge="quantum")
+    with pytest.raises(ValueError):
+        spmspv_bucket_block(matrix, xs, merge="quantum")
+
+
+def test_fused_early_mask_skips_dead_pairs():
+    """Masked fused calls never scatter (row, vector-id) pairs the mask kills."""
+    matrix = random_csc(60, 60, 0.15, seed=53)
+    ctx = default_context(num_threads=2)
+    xs = [random_sparse_vector(60, 20, seed=60 + s) for s in range(4)]
+    rng = np.random.default_rng(53)
+    masks = [SparseVector.full_like_indices(
+        60, np.sort(rng.choice(60, size=10, replace=False)), 1.0) for _ in xs]
+    early = spmspv_bucket_block(matrix, xs, ctx, masks=masks, early_mask=True)
+    late = spmspv_bucket_block(matrix, xs, ctx, masks=masks, early_mask=False)
+    for e, l in zip(early, late):
+        assert np.array_equal(e.vector.indices, l.vector.indices)
+        assert np.array_equal(e.vector.values, l.vector.values)
+        assert e.record.info["early_mask"] and not l.record.info["early_mask"]
+    # the early-masked block merged strictly fewer pairs
+    assert early[0].record.info["block_pairs"] < late[0].record.info["block_pairs"]
+
+
+def test_workspace_sort_keys_allocated_lazily_and_reused():
+    matrix = random_csc(50, 50, 0.15, seed=54)
+    engine = SpMSpVEngine(matrix, default_context(num_threads=2), algorithm="bucket")
+    xs = [random_sparse_vector(50, 15, seed=70 + s) for s in range(6)]
+    # global merge never touches the int32 staging slab
+    engine.multiply_many(xs, block_mode="fused", block_merge="global")
+    assert engine.workspace.block.sort_keys is None
+    # the segmented merge allocates it once and reuses it across batches
+    engine.multiply_many(xs, block_mode="fused", block_merge="segmented")
+    keys = engine.workspace.block.sort_keys
+    assert keys is not None and keys.dtype == np.int16
+    engine.multiply_many(xs, block_mode="fused", block_merge="segmented")
+    assert engine.workspace.block.sort_keys is keys
+
+
+def test_mask_selectivity_feature_reaches_block_fits():
+    matrix = random_csc(40, 40, 0.2, seed=55)
+    engine = SpMSpVEngine(matrix, default_context(num_threads=2), algorithm="bucket")
+    xs = [random_sparse_vector(40, 12, seed=80 + s) for s in range(4)]
+    masks = [SparseVector.full_like_indices(40, np.arange(10), 1.0) for _ in xs]
+    engine.multiply_many(xs, masks=masks, block_mode="fused")
+    engine.multiply_many(xs, masks=masks, mask_complement=True, block_mode="looped")
+    fused_fit, looped_fit = engine._block_fits["fused"], engine._block_fits["looped"]
+    assert fused_fit.count == 1 and looped_fit.count == 1
+    # feature 5 is mask_keep: nnz/m masked, 1 - nnz/m complemented
+    assert fused_fit.xty[5] != 0.0
+    keep, ckeep = 10 / 40, 1 - 10 / 40
+    assert fused_fit.xtx[0, 5] == pytest.approx(keep)
+    assert looped_fit.xtx[0, 5] == pytest.approx(ckeep)
+    # feature 6 is the merge-segment count k * nb
+    nb = default_context(num_threads=2).num_buckets
+    assert fused_fit.xtx[0, 6] == pytest.approx(4 * nb)
+
+
+# --------------------------------------------------------------------------- #
+# restricted (masked) PageRank through the block path
+# --------------------------------------------------------------------------- #
+def test_restricted_pagerank_block_matches_per_source_runs():
+    matrix = erdos_renyi(120, 5.0, seed=56)
+    ctx = default_context(num_threads=2)
+    rng = np.random.default_rng(56)
+    region = np.sort(rng.choice(120, size=60, replace=False))
+    perss = [region[:2], region[5:8], region[10:11], region[20:24]]
+    for mode in ("fused", "looped"):
+        blocked = pagerank_block(matrix, perss, ctx, block_mode=mode,
+                                 restrict=region)
+        for i, p in enumerate(perss):
+            single = pagerank(matrix, ctx, personalization=p, restrict=region)
+            assert np.array_equal(blocked.scores[i], single.scores)
+            assert blocked.iterations_per_source[i] == single.num_iterations
+    # the restriction actually confines the walk: no rank outside the region
+    outside = np.setdiff1d(np.arange(120), region)
+    teleport_only = pagerank(matrix, ctx, personalization=perss[0],
+                             restrict=region)
+    assert np.all(teleport_only.scores[outside] == 0.0)
+
+
+def test_restricted_pagerank_validates_vertices():
+    matrix = erdos_renyi(50, 4.0, seed=57)
+    with pytest.raises(ValueError):
+        pagerank(matrix, restrict=np.array([], dtype=np.int64))
+
+
+@pytest.mark.parametrize("num_rows", [1, 7, 2**15 - 1, 2**15, 2**15 + 1,
+                                      2**20, 2**30, 2**30 + 1])
+def test_stable_row_argsort_matches_numpy_stable(num_rows):
+    """The staged radix argsort is exactly np.argsort(kind='stable')."""
+    from repro.core.buckets import stable_row_argsort
+
+    rng = np.random.default_rng(num_rows % 9973)
+    rows = rng.integers(0, num_rows, size=3000).astype(np.int64)
+    rows = np.concatenate([rows, rows[:500]])  # guarantee duplicate keys
+    expected = np.argsort(rows, kind="stable")
+    assert np.array_equal(stable_row_argsort(rows, num_rows), expected)
+    # staged variant reuses the caller's int16 scratch
+    staging = np.empty(len(rows), dtype=np.int16)
+    assert np.array_equal(stable_row_argsort(rows, num_rows, staging=staging),
+                          expected)
+    # degenerate lengths
+    assert np.array_equal(stable_row_argsort(rows[:1], num_rows), [0])
+    assert len(stable_row_argsort(rows[:0], num_rows)) == 0

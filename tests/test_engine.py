@@ -318,3 +318,111 @@ def test_engine_reporting_renders():
     assert "allocations_saved" in stats
     summary = summarize_engine(engine)
     assert "SpMSpV calls" in summary and "workspace" in summary
+
+
+# --------------------------------------------------------------------------- #
+# engine cache eviction and workspace release
+# --------------------------------------------------------------------------- #
+def test_engine_cache_evicts_lru_beyond_pin_limit():
+    from repro.core.engine import _ENGINE_CACHE_LIMIT
+
+    clear_engine_cache()
+    ctx = default_context()
+    matrices = [erdos_renyi(40, 3.0, seed=100 + i)
+                for i in range(_ENGINE_CACHE_LIMIT + 2)]
+    first_engine = engine_for(matrices[0], ctx)
+    assert engine_for(matrices[0], ctx) is first_engine  # cache hit
+    # pin the limit's worth of *other* matrices: the first becomes LRU and
+    # must be evicted once the limit is exceeded
+    engines = [engine_for(m, ctx) for m in matrices[1:]]
+    assert all(e.matrix is m for e, m in zip(engines, matrices[1:]))
+    replacement = engine_for(matrices[0], ctx)
+    assert replacement is not first_engine, "LRU entry was not evicted"
+    # the most recent engines are still cached (their state is preserved)
+    assert engine_for(matrices[-1], ctx) is engines[-1]
+    clear_engine_cache()
+
+
+def test_engine_cache_hit_refreshes_lru_order():
+    from repro.core.engine import _ENGINE_CACHE_LIMIT
+
+    clear_engine_cache()
+    ctx = default_context()
+    matrices = [erdos_renyi(30, 3.0, seed=200 + i)
+                for i in range(_ENGINE_CACHE_LIMIT + 1)]
+    engines = [engine_for(m, ctx) for m in matrices[:_ENGINE_CACHE_LIMIT]]
+    # touch the oldest entry: it moves to the MRU slot...
+    assert engine_for(matrices[0], ctx) is engines[0]
+    # ...so inserting one more evicts the *second* oldest instead
+    engine_for(matrices[-1], ctx)
+    assert engine_for(matrices[0], ctx) is engines[0]
+    assert engine_for(matrices[1], ctx) is not engines[1]
+    clear_engine_cache()
+
+
+def _reachable_ndarray_bytes(root, exclude=()):
+    """Total bytes of distinct numpy arrays reachable from ``root`` via gc.
+
+    Traversal stops at types, modules and functions: those lead out of the
+    object's own data graph (class attributes, module globals) and are not
+    retained *by* the object.
+    """
+    import gc
+    import types
+
+    seen, total, stack = set(), 0, [root]
+    excluded = {id(a) for a in exclude}
+    while stack:
+        obj = stack.pop()
+        if id(obj) in seen or isinstance(obj, (type, types.ModuleType,
+                                               types.FunctionType)):
+            continue
+        seen.add(id(obj))
+        if isinstance(obj, np.ndarray):
+            if id(obj) not in excluded:
+                total += obj.nbytes
+            continue
+        stack.extend(gc.get_referents(obj))
+    return total
+
+
+def test_bfs_detach_releases_workspace_buffers():
+    import gc
+    import weakref
+
+    n = 4000
+    result = bfs(erdos_renyi(n, 3.0, seed=42), 0, default_context(num_threads=2))
+    workspace_ref = weakref.ref(result.engine.workspace)
+    engine_ref = weakref.ref(result.engine)
+    # attached: the engine's O(nrows) SPA / scratch buffers are reachable
+    before = _reachable_ndarray_bytes(result,
+                                      exclude=(result.levels, result.parents))
+    assert before >= 2 * n * 8, "expected the workspace buffers to be pinned"
+    result.detach()
+    gc.collect()
+    assert engine_ref() is None, "detach must drop the engine"
+    assert workspace_ref() is None, "detach must release the workspace"
+    # detached: nothing O(nrows) besides the mathematical result remains
+    after = _reachable_ndarray_bytes(result,
+                                     exclude=(result.levels, result.parents))
+    assert after < n * 8, f"detached result still pins {after} bytes"
+
+
+def test_spmspv_result_detach_drops_per_thread_buffers():
+    import sys
+
+    matrix = erdos_renyi(500, 4.0, seed=43)
+    x = SparseVector.full_like_indices(500, np.arange(0, 120), 1.0)
+    result = get_algorithm("bucket")(matrix, x, default_context(num_threads=6))
+    per_thread_before = sum(len(p.thread_metrics) for p in result.record.phases)
+    assert per_thread_before >= 6  # per-thread detail present while attached
+    size_before = sys.getsizeof(result.record.phases) + sum(
+        sys.getsizeof(p.thread_metrics) for p in result.record.phases)
+    work_before = result.record.total_work().as_dict()
+    assert result.detach() is result
+    assert all(not p.thread_metrics for p in result.record.phases)
+    size_after = sys.getsizeof(result.record.phases) + sum(
+        sys.getsizeof(p.thread_metrics) for p in result.record.phases)
+    assert size_after < size_before
+    # compaction preserves the aggregate work totals exactly
+    assert result.record.total_work().as_dict() == work_before
