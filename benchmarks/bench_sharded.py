@@ -1,0 +1,237 @@
+"""Sharded-vs-monolithic perf-regression harness.
+
+Measures the wall-clock speedup of the partition-aware
+:class:`~repro.core.sharded.ShardedEngine` — P row strips, one independent
+single-strip kernel call each, outputs concatenated — over the monolithic
+:class:`~repro.core.engine.SpMSpVEngine` running the same context's
+T-thread emulation inside one kernel call, across the RMAT suite graphs.
+On one physical core the comparison isolates a real architectural effect:
+the monolithic T-thread emulation pays T chunked sub-gathers and 4·T
+per-bucket merge loops of Python-level overhead per multiplication, while
+each strip call runs the paper's row-split configuration (one thread per
+strip, sync-free) through the bucket kernel's fused ``single_pass`` path —
+one gather, one stable row sort.  Three workloads per (graph, P):
+
+* ``multiply`` — a BFS-shaped random frontier through both engines (the
+  primitive itself; this is the gated workload);
+* ``multiply_many`` — k=8 fused frontiers, the sharded fused path packing
+  the column-union block once and executing it per strip;
+* ``bfs`` — a full traversal via ``bfs(..., shards=P)`` (the end-to-end
+  algorithm).
+
+Results are printed as a table and written to ``BENCH_sharded.json``.  Exit
+status is the regression gate used by CI:
+
+    python benchmarks/bench_sharded.py --quick --check
+
+fails (exit 1) unless, on every smoke graph, the sharded ``multiply`` is
+>= 0.95x the monolithic engine at P=1 (the wrapper must be ~free) and
+>= 1.2x at P=4 (sharding must genuinely pay).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.algorithms import bfs
+from repro.core import ShardedEngine, SpMSpVEngine
+from repro.formats import SparseVector
+from repro.graphs import build_problem
+from repro.parallel import default_context
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: RMAT suite problems (low-diameter scale-free class) and their bench scales
+FULL_GRAPHS = [("ljournal-like", 14), ("webgoogle-like", 14)]
+QUICK_GRAPHS = [("ljournal-like", 12), ("webgoogle-like", 12)]
+
+SHARD_COUNTS = [1, 4]
+
+#: gate thresholds: sharded multiply vs monolithic at each shard count
+GATE_MIN_SPEEDUP = {1: 0.95, 4: 1.2}
+
+
+def random_frontier(n: int, nnz: int, seed: int) -> SparseVector:
+    rng = np.random.default_rng(seed)
+    idx = np.sort(rng.choice(n, size=min(nnz, n), replace=False))
+    return SparseVector(n, idx, rng.random(len(idx)) + 0.1)
+
+
+def time_best_interleaved(fns: dict, rounds: int) -> dict:
+    """Best-of-N for several competitors, rounds interleaved (stable ratios)."""
+    best = {name: float("inf") for name in fns}
+    for _ in range(rounds):
+        for name, fn in fns.items():
+            t0 = time.perf_counter()
+            fn()
+            best[name] = min(best[name], (time.perf_counter() - t0) * 1e3)
+    return best
+
+
+def time_best(fn, rounds: int) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, (time.perf_counter() - t0) * 1e3)
+    return best
+
+
+def bench_multiply(matrix, ctx, shards: int, nnz: int, rounds: int) -> dict:
+    x = random_frontier(matrix.ncols, nnz, seed=13 * shards + 1)
+    mono = SpMSpVEngine(matrix, ctx, algorithm="bucket")
+    sharded = ShardedEngine(matrix, shards, ctx, algorithm="bucket")
+    runs = {
+        "monolithic": lambda: mono.multiply(x),
+        "sharded": lambda: sharded.multiply(x),
+    }
+    for fn in runs.values():
+        fn()  # warm workspaces
+    return time_best_interleaved(runs, rounds)
+
+
+def bench_multiply_many(matrix, ctx, shards: int, k: int, nnz: int,
+                        rounds: int) -> dict:
+    frontiers = [random_frontier(matrix.ncols, nnz, seed=17 * shards + i)
+                 for i in range(k)]
+    mono = SpMSpVEngine(matrix, ctx, algorithm="bucket")
+    sharded = ShardedEngine(matrix, shards, ctx, algorithm="bucket")
+    runs = {
+        "monolithic": lambda: mono.multiply_many(frontiers, block_mode="fused"),
+        "sharded": lambda: sharded.multiply_many(frontiers, block_mode="fused"),
+    }
+    for fn in runs.values():
+        fn()
+    return time_best_interleaved(runs, rounds)
+
+
+def bench_bfs(matrix, ctx, shards: int, rounds: int) -> dict:
+    bfs(matrix, 0, ctx)  # warm
+    bfs(matrix, 0, ctx, shards=shards)
+    return {
+        "monolithic": time_best(lambda: bfs(matrix, 0, ctx), max(1, rounds // 2)),
+        "sharded": time_best(lambda: bfs(matrix, 0, ctx, shards=shards),
+                             max(1, rounds // 2)),
+    }
+
+
+def run(quick: bool, threads: int, rounds: int) -> dict:
+    graphs = QUICK_GRAPHS if quick else FULL_GRAPHS
+    ctx = default_context(num_threads=threads)
+    report = {
+        "benchmark": "sharded",
+        "quick": quick,
+        "num_threads": threads,
+        "rounds": rounds,
+        "shard_counts": SHARD_COUNTS,
+        "gate": {str(p): s for p, s in GATE_MIN_SPEEDUP.items()},
+        "graphs": [],
+        "results": [],
+    }
+    for name, scale in graphs:
+        graph = build_problem(name, scale)
+        matrix = graph.matrix
+        report["graphs"].append({"name": name, "scale": scale,
+                                 "vertices": matrix.ncols, "edges": matrix.nnz})
+        frontier_nnz = max(64, matrix.ncols // 64)
+        for shards in SHARD_COUNTS:
+            mm = bench_multiply(matrix, ctx, shards, frontier_nnz, rounds)
+            report["results"].append({
+                "graph": name, "workload": "multiply", "shards": shards,
+                "frontier_nnz": frontier_nnz,
+                "sharded_ms": round(mm["sharded"], 4),
+                "monolithic_ms": round(mm["monolithic"], 4),
+                "speedup": round(mm["monolithic"] / mm["sharded"], 4)
+                if mm["sharded"] > 0 else float("inf"),
+            })
+            many = bench_multiply_many(matrix, ctx, shards, 8, frontier_nnz,
+                                       rounds)
+            report["results"].append({
+                "graph": name, "workload": "multiply_many", "shards": shards,
+                "k": 8, "frontier_nnz": frontier_nnz,
+                "sharded_ms": round(many["sharded"], 4),
+                "monolithic_ms": round(many["monolithic"], 4),
+                "speedup": round(many["monolithic"] / many["sharded"], 4)
+                if many["sharded"] > 0 else float("inf"),
+            })
+            bfs_times = bench_bfs(matrix, ctx, shards, rounds)
+            report["results"].append({
+                "graph": name, "workload": "bfs", "shards": shards,
+                "sharded_ms": round(bfs_times["sharded"], 4),
+                "monolithic_ms": round(bfs_times["monolithic"], 4),
+                "speedup": round(bfs_times["monolithic"] / bfs_times["sharded"], 4)
+                if bfs_times["sharded"] > 0 else float("inf"),
+            })
+
+    gate_results = {}
+    for shards, floor in GATE_MIN_SPEEDUP.items():
+        speedups = [r["speedup"] for r in report["results"]
+                    if r["workload"] == "multiply" and r["shards"] == shards]
+        gate_results[str(shards)] = {
+            "min_speedup": min(speedups) if speedups else None,
+            "floor": floor,
+            "passed": bool(speedups and min(speedups) >= floor),
+        }
+    report["summary"] = {
+        "gates": gate_results,
+        "check_passed": all(g["passed"] for g in gate_results.values()),
+    }
+    return report
+
+
+def print_table(report: dict) -> None:
+    header = f"{'graph':<16} {'workload':<15} {'P':>3} {'monolithic ms':>14} " \
+             f"{'sharded ms':>11} {'speedup':>8}"
+    print(header)
+    print("-" * len(header))
+    for r in report["results"]:
+        print(f"{r['graph']:<16} {r['workload']:<15} {r['shards']:>3} "
+              f"{r['monolithic_ms']:>14.3f} {r['sharded_ms']:>11.3f} "
+              f"{r['speedup']:>7.2f}x")
+    for shards, gate in report["summary"]["gates"].items():
+        print(f"min multiply speedup at P={shards}: {gate['min_speedup']} "
+              f"(floor {gate['floor']}x, passed: {gate['passed']})")
+    print(f"regression check passed: {report['summary']['check_passed']}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke mode: the RMAT suite at scale 12")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 unless sharded multiply is >= 0.95x "
+                             "monolithic at P=1 and >= 1.2x at P=4 on every "
+                             "graph")
+    parser.add_argument("--threads", type=int, default=8,
+                        help="emulated thread count of the shared context "
+                             "(the monolithic engine emulates all of them in "
+                             "one kernel call; the sharded engine schedules "
+                             "its strips onto them)")
+    parser.add_argument("--rounds", type=int, default=None,
+                        help="timing repetitions (best-of); default 5 quick / 7 full")
+    parser.add_argument("--out", type=Path,
+                        default=REPO_ROOT / "BENCH_sharded.json",
+                        help="where to write the machine-readable report")
+    args = parser.parse_args(argv)
+
+    rounds = args.rounds if args.rounds is not None else (5 if args.quick else 7)
+    report = run(args.quick, args.threads, rounds)
+    report["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%S")
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print_table(report)
+    print(f"\nwrote {args.out}")
+    if args.check and not report["summary"]["check_passed"]:
+        print("FAIL: sharded regression gate (multiply >= 0.95x at P=1, "
+              ">= 1.2x at P=4) not met", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,6 +21,7 @@ import numpy as np
 from .._typing import INDEX_DTYPE
 from ..core.engine import SpMSpVEngine
 from ..core.result import DetachableResult, SpMSpVResult
+from ..core.sharded import ShardedEngine
 from ..formats.csc import CSCMatrix
 from ..formats.sparse_vector import SparseVector
 from ..graphs.graph import Graph
@@ -45,7 +46,7 @@ class BFSResult(DetachableResult):
     #: execution record of every SpMSpV call, in order
     records: List[ExecutionRecord] = field(default_factory=list)
     #: the engine that ran the traversal (workspace stats, per-call choices)
-    engine: Optional[SpMSpVEngine] = None
+    engine: Optional[SpMSpVEngine | ShardedEngine] = None
 
     @property
     def num_reached(self) -> int:
@@ -62,7 +63,8 @@ def bfs(graph: Graph | CSCMatrix, source: int,
         ctx: Optional[ExecutionContext] = None, *,
         algorithm: str = "bucket",
         max_levels: Optional[int] = None,
-        collect_frontiers: bool = False) -> BFSResult:
+        collect_frontiers: bool = False,
+        shards: Optional[int] = None) -> BFSResult:
     """Run a frontier-expansion BFS from ``source``.
 
     Parameters
@@ -83,6 +85,11 @@ def bfs(graph: Graph | CSCMatrix, source: int,
         When true, the returned result also keeps each frontier vector
         (memory-heavy; used by the Fig. 3 benchmark to harvest realistic
         frontiers of different sparsity).
+    shards:
+        When given, the traversal runs through a
+        :class:`~repro.core.sharded.ShardedEngine` over that many row
+        strips instead of the monolithic engine — bit-identical levels and
+        parents, sharded execution.
     """
     matrix = graph.matrix if isinstance(graph, Graph) else graph
     if matrix.nrows != matrix.ncols:
@@ -92,7 +99,9 @@ def bfs(graph: Graph | CSCMatrix, source: int,
         raise IndexError(f"source {source} out of range for {n} vertices")
     ctx = ctx if ctx is not None else default_context()
     # one engine per traversal: buckets/SPA are allocated once, reused per level
-    engine = SpMSpVEngine(matrix, ctx, algorithm=algorithm)
+    engine = (ShardedEngine(matrix, shards, ctx, algorithm=algorithm)
+              if shards is not None
+              else SpMSpVEngine(matrix, ctx, algorithm=algorithm))
 
     levels = np.full(n, -1, dtype=INDEX_DTYPE)
     parents = np.full(n, -1, dtype=INDEX_DTYPE)
@@ -152,7 +161,7 @@ class MultiSourceBFSResult(DetachableResult):
     iterations_per_source: List[int] = field(default_factory=list)
     #: per-level total frontier nnz summed over the still-active searches
     frontier_sizes: List[int] = field(default_factory=list)
-    engine: Optional[SpMSpVEngine] = None
+    engine: Optional[SpMSpVEngine | ShardedEngine] = None
 
     @property
     def num_sources(self) -> int:
@@ -170,7 +179,8 @@ def bfs_multi_source(graph: Graph | CSCMatrix, sources: List[int],
                      ctx: Optional[ExecutionContext] = None, *,
                      algorithm: str = "bucket",
                      max_levels: Optional[int] = None,
-                     block_mode: str = "auto") -> MultiSourceBFSResult:
+                     block_mode: str = "auto",
+                     shards: Optional[int] = None) -> MultiSourceBFSResult:
     """Run independent BFS traversals from several sources as one batched job.
 
     Every level performs one :meth:`~repro.core.engine.SpMSpVEngine.multiply_many`
@@ -185,6 +195,10 @@ def bfs_multi_source(graph: Graph | CSCMatrix, sources: List[int],
     O(surviving pairs) merge work.  ``block_mode`` forces the fused
     (``"fused"``) or per-vector (``"looped"``) path; both are bit-identical,
     so this is a performance knob only (used by the block-fusion benchmark).
+    ``shards`` routes every level through a
+    :class:`~repro.core.sharded.ShardedEngine` over that many row strips —
+    fused blocks shard too (the column-union pack is shared, the scatter is
+    strip-local) and results stay bit-identical.
     """
     matrix = graph.matrix if isinstance(graph, Graph) else graph
     if matrix.nrows != matrix.ncols:
@@ -195,7 +209,9 @@ def bfs_multi_source(graph: Graph | CSCMatrix, sources: List[int],
         if not (0 <= s < n):
             raise IndexError(f"source {s} out of range for {n} vertices")
     ctx = ctx if ctx is not None else default_context()
-    engine = SpMSpVEngine(matrix, ctx, algorithm=algorithm)
+    engine = (ShardedEngine(matrix, shards, ctx, algorithm=algorithm)
+              if shards is not None
+              else SpMSpVEngine(matrix, ctx, algorithm=algorithm))
 
     k = len(sources)
     levels = np.full((k, n), -1, dtype=INDEX_DTYPE)

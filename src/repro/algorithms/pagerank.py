@@ -22,6 +22,7 @@ import numpy as np
 from .._typing import INDEX_DTYPE
 from ..core.engine import SpMSpVEngine
 from ..core.result import DetachableResult
+from ..core.sharded import ShardedEngine
 from ..formats.coo import COOMatrix
 from ..formats.csc import CSCMatrix
 from ..formats.sparse_vector import SparseVector
@@ -59,7 +60,7 @@ class PageRankResult(DetachableResult):
     #: number of active (still-changing) vertices per iteration
     active_sizes: List[int] = field(default_factory=list)
     records: List[ExecutionRecord] = field(default_factory=list)
-    engine: Optional[SpMSpVEngine] = None
+    engine: Optional[SpMSpVEngine | ShardedEngine] = None
 
     def top(self, k: int = 10) -> List[tuple]:
         """The k highest-ranked vertices as (vertex, score) pairs."""
@@ -90,7 +91,8 @@ def pagerank(graph: Graph | CSCMatrix,
              tol: float = 1e-8,
              max_iterations: int = 200,
              personalization: Optional[np.ndarray] = None,
-             restrict: Optional[np.ndarray] = None) -> PageRankResult:
+             restrict: Optional[np.ndarray] = None,
+             shards: Optional[int] = None) -> PageRankResult:
     """Compute PageRank scores with the sparse delta (data-driven) iteration.
 
     The returned scores sum to 1.  ``personalization`` restricts the teleport
@@ -99,7 +101,9 @@ def pagerank(graph: Graph | CSCMatrix,
     ``restrict`` confines rank *spreading* to the given vertex subset (a
     subgraph walk): every SpMSpV is masked with the subset, so mass headed
     outside it is dropped — pair the restriction with a personalization
-    inside the subset for a fully confined walk.
+    inside the subset for a fully confined walk.  ``shards`` routes the
+    iteration through a :class:`~repro.core.sharded.ShardedEngine` over that
+    many row strips (bit-identical scores).
     """
     matrix = graph.matrix if isinstance(graph, Graph) else graph
     if matrix.nrows != matrix.ncols:
@@ -107,7 +111,9 @@ def pagerank(graph: Graph | CSCMatrix,
     n = matrix.ncols
     ctx = ctx if ctx is not None else default_context()
     transition = column_stochastic(matrix)
-    engine = SpMSpVEngine(transition, ctx, algorithm=algorithm)
+    engine = (ShardedEngine(transition, shards, ctx, algorithm=algorithm)
+              if shards is not None
+              else SpMSpVEngine(transition, ctx, algorithm=algorithm))
     dangling = np.flatnonzero(np.diff(transition.indptr) == 0)
     mask = _restrict_mask(n, restrict)
 
@@ -163,7 +169,7 @@ class BlockedPageRankResult(DetachableResult):
     iterations_per_source: List[int] = field(default_factory=list)
     #: total active (still-changing) vertices per iteration, over the block
     active_sizes: List[int] = field(default_factory=list)
-    engine: Optional[SpMSpVEngine] = None
+    engine: Optional[SpMSpVEngine | ShardedEngine] = None
 
     @property
     def num_sources(self) -> int:
@@ -183,7 +189,8 @@ def pagerank_block(graph: Graph | CSCMatrix,
                    tol: float = 1e-8,
                    max_iterations: int = 200,
                    block_mode: str = "auto",
-                   restrict: Optional[np.ndarray] = None) -> BlockedPageRankResult:
+                   restrict: Optional[np.ndarray] = None,
+                   shards: Optional[int] = None) -> BlockedPageRankResult:
     """Run k personalized PageRank computations as one blocked job.
 
     Every iteration multiplies the transition matrix by the **block** of the
@@ -198,6 +205,9 @@ def pagerank_block(graph: Graph | CSCMatrix,
     rank spreading to a vertex subset exactly as in :func:`pagerank`; the
     per-vector masks it induces are folded into the fused kernel's scatter,
     so the batched restricted walk never merges dead (row, vector-id) pairs.
+    ``shards`` routes every blocked iteration through a
+    :class:`~repro.core.sharded.ShardedEngine` over that many row strips —
+    the fused block packs once and executes per strip, bit-identically.
     """
     matrix = graph.matrix if isinstance(graph, Graph) else graph
     if matrix.nrows != matrix.ncols:
@@ -205,7 +215,9 @@ def pagerank_block(graph: Graph | CSCMatrix,
     n = matrix.ncols
     ctx = ctx if ctx is not None else default_context()
     transition = column_stochastic(matrix)
-    engine = SpMSpVEngine(transition, ctx, algorithm=algorithm)
+    engine = (ShardedEngine(transition, shards, ctx, algorithm=algorithm)
+              if shards is not None
+              else SpMSpVEngine(transition, ctx, algorithm=algorithm))
     dangling = np.flatnonzero(np.diff(transition.indptr) == 0)
     mask = _restrict_mask(n, restrict)
 

@@ -9,9 +9,18 @@ from .dispatch import (
     register_algorithm,
     spmspv,
 )
-from .engine import CostFit, EngineCall, SpMSpVEngine, clear_engine_cache, engine_for
+from .engine import (
+    CostFit,
+    EngineCall,
+    SpMSpVEngine,
+    clear_engine_cache,
+    engine_for,
+    pin_engine,
+    unpin_engine,
+)
 from .left_multiply import spmspv_left, transpose_for_left_multiply
 from .result import SpMSpVResult
+from .sharded import EngineGroup, ShardedEngine
 from .spa import SparseAccumulator
 from .spmspv_block import spmspv_bucket_block
 from .spmspv_bucket import spmspv_bucket, spmspv_bucket_reference
@@ -34,6 +43,8 @@ __all__ = [
     "CostFit",
     "DenseScratch",
     "EngineCall",
+    "EngineGroup",
+    "ShardedEngine",
     "SpMSpVEngine",
     "SpMSpVWorkspace",
     "SparseAccumulator",
@@ -45,6 +56,8 @@ __all__ = [
     "clear_engine_cache",
     "compute_offsets",
     "engine_for",
+    "pin_engine",
+    "unpin_engine",
     "ewise_add",
     "ewise_mult",
     "finalize_output",

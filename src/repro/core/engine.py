@@ -119,6 +119,59 @@ class CostFit:
         return max(float(w @ np.asarray(features, dtype=np.float64)), 0.0)
 
 
+def _density_seed_choice(candidates: Sequence[str], density: float,
+                         threshold: float) -> str:
+    """The paper's §V heuristic: matrix-driven once the vector densifies.
+
+    Shared by the monolithic and sharded engines' cold-start selection.
+    """
+    matrix_driven = [c for c in candidates if c in MATRIX_DRIVEN]
+    vector_driven = [c for c in candidates if c not in MATRIX_DRIVEN]
+    if density >= threshold and matrix_driven:
+        return matrix_driven[0]
+    return vector_driven[0] if vector_driven else candidates[0]
+
+
+def _ranked_selection(fits: Dict[str, CostFit], phi: np.ndarray,
+                      explore_every: int, modeled_count: int
+                      ) -> Optional[Tuple[str, bool]]:
+    """Fit-driven choice among candidates; None while any fit is cold.
+
+    ``modeled_count`` is the 1-based index of this modeled decision — every
+    ``explore_every``-th one deliberately runs the predicted runner-up to
+    keep the losing model fresh.  Shared by the per-call and fused-vs-looped
+    selections of both engines.
+    """
+    predictions = {name: fit.predict(phi) for name, fit in fits.items()}
+    if not all(p is not None for p in predictions.values()):
+        return None
+    ranked = sorted(fits, key=lambda name: predictions[name])
+    if explore_every > 0 and len(ranked) > 1 and modeled_count % explore_every == 0:
+        return ranked[1], True
+    return ranked[0], False
+
+
+def _mask_keep_fraction(masks: Optional[Sequence[Optional[SparseVector]]],
+                        mask_complement: bool, k: int, nrows: int) -> float:
+    """Expected fraction of scattered pairs the early masks let through.
+
+    The mask-selectivity feature of the block cost fits: the structural
+    densities of the masks (``nnz/m``, complemented if asked), averaged over
+    the batch with maskless vectors counting as 1.0.  Shared by both engines.
+    """
+    if masks is None or k == 0:
+        return 1.0
+    m = max(nrows, 1)
+    total = 0.0
+    for mask in masks:
+        if mask is None:
+            total += 1.0
+        else:
+            density = mask.nnz / m
+            total += (1.0 - density) if mask_complement else density
+    return total / k
+
+
 @dataclass
 class EngineCall:
     """One dispatch decision of the engine (the unit of the reporting layer)."""
@@ -212,11 +265,7 @@ class SpMSpVEngine:
     # ------------------------------------------------------------------ #
     def _seed_choice(self, density: float) -> str:
         """The paper's §V heuristic: matrix-driven once the vector densifies."""
-        matrix_driven = [c for c in self.candidates if c in MATRIX_DRIVEN]
-        vector_driven = [c for c in self.candidates if c not in MATRIX_DRIVEN]
-        if density >= self.density_threshold and matrix_driven:
-            return matrix_driven[0]
-        return vector_driven[0] if vector_driven else self.candidates[0]
+        return _density_seed_choice(self.candidates, density, self.density_threshold)
 
     def call_features(self, x: SparseVector) -> np.ndarray:
         """The (bias, nnz(x), density, nzc) features of one call on this matrix.
@@ -243,14 +292,11 @@ class SpMSpVEngine:
         f = x.nnz
         density = f / max(x.n, 1)
         phi = features if features is not None else self.call_features(x)
-        predictions = {name: self._models[name].predict(phi) for name in self.candidates}
-        if all(p is not None for p in predictions.values()):
-            ranked = sorted(self.candidates, key=lambda name: predictions[name])
+        choice = _ranked_selection(self._models, phi, self.explore_every,
+                                   self._modeled_calls + 1)
+        if choice is not None:
             self._modeled_calls += 1
-            if (self.explore_every > 0 and len(ranked) > 1
-                    and self._modeled_calls % self.explore_every == 0):
-                return ranked[1], True
-            return ranked[0], False
+            return choice
         return self._seed_choice(density), False
 
     # ------------------------------------------------------------------ #
@@ -335,23 +381,8 @@ class SpMSpVEngine:
 
     def _mask_keep_fraction(self, masks: Optional[Sequence[Optional[SparseVector]]],
                             mask_complement: bool, k: int) -> float:
-        """Expected fraction of scattered pairs the early masks let through.
-
-        This is the mask-selectivity feature of the block cost fits: the
-        structural densities of the masks (``nnz/m``, complemented if asked),
-        averaged over the batch with maskless vectors counting as 1.0.
-        """
-        if masks is None or k == 0:
-            return 1.0
-        m = max(self.matrix.nrows, 1)
-        total = 0.0
-        for mask in masks:
-            if mask is None:
-                total += 1.0
-            else:
-                density = mask.nnz / m
-                total += (1.0 - density) if mask_complement else density
-        return total / k
+        """The mask-selectivity feature of the block fits (shared helper)."""
+        return _mask_keep_fraction(masks, mask_complement, k, self.matrix.nrows)
 
     def _block_phi(self, k: int, total_nnz: int, union_nnz: int,
                    mask_keep: float) -> np.ndarray:
@@ -382,15 +413,11 @@ class SpMSpVEngine:
         by eliminating per-vector dispatch and gather overhead, which only
         the clock sees.
         """
-        predictions = {mode: fit.predict(phi)
-                       for mode, fit in self._block_fits.items()}
-        if all(p is not None for p in predictions.values()):
-            ranked = sorted(self._block_fits, key=lambda mode: predictions[mode])
+        choice = _ranked_selection(self._block_fits, phi, self.explore_every,
+                                   self._modeled_blocks + 1)
+        if choice is not None:
             self._modeled_blocks += 1
-            if (self.explore_every > 0
-                    and self._modeled_blocks % self.explore_every == 0):
-                return ranked[1], True
-            return ranked[0], False
+            return choice
         if k >= 4 or sharing >= 1.5:
             return "fused", False
         return "looped", False
@@ -509,8 +536,24 @@ class SpMSpVEngine:
                 workspace=self.workspace)
             self._fused_batches += 1
             nnzs = block.nnz_per_vector()
+            # block-aware exploration of the per-call models: each fused
+            # vector's share of the block cost is an observation of what the
+            # bucket algorithm costs on that frontier, so fused batches keep
+            # the bucket-vs-graphmat fits current even for workloads that
+            # never issue a per-vector call (multi-source BFS, blocked
+            # PageRank).  The share is only faithful when the block's column
+            # unions barely overlap: the fused record amortizes ONE union
+            # gather across the block, so on heavily-shared blocks each share
+            # under-counts the gather a standalone call would pay and would
+            # train the fit systematically low — those observations are
+            # skipped rather than corrected (the merge side is not amortized,
+            # so no single scale factor fixes both).
+            sharing = block.sharing_ratio()
+            bucket_fit = self._models.get("bucket") if sharing <= 1.25 else None
             for i, result in enumerate(results):
                 cost_ms = self._price.record_time_ms(result.record)
+                if bucket_fit is not None:
+                    bucket_fit.observe(self.call_features(xs[i]), cost_ms)
                 f = int(nnzs[i])
                 self.history.append(EngineCall(
                     index=self.total_calls, algorithm="bucket_block",
@@ -570,18 +613,36 @@ class SpMSpVEngine:
 # --------------------------------------------------------------------------- #
 _ENGINE_CACHE: "OrderedDict[tuple, SpMSpVEngine]" = OrderedDict()
 _ENGINE_CACHE_LIMIT = 8
+#: cache keys exempt from LRU eviction, with a pin count per key so nested
+#: pinners (two EngineGroups over one matrix) compose
+_ENGINE_PINS: Dict[tuple, int] = {}
 
 
-def engine_for(matrix: CSCMatrix, ctx: Optional[ExecutionContext] = None
-               ) -> SpMSpVEngine:
+def _evict_over_limit() -> None:
+    """Evict the oldest *unpinned* entries beyond the cache limit.
+
+    Pinned entries neither get evicted nor count toward the limit — a
+    workload legitimately holding many live matrices (an
+    :class:`~repro.core.sharded.EngineGroup`) must not have its members'
+    workspaces silently rebuilt mid-algorithm by unrelated ``spmspv`` calls.
+    """
+    unpinned = [k for k in _ENGINE_CACHE if k not in _ENGINE_PINS]
+    for key in unpinned[:max(len(unpinned) - _ENGINE_CACHE_LIMIT, 0)]:
+        del _ENGINE_CACHE[key]
+
+
+def engine_for(matrix: CSCMatrix, ctx: Optional[ExecutionContext] = None, *,
+               pin: bool = False) -> SpMSpVEngine:
     """The cached engine serving ``spmspv`` calls for ``(matrix, ctx)``.
 
     Entries pin the matrix (so ids cannot be recycled while cached) and are
     evicted LRU beyond a small limit; repeated calls on the same matrix —
     the shape of every iterative algorithm and benchmark — therefore reuse
-    one workspace and one adaptive state.  Shim engines run with exploration
-    disabled: ``spmspv(..., algorithm="auto")`` on identical inputs must pick
-    the predicted-best kernel deterministically (benchmarks time it), so the
+    one workspace and one adaptive state.  ``pin=True`` additionally exempts
+    the entry from LRU eviction until a matching :func:`unpin_engine` (see
+    :func:`pin_engine`).  Shim engines run with exploration disabled:
+    ``spmspv(..., algorithm="auto")`` on identical inputs must pick the
+    predicted-best kernel deterministically (benchmarks time it), so the
     deliberate runner-up calls are an opt-in of explicitly constructed
     engines.
     """
@@ -590,14 +651,46 @@ def engine_for(matrix: CSCMatrix, ctx: Optional[ExecutionContext] = None
     engine = _ENGINE_CACHE.get(key)
     if engine is not None and engine.matrix is matrix:
         _ENGINE_CACHE.move_to_end(key)
-        return engine
-    engine = SpMSpVEngine(matrix, ctx, explore_every=0)
-    _ENGINE_CACHE[key] = engine
-    while len(_ENGINE_CACHE) > _ENGINE_CACHE_LIMIT:
-        _ENGINE_CACHE.popitem(last=False)
+    else:
+        engine = SpMSpVEngine(matrix, ctx, explore_every=0)
+        _ENGINE_CACHE[key] = engine
+    if pin:
+        _ENGINE_PINS[key] = _ENGINE_PINS.get(key, 0) + 1
+    _evict_over_limit()
     return engine
 
 
+def pin_engine(matrix: CSCMatrix, ctx: Optional[ExecutionContext] = None
+               ) -> SpMSpVEngine:
+    """Get-or-create the cached engine for ``(matrix, ctx)`` and pin it.
+
+    A pinned engine survives any number of intervening ``spmspv`` calls on
+    other matrices (the LRU limit only applies to unpinned entries), so its
+    workspace and adaptive state are never rebuilt mid-algorithm.  Pins
+    nest; every ``pin_engine`` needs a matching :func:`unpin_engine`.
+    """
+    return engine_for(matrix, ctx, pin=True)
+
+
+def unpin_engine(matrix: CSCMatrix, ctx: Optional[ExecutionContext] = None) -> None:
+    """Release one pin on the cached engine for ``(matrix, ctx)``.
+
+    The entry stays cached but becomes evictable again once its pin count
+    reaches zero.  Unpinning a key that is not pinned is a no-op.
+    """
+    ctx = ctx if ctx is not None else default_context()
+    key = (id(matrix), ctx)
+    count = _ENGINE_PINS.get(key)
+    if count is None:
+        return
+    if count <= 1:
+        del _ENGINE_PINS[key]
+    else:
+        _ENGINE_PINS[key] = count - 1
+    _evict_over_limit()
+
+
 def clear_engine_cache() -> None:
-    """Drop all cached engines (exposed for tests)."""
+    """Drop all cached engines and pins (exposed for tests)."""
     _ENGINE_CACHE.clear()
+    _ENGINE_PINS.clear()

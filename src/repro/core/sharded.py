@@ -1,0 +1,741 @@
+"""Sharded SpMSpV execution: partition-aware engine with scheduled per-shard kernels.
+
+The paper's algorithm is designed around partitioned execution — per-thread
+buckets over row strips — yet the :class:`~repro.core.engine.SpMSpVEngine`
+runs every multiplication against one monolithic matrix.
+:class:`ShardedEngine` closes that gap at the *engine* level:
+
+* the matrix is **row-split** into P strips
+  (:func:`repro.formats.partition.row_split`, the §II-F scheme the CombBLAS
+  and GraphMat baselines distribute with), each strip owning its own
+  persistent :class:`~repro.core.workspace.SpMSpVWorkspace`;
+* every multiplication issues one **independent per-strip SpMSpV call**
+  (any registered kernel), executed with the single-strip-per-thread
+  configuration of the paper's row-split — strips are sync-free, so their
+  calls are embarrassingly parallel and are scheduled onto the context's
+  thread budget with :func:`repro.parallel.scheduler.schedule` (and
+  optionally fanned out on the real thread pool);
+* strip outputs live in **disjoint row ranges**, so the full result is a
+  plain concatenation — no merge — and is **bit-identical** to the
+  unsharded engine: each row's addend stream (the selected columns in the
+  input vector's storage order, restricted to the strip) is untouched by
+  the split, so every floating-point reduction sees the same addends in
+  the same order.  Sorted outputs are byte-identical as stored; unsorted
+  outputs are byte-identical as (row, value) pairs (storage order is
+  bucket-layout-specific, exactly as across the kernel family);
+* :meth:`ShardedEngine.multiply_many` shards fused blocks too: the
+  column-union block is packed **once** and shared by every strip's fused
+  kernel call, while the (row, vector-id) scatter and the segmented merge
+  stay strip-local;
+* per-call algorithm choice is priced over the **shard features** of
+  :func:`repro.machine.cost_model.shard_features` (shard count, static
+  per-strip nnz balance) by the same online :class:`~repro.core.engine.CostFit`
+  machinery the monolithic engine uses.
+
+An **async front-end** (:meth:`ShardedEngine.submit` /
+:meth:`ShardedEngine.gather`) queues calls and executes them in a
+deterministic seeded order (emulating out-of-order completion) while always
+returning results in submission order; :class:`EngineGroup` extends the same
+interface across *several* matrices, pinning its members in the
+:func:`~repro.core.engine.engine_for` cache so long-lived multi-graph
+workloads (BFS/PageRank over many graphs) never have their workspaces
+silently evicted and rebuilt mid-algorithm.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .._typing import INDEX_DTYPE
+from ..formats.csc import CSCMatrix
+from ..formats.partition import RowSplit, row_split
+from ..formats.sparse_vector import SparseVector
+from ..formats.vector_block import SparseVectorBlock
+from ..machine.cost_model import block_features, cost_model_for, shard_features
+from ..parallel.context import ExecutionContext, default_context
+from ..parallel.metrics import ExecutionRecord, PhaseRecord, WorkMetrics
+from ..parallel.scheduler import Assignment, schedule
+from ..parallel.threadpool import run_chunks
+from ..semiring import PLUS_TIMES, Semiring
+from .engine import (
+    DEFAULT_CANDIDATES,
+    CostFit,
+    EngineCall,
+    SpMSpVEngine,
+    _accepts_workspace,
+    _density_seed_choice,
+    _mask_keep_fraction,
+    _ranked_selection,
+    pin_engine,
+    unpin_engine,
+)
+from .result import SpMSpVResult
+from .vector_ops import check_mask, check_operands
+from .workspace import SpMSpVWorkspace
+
+
+class ShardedEngine:
+    """Row-split, per-strip-scheduled SpMSpV executor for one matrix.
+
+    Parameters
+    ----------
+    matrix:
+        The matrix every multiplication of this engine uses.
+    shards:
+        Partition width P; the matrix is row-split into P strips (strips may
+        be empty when ``shards > nrows``).
+    ctx:
+        Execution context.  ``num_threads`` is the budget the strip calls
+        are scheduled onto; each strip call itself runs the paper's
+        row-split configuration (one thread per strip, sync-free).
+    algorithm:
+        Default per-call policy: a registered kernel name, or ``"auto"``
+        for adaptive selection over the shard-feature cost fits.
+    candidates, density_threshold, explore_every:
+        As in :class:`~repro.core.engine.SpMSpVEngine`.
+    """
+
+    def __init__(self, matrix: CSCMatrix, shards: int,
+                 ctx: Optional[ExecutionContext] = None, *,
+                 algorithm: str = "auto",
+                 candidates: Sequence[str] = DEFAULT_CANDIDATES,
+                 density_threshold: Optional[float] = None,
+                 explore_every: int = 8):
+        from .dispatch import AUTO_DENSITY_SWITCH  # late: avoids import cycle
+
+        if int(shards) < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.matrix = matrix
+        self.ctx = ctx if ctx is not None else default_context()
+        self.algorithm = algorithm
+        self.candidates = tuple(candidates)
+        if not self.candidates:
+            raise ValueError("engine needs at least one candidate algorithm")
+        self.density_threshold = (density_threshold if density_threshold is not None
+                                  else AUTO_DENSITY_SWITCH)
+        self.explore_every = int(explore_every)
+        self.split: RowSplit = row_split(matrix, int(shards))
+        #: per-strip execution context: the paper's row-split runs one strip
+        #: per thread with no intra-strip parallelism (§II-F)
+        self.shard_ctx = replace(self.ctx, num_threads=1)
+        self.workspaces = [SpMSpVWorkspace(strip.nrows, dtype=matrix.dtype)
+                           for strip in self.split.strips]
+        strip_nnz = np.array([strip.nnz for strip in self.split.strips], dtype=np.float64)
+        mean_nnz = float(strip_nnz.mean()) if len(strip_nnz) else 0.0
+        #: static max/mean stored-entry balance of the row partition
+        self.nnz_balance = float(strip_nnz.max() / mean_nnz) if mean_nnz > 0 else 1.0
+        self.history: List[EngineCall] = []
+        self.max_history = 4096
+        self.total_calls = 0
+        self.total_cost_ms = 0.0
+        self.total_explored = 0
+        self._models: Dict[str, CostFit] = {
+            name: CostFit(dim=4) for name in self.candidates}
+        self._block_fits: Dict[str, CostFit] = {
+            mode: CostFit(dim=7) for mode in ("fused", "looped")}
+        self._price = cost_model_for(self.ctx.platform)
+        self._modeled_calls = 0
+        self._modeled_blocks = 0
+        self._batches = 0
+        self._fused_batches = 0
+        #: queued async calls: (ticket, vector, kwargs), drained by gather()
+        self._pending: List[Tuple[int, SparseVector, Dict]] = []
+        self._ticket = 0
+        #: tickets in the order gather() actually executed them (async tests)
+        self.execution_log: List[int] = []
+        # bookkeeping is reentrant (multiply_many loops over multiply)
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------ #
+    # adaptive selection over shard features
+    # ------------------------------------------------------------------ #
+    @property
+    def num_shards(self) -> int:
+        return self.split.num_parts
+
+    def call_features(self, x: SparseVector) -> np.ndarray:
+        """The (bias, nnz(x), P, balance) features of one sharded call."""
+        return shard_features(x.nnz, self.num_shards, self.nnz_balance)
+
+    def select_algorithm(self, x: SparseVector) -> Tuple[str, bool]:
+        """Pick the kernel for one input vector; returns ``(name, explored)``.
+
+        Same policy as the monolithic engine (shared helpers): the §V
+        density seed hands over to the shard-feature fits once trained.
+        """
+        phi = self.call_features(x)
+        choice = _ranked_selection(self._models, phi, self.explore_every,
+                                   self._modeled_calls + 1)
+        if choice is not None:
+            self._modeled_calls += 1
+            return choice
+        return _density_seed_choice(self.candidates, x.nnz / max(x.n, 1),
+                                    self.density_threshold), False
+
+    # ------------------------------------------------------------------ #
+    # shard plumbing
+    # ------------------------------------------------------------------ #
+    def _slice_mask(self, mask: Optional[SparseVector]
+                    ) -> List[Optional[SparseVector]]:
+        """Slice a row-space mask into the strips' local row spaces.
+
+        Entry order is preserved, so each strip's packed bitmap / finalize
+        select behaves exactly like the full mask restricted to its rows.
+        """
+        if mask is None:
+            return [None] * self.num_shards
+        out: List[Optional[SparseVector]] = []
+        for lo, hi in self.split.row_ranges:
+            keep = (mask.indices >= lo) & (mask.indices < hi)
+            out.append(SparseVector(hi - lo, mask.indices[keep] - lo,
+                                    mask.values[keep], sorted=mask.sorted,
+                                    check=False))
+        return out
+
+    def _concatenate(self, vectors: List[SparseVector], sorted_flag: bool
+                     ) -> SparseVector:
+        """Concatenate strip outputs back into the full row space (no merge)."""
+        idx_parts = []
+        val_parts = []
+        for (lo, _hi), v in zip(self.split.row_ranges, vectors):
+            if v.nnz:
+                idx_parts.append((v.indices + lo).astype(INDEX_DTYPE, copy=False))
+                val_parts.append(v.values)
+        if not idx_parts:
+            return SparseVector(self.matrix.nrows, np.empty(0, dtype=INDEX_DTYPE),
+                                np.empty(0, dtype=vectors[0].dtype if vectors
+                                         else np.float64),
+                                sorted=sorted_flag, check=False)
+        return SparseVector(self.matrix.nrows, np.concatenate(idx_parts),
+                            np.concatenate(val_parts), sorted=sorted_flag,
+                            check=False)
+
+    def _schedule_shards(self, costs: List[float]) -> Assignment:
+        """Assign the strip calls to the context's threads (makespan model)."""
+        return schedule(costs, self.ctx.num_threads, self.ctx.scheduling)
+
+    def _merge_records(self, records: List[ExecutionRecord],
+                       assignment: Assignment, algorithm: str,
+                       info: Dict) -> ExecutionRecord:
+        """Fold the strip records into one record of the sharded execution.
+
+        Phases are matched by name across strips; within a phase, the
+        threads' metrics are the per-strip totals summed over the strips the
+        schedule assigned to each thread.  Strips are sync-free, so the
+        merged phase is parallel with the barrier count of a single strip —
+        the cost model then prices the makespan of the strip schedule, which
+        is exactly the parallel completion time of the sharded execution.
+        """
+        merged = ExecutionRecord(algorithm=algorithm,
+                                 num_threads=self.ctx.num_threads, info=info)
+        base = max(records, key=lambda r: len(r.phases))
+        for phase in base.phases:
+            per_strip: List[Optional[PhaseRecord]] = []
+            for r in records:
+                try:
+                    per_strip.append(r.phase(phase.name))
+                except KeyError:
+                    per_strip.append(None)
+            out = PhaseRecord(
+                name=phase.name, parallel=True,
+                barriers=max(p.barriers for p in per_strip if p is not None))
+            for items in assignment.items_per_thread:
+                contributions: List[WorkMetrics] = []
+                for s in items:
+                    p = per_strip[s]
+                    if p is None:
+                        continue
+                    contributions.extend(p.thread_metrics)
+                    contributions.append(p.serial_metrics)
+                if contributions:
+                    out.thread_metrics.append(WorkMetrics.sum(contributions))
+            merged.add_phase(out)
+        return merged
+
+    def _run_strip_calls(self, fn, x: SparseVector, *, semiring: Semiring,
+                         sorted_output: Optional[bool],
+                         mask_slices: List[Optional[SparseVector]],
+                         mask_complement: bool, kwargs: Dict
+                         ) -> List[SpMSpVResult]:
+        """One independent kernel call per strip (optionally on the pool)."""
+        takes_ws = _accepts_workspace(fn)
+
+        def call(s: int) -> SpMSpVResult:
+            kw = dict(kwargs)
+            if takes_ws:
+                kw["workspace"] = self.workspaces[s]
+            return fn(self.split.strips[s], x, self.shard_ctx,
+                      semiring=semiring, sorted_output=sorted_output,
+                      mask=mask_slices[s], mask_complement=mask_complement,
+                      **kw)
+
+        return run_chunks(call, self.num_shards,
+                          use_thread_pool=self.ctx.use_thread_pool)
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def multiply(self, x: SparseVector, *,
+                 semiring: Semiring = PLUS_TIMES,
+                 sorted_output: Optional[bool] = None,
+                 mask: Optional[SparseVector] = None,
+                 mask_complement: bool = False,
+                 algorithm: Optional[str] = None,
+                 _batch: Optional[int] = None,
+                 _explored: bool = False,
+                 **kwargs) -> SpMSpVResult:
+        """Run ``y <- A x`` as P independent strip multiplications.
+
+        Bit-identical to the unsharded engine (sorted outputs byte-for-byte,
+        unsorted outputs pair-for-pair); the combined record models the
+        strip schedule's makespan on the context's threads.
+        """
+        from .dispatch import get_algorithm  # late: avoids import cycle
+
+        with self._lock:
+            check_operands(self.matrix, x)
+            check_mask(mask, self.matrix.nrows)
+            requested = algorithm if algorithm is not None else self.algorithm
+            explored = _explored
+            if requested == "auto":
+                name, explored = self.select_algorithm(x)
+            else:
+                name = requested
+            fn = get_algorithm(name)
+            resolved_sorted = (sorted_output if sorted_output is not None
+                               else (x.sorted and self.ctx.sorted_vectors))
+
+            t0 = time.perf_counter()
+            outs = self._run_strip_calls(
+                fn, x, semiring=semiring, sorted_output=resolved_sorted,
+                mask_slices=self._slice_mask(mask),
+                mask_complement=mask_complement, kwargs=kwargs)
+            y = self._concatenate([o.vector for o in outs], resolved_sorted)
+            dfs = [float(o.info.get("df", o.record.info.get("df", 0.0))) for o in outs]
+            assignment = self._schedule_shards([df + 1.0 for df in dfs])
+            record = self._merge_records(
+                [o.record for o in outs], assignment,
+                algorithm=f"sharded[{self.num_shards}]:{outs[0].record.algorithm}",
+                info={"m": self.matrix.nrows, "n": self.matrix.ncols,
+                      "nnz_A": self.matrix.nnz, "f": x.nnz,
+                      "df": sum(dfs), "nnz_y": y.nnz,
+                      "shards": self.num_shards,
+                      "shard_imbalance": assignment.imbalance(),
+                      "early_mask": outs[0].record.info.get("early_mask", False)})
+            record.wall_time_s = time.perf_counter() - t0
+
+            cost_ms = self._price.record_time_ms(record)
+            if name in self._models:
+                self._models[name].observe(self.call_features(x), cost_ms)
+            self.history.append(EngineCall(
+                index=self.total_calls, algorithm=name, requested=requested,
+                f=x.nnz, density=x.nnz / max(x.n, 1), cost_ms=cost_ms,
+                explored=explored, batch=_batch))
+            self.total_calls += 1
+            self.total_cost_ms += cost_ms
+            self.total_explored += int(explored)
+            if len(self.history) > 2 * self.max_history:
+                del self.history[:len(self.history) - self.max_history]
+            return SpMSpVResult(vector=y, record=record,
+                                info={"f": x.nnz, "df": sum(dfs),
+                                      "nnz_y": y.nnz, "shards": self.num_shards})
+
+    # ------------------------------------------------------------------ #
+    # blocked execution
+    # ------------------------------------------------------------------ #
+    def _select_block_mode(self, phi: np.ndarray, k: int, sharing: float
+                           ) -> Tuple[str, bool]:
+        """Fused-vs-looped for one block (same policy as the monolithic engine)."""
+        choice = _ranked_selection(self._block_fits, phi, self.explore_every,
+                                   self._modeled_blocks + 1)
+        if choice is not None:
+            self._modeled_blocks += 1
+            return choice
+        if k >= 4 or sharing >= 1.5:
+            return "fused", False
+        return "looped", False
+
+    def multiply_many(self, xs: Sequence[SparseVector], *,
+                      semiring: Semiring = PLUS_TIMES,
+                      sorted_output: Optional[bool] = None,
+                      masks: Optional[Sequence[Optional[SparseVector]]] = None,
+                      mask_complement: bool = False,
+                      algorithm: Optional[str] = None,
+                      block_mode: str = "auto",
+                      block_merge: str = "segmented",
+                      **kwargs) -> List[SpMSpVResult]:
+        """Sharded blocked execution of one matrix against many input vectors.
+
+        The fused path packs the :class:`SparseVectorBlock` **once** — its
+        column union, value slab and replay positions are row-independent —
+        and hands the same block to every strip's fused kernel call, so only
+        the (row, vector-id) scatter and the segmented merge are paid per
+        strip.  Per-vector masks are sliced per strip and folded into each
+        strip's scatter.  Outputs are bit-identical to the unsharded
+        ``multiply_many`` in every mode.
+        """
+        if block_mode not in ("auto", "fused", "looped"):
+            raise ValueError(f"block_mode must be auto|fused|looped, got {block_mode!r}")
+        if block_merge not in ("segmented", "global"):
+            raise ValueError(
+                f"block_merge must be segmented|global, got {block_merge!r}")
+        xs = list(xs)
+        if masks is not None and len(masks) != len(xs):
+            raise ValueError(f"got {len(xs)} vectors but {len(masks)} masks")
+        with self._lock:
+            batch = self._batches
+            self._batches += 1
+            requested = algorithm if algorithm is not None else self.algorithm
+            explored = False
+            if requested == "auto" and xs:
+                densest = max(xs, key=lambda x: x.nnz)
+                requested, explored = self.select_algorithm(densest)
+
+            eligible = (requested == "bucket" and len(xs) >= 2 and not kwargs
+                        and len({x.dtype for x in xs}) == 1)
+            mode = "looped"
+            block_explored = False
+            phi: Optional[np.ndarray] = None
+            if eligible:
+                total_nnz, union_nnz = SpMSpVEngine._block_stats(xs)
+                phi = block_features(
+                    len(xs), total_nnz, union_nnz,
+                    mask_keep=_mask_keep_fraction(masks, mask_complement,
+                                                  len(xs), self.matrix.nrows),
+                    segments=len(xs) * self.shard_ctx.num_buckets * self.num_shards)
+                if block_mode == "auto":
+                    mode, block_explored = self._select_block_mode(
+                        phi, len(xs), total_nnz / max(union_nnz, 1))
+                else:
+                    mode = block_mode
+
+            if mode == "fused":
+                return self._multiply_many_fused(
+                    xs, phi, batch=batch, semiring=semiring,
+                    sorted_output=sorted_output, masks=masks,
+                    mask_complement=mask_complement, requested=requested,
+                    explored=explored or block_explored,
+                    block_merge=block_merge)
+
+            t0 = time.perf_counter()
+            results = []
+            for i, x in enumerate(xs):
+                results.append(self.multiply(
+                    x, semiring=semiring, sorted_output=sorted_output,
+                    mask=masks[i] if masks is not None else None,
+                    mask_complement=mask_complement, algorithm=requested,
+                    _batch=batch, _explored=explored and i == 0, **kwargs))
+            if eligible:
+                self._block_fits["looped"].observe(
+                    phi, (time.perf_counter() - t0) * 1e3)
+            return results
+
+    def _multiply_many_fused(self, xs: List[SparseVector],
+                             phi: Optional[np.ndarray], *, batch: int,
+                             semiring: Semiring, sorted_output: Optional[bool],
+                             masks: Optional[Sequence[Optional[SparseVector]]],
+                             mask_complement: bool, requested: str,
+                             explored: bool,
+                             block_merge: str) -> List[SpMSpVResult]:
+        """Fused block execution across strips: one shared block, P fused calls."""
+        from .spmspv_block import spmspv_bucket_block  # late: avoids import cycle
+
+        if masks is not None:
+            for mask in masks:
+                check_mask(mask, self.matrix.nrows)
+        t0 = time.perf_counter()
+        k = len(xs)
+        block = SparseVectorBlock.from_vectors(xs)
+        if phi is None:
+            phi = block_features(
+                k, block.total_nnz, block.union_nnz,
+                mask_keep=_mask_keep_fraction(masks, mask_complement, k,
+                                              self.matrix.nrows),
+                segments=k * self.shard_ctx.num_buckets * self.num_shards)
+        if masks is not None:
+            sliced = [self._slice_mask(mask) for mask in masks]  # [vector][strip]
+            strip_masks = [[sliced[i][s] for i in range(k)]
+                           for s in range(self.num_shards)]
+        else:
+            strip_masks = [None] * self.num_shards
+
+        def call(s: int) -> List[SpMSpVResult]:
+            return spmspv_bucket_block(
+                self.split.strips[s], block, self.shard_ctx,
+                semiring=semiring, sorted_output=sorted_output,
+                masks=strip_masks[s], mask_complement=mask_complement,
+                merge=block_merge, workspace=self.workspaces[s])
+
+        per_strip = run_chunks(call, self.num_shards,
+                               use_thread_pool=self.ctx.use_thread_pool)
+        # equal per-vector share of the batch wall time, frozen before the
+        # bookkeeping below (as the fused kernel itself apportions)
+        wall_share_s = (time.perf_counter() - t0) / max(k, 1)
+
+        # one schedule for the whole batch: strips are the work items
+        strip_dfs = [sum(float(r.info.get("df", 0.0)) for r in rs)
+                     for rs in per_strip]
+        assignment = self._schedule_shards([df + 1.0 for df in strip_dfs])
+        nnzs = block.nnz_per_vector()
+        results: List[SpMSpVResult] = []
+        for i in range(k):
+            outs = [per_strip[s][i] for s in range(self.num_shards)]
+            resolved_sorted = (sorted_output if sorted_output is not None
+                               else (block.sorted_flags[i]
+                                     and self.ctx.sorted_vectors))
+            y = self._concatenate([o.vector for o in outs], resolved_sorted)
+            df_i = sum(float(o.info.get("df", 0.0)) for o in outs)
+            record = self._merge_records(
+                [o.record for o in outs], assignment,
+                algorithm=f"sharded[{self.num_shards}]:{outs[0].record.algorithm}",
+                info={"m": self.matrix.nrows, "n": self.matrix.ncols,
+                      "nnz_A": self.matrix.nnz, "f": int(nnzs[i]),
+                      "df": df_i, "nnz_y": y.nnz, "fused": True,
+                      "block_k": k, "merge": block_merge,
+                      "shards": self.num_shards})
+            record.wall_time_s = wall_share_s
+            cost_ms = self._price.record_time_ms(record)
+            self.history.append(EngineCall(
+                index=self.total_calls, algorithm="bucket_block",
+                requested=requested, f=int(nnzs[i]),
+                density=int(nnzs[i]) / max(block.n, 1), cost_ms=cost_ms,
+                explored=explored and i == 0, batch=batch, fused=True))
+            self.total_calls += 1
+            self.total_cost_ms += cost_ms
+            results.append(SpMSpVResult(
+                vector=y, record=record,
+                info={"f": int(nnzs[i]), "df": df_i, "nnz_y": y.nnz,
+                      "fused": True, "merge": block_merge,
+                      "shards": self.num_shards}))
+        self._fused_batches += 1
+        self._block_fits["fused"].observe(phi, (time.perf_counter() - t0) * 1e3)
+        self.total_explored += int(explored)
+        if len(self.history) > 2 * self.max_history:
+            del self.history[:len(self.history) - self.max_history]
+        return results
+
+    # ------------------------------------------------------------------ #
+    # async front-end
+    # ------------------------------------------------------------------ #
+    def submit(self, x: SparseVector, **kwargs) -> int:
+        """Queue one multiplication; returns its ticket.
+
+        Nothing executes until :meth:`gather` — including validation, so a
+        bad call (wrong vector length, wrong mask dimension) raises from the
+        failing strip at gather time, exactly like a remote shard would fail
+        its batch.
+        """
+        with self._lock:
+            ticket = self._ticket
+            self._ticket += 1
+            self._pending.append((ticket, x, kwargs))
+            return ticket
+
+    @property
+    def pending(self) -> int:
+        """Number of queued (not yet gathered) calls."""
+        return len(self._pending)
+
+    def gather(self) -> List[SpMSpVResult]:
+        """Execute every queued call and return their results in submit order.
+
+        Execution order is a deterministic function of the context's seed
+        (a seeded permutation, emulating out-of-order async completion);
+        results are independent of it because queued calls are independent.
+        The executed tickets are appended to :attr:`execution_log`.  The
+        queue is cleared even when a strip call raises — the exception
+        propagates to the caller and later submissions start fresh.
+        """
+        with self._lock:
+            pending, self._pending = self._pending, []
+            if not pending:
+                return []
+            rng = np.random.default_rng(self.ctx.seed + len(pending))
+            order = rng.permutation(len(pending))
+            results: Dict[int, SpMSpVResult] = {}
+            for pos in order.tolist():
+                ticket, x, kwargs = pending[pos]
+                self.execution_log.append(ticket)
+                results[ticket] = self.multiply(x, **kwargs)
+            return [results[ticket] for ticket, _x, _kw in pending]
+
+    # ------------------------------------------------------------------ #
+    # introspection (consumed by repro.analysis.reporting and detach())
+    # ------------------------------------------------------------------ #
+    def algorithms_used(self) -> List[str]:
+        """Distinct kernels executed, in first-use order."""
+        seen: "OrderedDict[str, None]" = OrderedDict()
+        for call in self.history:
+            seen.setdefault(call.algorithm, None)
+        return list(seen)
+
+    @property
+    def switch_count(self) -> int:
+        """How many times consecutive calls used different algorithms."""
+        return sum(1 for a, b in zip(self.history, self.history[1:])
+                   if a.algorithm != b.algorithm)
+
+    def workspace_stats(self) -> Dict[str, float]:
+        """Aggregate reuse statistics over the per-strip workspaces."""
+        stats = [ws.stats() for ws in self.workspaces]
+        acq = sum(s["acquisitions"] for s in stats)
+        alloc = sum(s["allocations"] for s in stats)
+        saved = max(acq - alloc, 0)
+        return {
+            "acquisitions": acq,
+            "allocations": alloc,
+            "allocations_saved": saved,
+            "reuse_fraction": saved / acq if acq else 0.0,
+            "bucket_capacity": sum(s["bucket_capacity"] for s in stats),
+            "spa_rows": self.matrix.nrows,
+            "block_capacity": sum(s["block_capacity"] for s in stats),
+        }
+
+    def summary(self) -> Dict[str, object]:
+        """Aggregate statistics of the engine's lifetime (for reporting)."""
+        return {
+            "calls": self.total_calls,
+            "batches": self._batches,
+            "fused_batches": self._fused_batches,
+            "algorithms_used": self.algorithms_used(),
+            "switches": self.switch_count,
+            "explored_calls": self.total_explored,
+            "total_cost_ms": self.total_cost_ms,
+            "shards": self.num_shards,
+            "nnz_balance": self.nnz_balance,
+            "workspace": self.workspace_stats(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"ShardedEngine(matrix={self.matrix.nrows}x{self.matrix.ncols}, "
+                f"shards={self.num_shards}, algorithm={self.algorithm!r}, "
+                f"calls={self.total_calls})")
+
+
+class EngineGroup:
+    """Pinned engines over several matrices with interleaved async execution.
+
+    The group holds one engine per matrix — the **cached**
+    :func:`~repro.core.engine.engine_for` engine, pinned so the 8-entry LRU
+    never evicts a member mid-algorithm no matter how many other matrices
+    the process touches, or a :class:`ShardedEngine` when ``shards`` is
+    given.  :meth:`submit`/:meth:`gather` interleave queued calls across the
+    members in a deterministic seeded order (round-robin-free emulation of
+    concurrent multi-graph progress), always returning results in submit
+    order — the shape of BFS/PageRank advancing over several graphs at once.
+
+    Use as a context manager (or call :meth:`close`) to release the pins.
+    """
+
+    def __init__(self, matrices: Union[Sequence[CSCMatrix], Mapping[object, CSCMatrix]],
+                 ctx: Optional[ExecutionContext] = None, *,
+                 shards: Optional[int] = None,
+                 seed: Optional[int] = None):
+        self.ctx = ctx if ctx is not None else default_context()
+        self.seed = int(seed) if seed is not None else self.ctx.seed
+        if isinstance(matrices, Mapping):
+            items = list(matrices.items())
+        else:
+            items = list(enumerate(matrices))
+        if not items:
+            raise ValueError("EngineGroup needs at least one matrix")
+        self._engines: "OrderedDict[object, Union[SpMSpVEngine, ShardedEngine]]" = \
+            OrderedDict()
+        self._pinned: List[CSCMatrix] = []
+        for key, matrix in items:
+            if key in self._engines:
+                raise ValueError(f"duplicate EngineGroup key {key!r}")
+            if shards is not None:
+                self._engines[key] = ShardedEngine(matrix, shards, self.ctx)
+            else:
+                self._engines[key] = pin_engine(matrix, self.ctx)
+                self._pinned.append(matrix)
+        self._pending: List[Tuple[int, object, SparseVector, Dict]] = []
+        self._ticket = 0
+        #: (ticket, key) pairs in actual execution order (determinism tests)
+        self.execution_log: List[Tuple[int, object]] = []
+        self._closed = False
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------ #
+    def keys(self) -> List[object]:
+        return list(self._engines)
+
+    def engine(self, key) -> Union[SpMSpVEngine, ShardedEngine]:
+        """The member engine for ``key`` (raises ``KeyError`` if absent)."""
+        return self._engines[key]
+
+    def multiply(self, key, x: SparseVector, **kwargs) -> SpMSpVResult:
+        """Immediate (non-queued) multiplication against one member."""
+        return self._engines[key].multiply(x, **kwargs)
+
+    def submit(self, key, x: SparseVector, **kwargs) -> int:
+        """Queue one multiplication against member ``key``; returns its ticket."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("EngineGroup is closed")
+            if key not in self._engines:
+                raise KeyError(f"unknown EngineGroup key {key!r}")
+            ticket = self._ticket
+            self._ticket += 1
+            self._pending.append((ticket, key, x, kwargs))
+            return ticket
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    def gather(self) -> List[SpMSpVResult]:
+        """Execute every queued call, interleaved across members, in a
+        deterministic seeded order; results come back in submit order.
+
+        The queue is cleared even when a call raises; the exception
+        propagates.  Executed ``(ticket, key)`` pairs are appended to
+        :attr:`execution_log`.
+        """
+        with self._lock:
+            pending, self._pending = self._pending, []
+            if not pending:
+                return []
+            rng = np.random.default_rng(self.seed + len(pending))
+            order = rng.permutation(len(pending))
+            results: Dict[int, SpMSpVResult] = {}
+            for pos in order.tolist():
+                ticket, key, x, kwargs = pending[pos]
+                self.execution_log.append((ticket, key))
+                results[ticket] = self._engines[key].multiply(x, **kwargs)
+            return [results[ticket] for ticket, _k, _x, _kw in pending]
+
+    # ------------------------------------------------------------------ #
+    def summary(self) -> Dict[object, Dict[str, object]]:
+        """Per-member engine summaries."""
+        return {key: engine.summary() for key, engine in self._engines.items()}
+
+    def close(self) -> None:
+        """Release the members' cache pins (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for matrix in self._pinned:
+                unpin_engine(matrix, self.ctx)
+            self._pinned.clear()
+
+    def __enter__(self) -> "EngineGroup":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return len(self._engines)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"EngineGroup(members={len(self._engines)}, "
+                f"pending={len(self._pending)}, closed={self._closed})")

@@ -43,7 +43,13 @@ from ..parallel.partitioner import partition_by_weight
 from ..parallel.scheduler import schedule
 from ..parallel.threadpool import run_chunks
 from ..semiring import PLUS_TIMES, Semiring
-from .buckets import BucketStore, bucket_of_rows, compute_offsets
+from .buckets import (
+    BucketStore,
+    bucket_of_rows,
+    bucket_row_ranges,
+    compute_offsets,
+    stable_row_argsort,
+)
 from .result import SpMSpVResult
 from .vector_ops import (
     check_mask,
@@ -76,8 +82,8 @@ def spmspv_bucket(matrix: CSCMatrix, x: SparseVector,
                   mask: Optional[SparseVector] = None,
                   mask_complement: bool = False,
                   early_mask: bool = True,
-                  workspace: Optional[BucketStore | SpMSpVWorkspace] = None
-                  ) -> SpMSpVResult:
+                  workspace: Optional[BucketStore | SpMSpVWorkspace] = None,
+                  single_pass: Optional[bool] = None) -> SpMSpVResult:
     """Multiply a CSC matrix by a sparse vector with the SpMSpV-bucket algorithm.
 
     Parameters
@@ -113,6 +119,20 @@ def spmspv_bucket(matrix: CSCMatrix, x: SparseVector,
         :class:`~repro.core.workspace.SpMSpVWorkspace` (bucket store *and*
         SPA are reused) or, for backward compatibility, a bare
         :class:`BucketStore`.
+    single_pass:
+        With the default None, single-threaded contexts take the fused
+        single-pass path: the per-thread partitioning and the lock-free
+        bucket-store scatter are skipped (one thread has nothing to
+        coordinate) and the whole gathered stream is merged with one stable
+        row sort whose per-bucket segments are located by binary search.
+        Because the gathered stream is already in the input vector's column
+        order and buckets are ascending row ranges, the single-pass merge
+        reduces each row's addends in exactly the order the generic path
+        does, so outputs — and the reported work metrics — are
+        **bit-identical**; only the Python-level call count changes.  This is
+        what makes per-strip calls of the sharded engine cheap.  Pass False
+        to force the generic path (the equivalence tests do); True on a
+        multi-threaded context raises ``ValueError``.
 
     Returns
     -------
@@ -127,6 +147,15 @@ def spmspv_bucket(matrix: CSCMatrix, x: SparseVector,
     if sorted_output is None:
         sorted_output = x.sorted and ctx.sorted_vectors
     bitmap = mask_bitmap(mask, matrix.nrows) if early_mask else None
+    if single_pass is None:
+        single_pass = ctx.num_threads == 1
+    elif single_pass and ctx.num_threads != 1:
+        raise ValueError("single_pass execution requires a single-threaded context")
+    if single_pass:
+        return _spmspv_bucket_single(matrix, x, ctx, semiring=semiring,
+                                     sorted_output=sorted_output, mask=mask,
+                                     mask_complement=mask_complement,
+                                     bitmap=bitmap, ws=ws, workspace=workspace)
 
     t_start = time.perf_counter()
     m, n = matrix.shape
@@ -316,6 +345,154 @@ def spmspv_bucket(matrix: CSCMatrix, x: SparseVector,
                         mask_complement=mask_complement)
     record.info["early_mask"] = bitmap is not None
 
+    record.info["nnz_y"] = y.nnz
+    record.wall_time_s = time.perf_counter() - t_start
+    return SpMSpVResult(vector=y, record=record,
+                        info={"f": f, "df": total_entries, "nnz_y": y.nnz})
+
+
+# --------------------------------------------------------------------------- #
+# fused single-thread path (one sort instead of per-chunk/per-bucket loops)
+# --------------------------------------------------------------------------- #
+def _spmspv_bucket_single(matrix: CSCMatrix, x: SparseVector,
+                          ctx: ExecutionContext, *, semiring: Semiring,
+                          sorted_output: bool, mask: Optional[SparseVector],
+                          mask_complement: bool, bitmap, ws, workspace
+                          ) -> SpMSpVResult:
+    """The ``single_pass`` body of :func:`spmspv_bucket` (t == 1, validated).
+
+    The generic path exists to coordinate threads: per-thread chunks, the
+    ESTIMATE-BUCKETS counting pass, the lock-free bucket-store scatter, and
+    per-bucket merges.  With one thread none of that coordination buys
+    anything, but each step still costs a handful of Python-level NumPy
+    calls — which is what dominates per-strip calls at realistic frontier
+    sizes.  This path produces the identical result from first principles:
+
+    * the gathered stream is already the concatenation of the selected
+      columns in ``x``'s storage order — exactly the stream the bucket store
+      would hold, bucket-grouped;
+    * one **stable** row sort of that stream groups equal rows while keeping
+      each row's addends in gather order, so ``semiring.reduceat`` sees the
+      same addend sequences as the generic path's per-bucket merges
+      (bit-identical values), and — buckets being ascending row ranges — the
+      sorted unique rows are the generic path's bucket-major concatenation;
+    * the per-bucket segment sizes fall out of two ``searchsorted`` calls,
+      from which the per-bucket work metrics are reproduced number for
+      number; for unsorted output the first-touch order within each bucket
+      is restored from the sort permutation exactly as the fused block
+      kernel does.
+    """
+    t_start = time.perf_counter()
+    m, n = matrix.shape
+    nb = ctx.num_buckets
+    f = x.nnz
+    record = ExecutionRecord(algorithm="spmspv_bucket", num_threads=1,
+                             info={"m": m, "n": n, "nnz_A": matrix.nnz, "f": f})
+    out_dtype = np.result_type(matrix.dtype, x.dtype)
+
+    # Phase 0: estimate — the single thread scans x and gathers its columns
+    estimate_phase = PhaseRecord(name="estimate", parallel=True)
+    est = WorkMetrics()
+    if f:
+        rows, vals, src = matrix.gather_columns(x.indices)
+        est.vector_reads = f
+        est.colptr_reads = f
+        est.matrix_nnz_reads = len(rows)
+        if bitmap is not None:
+            est.bitmap_probes = len(rows)
+            keep = mask_keep(bitmap, rows, complement=mask_complement)
+            rows, vals, src = rows[keep], vals[keep], src[keep]
+        est.buffer_writes = nb
+    else:
+        rows = np.empty(0, dtype=INDEX_DTYPE)
+        vals = np.empty(0, dtype=matrix.dtype)
+        src = np.empty(0, dtype=INDEX_DTYPE)
+    estimate_phase.thread_metrics = [est]
+    record.add_phase(estimate_phase)
+
+    total_entries = len(rows)
+    record.info["df"] = total_entries
+    if ws is not None:
+        ws.acquire_buckets(total_entries, dtype=out_dtype)
+    elif workspace is not None:  # bare BucketStore (legacy spelling)
+        workspace.ensure_capacity(total_entries, dtype=out_dtype)
+    record.info["workspace_reused"] = workspace is not None
+
+    # Phase 1: bucketing — scale the gathered entries (no scatter needed)
+    bucketing_phase = PhaseRecord(name="bucketing", parallel=True)
+    buck = WorkMetrics()
+    if f:
+        # cast through the output dtype exactly as the bucket store does
+        scaled = np.asarray(semiring.multiply(vals, x.values[src])) \
+            .astype(out_dtype, copy=False)
+        buck.vector_reads = f
+        buck.colptr_reads = f
+        buck.matrix_nnz_reads = total_entries
+        buck.multiplications = total_entries
+        buck.bucket_writes = total_entries
+        if ctx.private_buffer_size > 0:
+            buck.buffer_writes += total_entries
+        buck.cache_line_misses = estimate_column_gather_misses(
+            f, total_entries, n, input_sorted=x.sorted)
+    else:
+        scaled = np.empty(0, dtype=out_dtype)
+    bucketing_phase.thread_metrics = [buck]
+    record.add_phase(bucketing_phase)
+
+    # Phase 2: one stable row sort + run reduction over the whole stream
+    merge_phase = PhaseRecord(name="spa_merge", parallel=True)
+    mm = WorkMetrics()
+    bucket_span_rows = max(1, -(-m // nb))
+    if total_entries:
+        order = stable_row_argsort(rows, m)
+        sr = rows[order]
+        sv = scaled[order]
+        starts = np.concatenate(([0], np.flatnonzero(np.diff(sr)) + 1))
+        uind = sr[starts]
+        merged = semiring.reduceat(sv, starts)
+        bounds = np.array([lo for lo, _hi in bucket_row_ranges(nb, m)] + [m],
+                          dtype=INDEX_DTYPE)
+        seg_sizes = np.diff(np.searchsorted(sr, bounds))
+        seg_uniques = np.diff(np.searchsorted(uind, bounds))
+        for size_k, uniq_k in zip(seg_sizes.tolist(), seg_uniques.tolist()):
+            if size_k == 0:
+                continue
+            mm.spa_inits += size_k
+            mm.spa_updates += size_k
+            mm.additions += size_k - uniq_k
+            mm.buffer_writes += uniq_k
+            if sorted_output:
+                mm.sort_elements += _radix_sort_ops(uniq_k)
+            mm.cache_line_misses += estimate_scatter_misses(
+                2 * size_k, bucket_span_rows, ctx.platform.l2_kb)
+        if not sorted_output:
+            # first-touch order within each bucket, buckets ascending: rank
+            # unique rows by (bucket, first occurrence in the gather stream)
+            first_pos = order[starts]
+            bucket_u = bucket_of_rows(uind, nb, m)
+            big = np.int64(max(total_entries, 1) + 1)
+            comp = bucket_u.astype(np.int64) * big + first_pos.astype(np.int64)
+            perm = np.argsort(comp, kind="stable")
+            uind, merged = uind[perm], merged[perm]
+    else:
+        uind = np.empty(0, dtype=INDEX_DTYPE)
+        merged = np.empty(0, dtype=out_dtype)
+    merge_phase.thread_metrics = [mm]
+    record.add_phase(merge_phase)
+
+    # Phase 3: output — uind/merged already are the concatenated output
+    nnz_y = len(uind)
+    output_phase = PhaseRecord(name="output", parallel=True)
+    output_phase.serial_metrics = WorkMetrics(additions=nb)
+    output_phase.thread_metrics = [WorkMetrics(output_writes=nnz_y,
+                                               cache_line_misses=nnz_y)]
+    record.add_phase(output_phase)
+
+    y = SparseVector(m, uind, merged.astype(out_dtype, copy=False),
+                     sorted=sorted_output, check=False)
+    y = finalize_output(y, semiring, mask=None if bitmap is not None else mask,
+                        mask_complement=mask_complement)
+    record.info["early_mask"] = bitmap is not None
     record.info["nnz_y"] = y.nnz
     record.wall_time_s = time.perf_counter() - t_start
     return SpMSpVResult(vector=y, record=record,

@@ -48,6 +48,13 @@ DISPATCH_FEATURE_NAMES = ("bias", "nnz_x", "density", "nzc")
 BLOCK_FEATURE_NAMES = ("bias", "k", "total_nnz", "union_nnz", "sharing",
                        "mask_keep", "segments")
 
+#: features of one sharded multiply: bias, frontier size, the shard count P
+#: (each shard pays an O(nnz(x)) input scan — the row-split work-inefficiency
+#: of §II-F — plus a fixed per-strip call overhead) and the static nnz
+#: balance of the row partition (max/mean stored entries per strip; an
+#: imbalanced partition serializes on its heaviest strip).
+SHARD_FEATURE_NAMES = ("bias", "nnz_x", "shards", "nnz_balance")
+
 
 def dispatch_features(nnz_x: int, n: int, nzc: int) -> np.ndarray:
     """Feature vector of one SpMSpV call for :class:`repro.core.engine.CostFit`."""
@@ -66,6 +73,17 @@ def block_features(k: int, total_nnz: int, union_nnz: int,
     return np.array([1.0, float(k), float(total_nnz), float(union_nnz),
                      total_nnz / max(union_nnz, 1), float(mask_keep),
                      float(segments)])
+
+
+def shard_features(nnz_x: int, shards: int, nnz_balance: float = 1.0) -> np.ndarray:
+    """Feature vector of one sharded multiply for the sharded engine's cost fits.
+
+    ``shards`` is the partition width P and ``nnz_balance`` the max/mean
+    stored-entry ratio over the strips (1.0 = perfectly balanced row split) —
+    both static per :class:`~repro.core.sharded.ShardedEngine`, so the fits
+    learn the per-call cost surface over ``nnz_x`` for a fixed partition.
+    """
+    return np.array([1.0, float(nnz_x), float(shards), float(nnz_balance)])
 
 #: nanosecond cost per counted operation on a reference (Edison-class) core.
 DEFAULT_WEIGHTS_NS: Dict[str, float] = {

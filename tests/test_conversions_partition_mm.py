@@ -115,6 +115,65 @@ def test_partition_nonzeros():
     assert all(np.all(np.diff(c) == 1) for c in chunks if len(c))
 
 
+def test_row_split_more_parts_than_rows():
+    mat = random_csc(3, 8, 0.4, seed=31)
+    split = row_split(mat, 7)
+    assert split.num_parts == 7
+    # every strip is structurally valid, including the zero-row ones
+    for (lo, hi), strip in zip(split.row_ranges, split.strips):
+        assert strip.nrows == hi - lo
+        assert strip.ncols == mat.ncols
+        strip.validate()
+    empty = [s for s in split.strips if s.nrows == 0]
+    assert len(empty) == 4  # 7 parts over 3 rows: 4 empty strips
+    assert all(s.nnz == 0 for s in empty)
+    assert sum(s.nnz for s in split.strips) == mat.nnz
+    stacked = np.vstack([s.to_dense() for s in split.strips if s.nrows])
+    np.testing.assert_allclose(stacked, mat.to_dense())
+
+
+def test_row_split_empty_strip_structure():
+    mat = random_csc(2, 5, 0.5, seed=32)
+    split = row_split(mat, 4)
+    empty = [s for s in split.strips if s.nrows == 0]
+    assert empty, "4 parts over 2 rows must produce empty strips"
+    for strip in empty:
+        assert strip.shape == (0, 5)
+        assert len(strip.indptr) == 6
+        assert np.all(strip.indptr == 0)
+        # empty strips still answer the structural queries
+        assert strip.nzc() == 0
+        assert strip.column_counts().tolist() == [0] * 5
+
+
+def test_strip_dcsc_round_trip_with_empty_columns():
+    # a matrix whose columns 1 and 3 are entirely empty, plus empty rows,
+    # so strips have both empty columns and (for enough parts) zero rows
+    dense = np.array([
+        [1.0, 0.0, 2.0, 0.0, 0.0],
+        [0.0, 0.0, 0.0, 0.0, 3.0],
+        [0.0, 0.0, 0.0, 0.0, 0.0],
+        [4.0, 0.0, 0.0, 0.0, 5.0],
+    ])
+    mat = CSCMatrix.from_dense(dense)
+    for parts in (1, 2, 3, 4, 6):
+        split = row_split(mat, parts)
+        dcscs = split.strip_dcsc()
+        assert len(dcscs) == parts
+        for strip, dcsc in zip(split.strips, dcscs):
+            # DCSC stores only non-empty columns; content must round-trip
+            assert dcsc.nzc <= strip.ncols
+            np.testing.assert_allclose(dcsc.to_dense(), strip.to_dense())
+        stacked = np.vstack([s.to_dense() for s in split.strips if s.nrows])
+        np.testing.assert_allclose(stacked, dense)
+
+
+def test_row_split_rejects_nonpositive_parts():
+    mat = random_csc(4, 4, 0.3, seed=33)
+    with pytest.raises(ValueError):
+        row_split(mat, 0)
+
+
 # --------------------------------------------------------------------------- #
 # Matrix Market I/O
 # --------------------------------------------------------------------------- #
