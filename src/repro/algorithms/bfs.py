@@ -64,7 +64,8 @@ def bfs(graph: Graph | CSCMatrix, source: int,
         algorithm: str = "bucket",
         max_levels: Optional[int] = None,
         collect_frontiers: bool = False,
-        shards: Optional[int] = None) -> BFSResult:
+        shards: Optional[int] = None,
+        backend: Optional[str] = None) -> BFSResult:
     """Run a frontier-expansion BFS from ``source``.
 
     Parameters
@@ -90,6 +91,9 @@ def bfs(graph: Graph | CSCMatrix, source: int,
         :class:`~repro.core.sharded.ShardedEngine` over that many row
         strips instead of the monolithic engine — bit-identical levels and
         parents, sharded execution.
+    backend:
+        Overrides the context's sharded execution backend (``"emulated"`` |
+        ``"process"``); only meaningful together with ``shards``.
     """
     matrix = graph.matrix if isinstance(graph, Graph) else graph
     if matrix.nrows != matrix.ncols:
@@ -98,6 +102,8 @@ def bfs(graph: Graph | CSCMatrix, source: int,
     if not (0 <= source < n):
         raise IndexError(f"source {source} out of range for {n} vertices")
     ctx = ctx if ctx is not None else default_context()
+    if backend is not None:
+        ctx = ctx.with_backend(backend)
     # one engine per traversal: buckets/SPA are allocated once, reused per level
     engine = (ShardedEngine(matrix, shards, ctx, algorithm=algorithm)
               if shards is not None
@@ -180,7 +186,8 @@ def bfs_multi_source(graph: Graph | CSCMatrix, sources: List[int],
                      algorithm: str = "bucket",
                      max_levels: Optional[int] = None,
                      block_mode: str = "auto",
-                     shards: Optional[int] = None) -> MultiSourceBFSResult:
+                     shards: Optional[int] = None,
+                     backend: Optional[str] = None) -> MultiSourceBFSResult:
     """Run independent BFS traversals from several sources as one batched job.
 
     Every level performs one :meth:`~repro.core.engine.SpMSpVEngine.multiply_many`
@@ -198,7 +205,8 @@ def bfs_multi_source(graph: Graph | CSCMatrix, sources: List[int],
     ``shards`` routes every level through a
     :class:`~repro.core.sharded.ShardedEngine` over that many row strips —
     fused blocks shard too (the column-union pack is shared, the scatter is
-    strip-local) and results stay bit-identical.
+    strip-local) and results stay bit-identical.  ``backend`` overrides the
+    context's sharded execution backend (``"emulated"`` | ``"process"``).
     """
     matrix = graph.matrix if isinstance(graph, Graph) else graph
     if matrix.nrows != matrix.ncols:
@@ -209,6 +217,8 @@ def bfs_multi_source(graph: Graph | CSCMatrix, sources: List[int],
         if not (0 <= s < n):
             raise IndexError(f"source {s} out of range for {n} vertices")
     ctx = ctx if ctx is not None else default_context()
+    if backend is not None:
+        ctx = ctx.with_backend(backend)
     engine = (ShardedEngine(matrix, shards, ctx, algorithm=algorithm)
               if shards is not None
               else SpMSpVEngine(matrix, ctx, algorithm=algorithm))

@@ -92,7 +92,8 @@ def pagerank(graph: Graph | CSCMatrix,
              max_iterations: int = 200,
              personalization: Optional[np.ndarray] = None,
              restrict: Optional[np.ndarray] = None,
-             shards: Optional[int] = None) -> PageRankResult:
+             shards: Optional[int] = None,
+             backend: Optional[str] = None) -> PageRankResult:
     """Compute PageRank scores with the sparse delta (data-driven) iteration.
 
     The returned scores sum to 1.  ``personalization`` restricts the teleport
@@ -103,13 +104,16 @@ def pagerank(graph: Graph | CSCMatrix,
     outside it is dropped — pair the restriction with a personalization
     inside the subset for a fully confined walk.  ``shards`` routes the
     iteration through a :class:`~repro.core.sharded.ShardedEngine` over that
-    many row strips (bit-identical scores).
+    many row strips (bit-identical scores); ``backend`` overrides the
+    context's sharded execution backend (``"emulated"`` | ``"process"``).
     """
     matrix = graph.matrix if isinstance(graph, Graph) else graph
     if matrix.nrows != matrix.ncols:
         raise ValueError("PageRank requires a square adjacency matrix")
     n = matrix.ncols
     ctx = ctx if ctx is not None else default_context()
+    if backend is not None:
+        ctx = ctx.with_backend(backend)
     transition = column_stochastic(matrix)
     engine = (ShardedEngine(transition, shards, ctx, algorithm=algorithm)
               if shards is not None
@@ -190,7 +194,8 @@ def pagerank_block(graph: Graph | CSCMatrix,
                    max_iterations: int = 200,
                    block_mode: str = "auto",
                    restrict: Optional[np.ndarray] = None,
-                   shards: Optional[int] = None) -> BlockedPageRankResult:
+                   shards: Optional[int] = None,
+                   backend: Optional[str] = None) -> BlockedPageRankResult:
     """Run k personalized PageRank computations as one blocked job.
 
     Every iteration multiplies the transition matrix by the **block** of the
@@ -208,12 +213,16 @@ def pagerank_block(graph: Graph | CSCMatrix,
     ``shards`` routes every blocked iteration through a
     :class:`~repro.core.sharded.ShardedEngine` over that many row strips —
     the fused block packs once and executes per strip, bit-identically.
+    ``backend`` overrides the context's sharded execution backend
+    (``"emulated"`` | ``"process"``).
     """
     matrix = graph.matrix if isinstance(graph, Graph) else graph
     if matrix.nrows != matrix.ncols:
         raise ValueError("PageRank requires a square adjacency matrix")
     n = matrix.ncols
     ctx = ctx if ctx is not None else default_context()
+    if backend is not None:
+        ctx = ctx.with_backend(backend)
     transition = column_stochastic(matrix)
     engine = (ShardedEngine(transition, shards, ctx, algorithm=algorithm)
               if shards is not None

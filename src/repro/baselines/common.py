@@ -145,23 +145,29 @@ def gather_selected(matrix: CSCMatrix, x: SparseVector, semiring: Semiring):
 
 def merge_entries(rows: np.ndarray, values: np.ndarray, semiring: Semiring, *,
                   m: int, sort_output: bool = True,
-                  workspace: Optional[SpMSpVWorkspace] = None
-                  ) -> Tuple[np.ndarray, np.ndarray]:
+                  workspace: Optional[SpMSpVWorkspace] = None,
+                  publish: bool = False) -> Tuple[np.ndarray, np.ndarray]:
     """Row-merge gathered entries, through the workspace's dense scratch if given.
 
     This is the shared ``workspace=`` plumbing of all row-split baselines:
-    with a workspace the merged values are published through its persistent
+    with a workspace the merge runs through its persistent
     :class:`~repro.core.workspace.DenseScratch` — the dense accumulator that
     models the strip-private SPA CombBLAS/GraphMat merge through, allocated
     once per matrix; without one it falls back to :func:`merge_by_row`.  The
-    two paths are bit-identical.
+    two paths are bit-identical.  ``publish`` additionally writes the merged
+    values into (and reads them back from) the dense buffer — O(nnz_y)
+    extra traffic that changes no bit and no work metric (the baselines'
+    SPA cost is accounted analytically), so it is **off** for the
+    engine-internal calls every kernel makes and opt-in for callers that
+    want the dense state observable.
     """
     workspace = as_workspace(workspace)
     if workspace is None:
         return merge_by_row(rows, values, semiring, sort_output=sort_output)
     workspace.check_rows(m)
     scratch = workspace.acquire_scratch(values.dtype if len(values) else None)
-    return scratch.merge(rows, values, semiring, sort_output=sort_output)
+    return scratch.merge(rows, values, semiring, sort_output=sort_output,
+                         publish=publish)
 
 
 def per_strip_counts(rows: np.ndarray, boundaries: np.ndarray,

@@ -33,11 +33,12 @@ from .vector_ops import (
     reduce_vector,
     where_values,
 )
-from .workspace import BlockBuffers, DenseScratch, SpMSpVWorkspace
+from .workspace import BlockBuffers, DenseScratch, SharedSlab, SpMSpVWorkspace
 
 __all__ = [
     "AUTO_DENSITY_SWITCH",
     "BlockBuffers",
+    "SharedSlab",
     "BucketOffsets",
     "BucketStore",
     "CostFit",

@@ -570,6 +570,19 @@ class SpMSpVEngine:
             return results
 
     # ------------------------------------------------------------------ #
+    # lifecycle: symmetric with ShardedEngine, whose process backend holds
+    # real resources — callers can treat any engine as a context manager
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release engine resources (the monolithic engine holds none)."""
+
+    def __enter__(self) -> "SpMSpVEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
     # introspection (consumed by repro.analysis.reporting)
     # ------------------------------------------------------------------ #
     def algorithms_used(self) -> List[str]:

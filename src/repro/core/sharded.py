@@ -40,6 +40,14 @@ interface across *several* matrices, pinning its members in the
 :func:`~repro.core.engine.engine_for` cache so long-lived multi-graph
 workloads (BFS/PageRank over many graphs) never have their workspaces
 silently evicted and rebuilt mid-algorithm.
+
+*Where* the per-strip calls execute is delegated to the context's pluggable
+**execution backend** (:mod:`repro.parallel.backends`): the default
+``"emulated"`` backend preserves the deterministic in-process loop, while
+``"process"`` runs the strips on a persistent ``multiprocessing`` pool whose
+workers hold the strip matrices in shared memory — same bits, real cores.
+Process-backed engines should be closed (or used as context managers) to
+release the pool promptly; a gc finalizer covers the rest.
 """
 
 from __future__ import annotations
@@ -58,17 +66,16 @@ from ..formats.partition import RowSplit, row_split
 from ..formats.sparse_vector import SparseVector
 from ..formats.vector_block import SparseVectorBlock
 from ..machine.cost_model import block_features, cost_model_for, shard_features
+from ..parallel.backends import ExecutionBackend, make_backend
 from ..parallel.context import ExecutionContext, default_context
 from ..parallel.metrics import ExecutionRecord, PhaseRecord, WorkMetrics
 from ..parallel.scheduler import Assignment, schedule
-from ..parallel.threadpool import run_chunks
 from ..semiring import PLUS_TIMES, Semiring
 from .engine import (
     DEFAULT_CANDIDATES,
     CostFit,
     EngineCall,
     SpMSpVEngine,
-    _accepts_workspace,
     _density_seed_choice,
     _mask_keep_fraction,
     _ranked_selection,
@@ -77,7 +84,6 @@ from .engine import (
 )
 from .result import SpMSpVResult
 from .vector_ops import check_mask, check_operands
-from .workspace import SpMSpVWorkspace
 
 
 class ShardedEngine:
@@ -94,6 +100,8 @@ class ShardedEngine:
         Execution context.  ``num_threads`` is the budget the strip calls
         are scheduled onto; each strip call itself runs the paper's
         row-split configuration (one thread per strip, sync-free).
+        ``ctx.backend`` selects the strip executor (``"emulated"`` |
+        ``"process"``); ``ctx.backend_workers`` caps the process pool.
     algorithm:
         Default per-call policy: a registered kernel name, or ``"auto"``
         for adaptive selection over the shard-feature cost fits.
@@ -124,8 +132,16 @@ class ShardedEngine:
         #: per-strip execution context: the paper's row-split runs one strip
         #: per thread with no intra-strip parallelism (§II-F)
         self.shard_ctx = replace(self.ctx, num_threads=1)
-        self.workspaces = [SpMSpVWorkspace(strip.nrows, dtype=matrix.dtype)
-                           for strip in self.split.strips]
+        #: pluggable strip executor (emulated in-process loop by default, or
+        #: a persistent shared-memory worker pool with ``backend="process"``)
+        self.backend: ExecutionBackend = make_backend(
+            self.ctx.backend, strips=self.split.strips,
+            shard_ctx=self.shard_ctx, dtype=matrix.dtype,
+            use_thread_pool=self.ctx.use_thread_pool,
+            workers=self.ctx.backend_workers)
+        #: the emulated backend's local per-strip workspaces; empty for
+        #: backends whose workspaces live out-of-process
+        self.workspaces = getattr(self.backend, "workspaces", [])
         strip_nnz = np.array([strip.nnz for strip in self.split.strips], dtype=np.float64)
         mean_nnz = float(strip_nnz.mean()) if len(strip_nnz) else 0.0
         #: static max/mean stored-entry balance of the row partition
@@ -258,25 +274,16 @@ class ShardedEngine:
             merged.add_phase(out)
         return merged
 
-    def _run_strip_calls(self, fn, x: SparseVector, *, semiring: Semiring,
+    def _run_strip_calls(self, name: str, x: SparseVector, *, semiring: Semiring,
                          sorted_output: Optional[bool],
                          mask_slices: List[Optional[SparseVector]],
                          mask_complement: bool, kwargs: Dict
                          ) -> List[SpMSpVResult]:
-        """One independent kernel call per strip (optionally on the pool)."""
-        takes_ws = _accepts_workspace(fn)
-
-        def call(s: int) -> SpMSpVResult:
-            kw = dict(kwargs)
-            if takes_ws:
-                kw["workspace"] = self.workspaces[s]
-            return fn(self.split.strips[s], x, self.shard_ctx,
-                      semiring=semiring, sorted_output=sorted_output,
-                      mask=mask_slices[s], mask_complement=mask_complement,
-                      **kw)
-
-        return run_chunks(call, self.num_shards,
-                          use_thread_pool=self.ctx.use_thread_pool)
+        """One independent kernel call per strip, on the engine's backend."""
+        return self.backend.run_multiply(
+            name, x, semiring=semiring, sorted_output=sorted_output,
+            mask_slices=mask_slices, mask_complement=mask_complement,
+            kwargs=kwargs)
 
     # ------------------------------------------------------------------ #
     # execution
@@ -307,13 +314,13 @@ class ShardedEngine:
                 name, explored = self.select_algorithm(x)
             else:
                 name = requested
-            fn = get_algorithm(name)
+            get_algorithm(name)  # validate the kernel name before dispatching
             resolved_sorted = (sorted_output if sorted_output is not None
                                else (x.sorted and self.ctx.sorted_vectors))
 
             t0 = time.perf_counter()
             outs = self._run_strip_calls(
-                fn, x, semiring=semiring, sorted_output=resolved_sorted,
+                name, x, semiring=semiring, sorted_output=resolved_sorted,
                 mask_slices=self._slice_mask(mask),
                 mask_complement=mask_complement, kwargs=kwargs)
             y = self._concatenate([o.vector for o in outs], resolved_sorted)
@@ -444,8 +451,6 @@ class ShardedEngine:
                              explored: bool,
                              block_merge: str) -> List[SpMSpVResult]:
         """Fused block execution across strips: one shared block, P fused calls."""
-        from .spmspv_block import spmspv_bucket_block  # late: avoids import cycle
-
         if masks is not None:
             for mask in masks:
                 check_mask(mask, self.matrix.nrows)
@@ -465,15 +470,10 @@ class ShardedEngine:
         else:
             strip_masks = [None] * self.num_shards
 
-        def call(s: int) -> List[SpMSpVResult]:
-            return spmspv_bucket_block(
-                self.split.strips[s], block, self.shard_ctx,
-                semiring=semiring, sorted_output=sorted_output,
-                masks=strip_masks[s], mask_complement=mask_complement,
-                merge=block_merge, workspace=self.workspaces[s])
-
-        per_strip = run_chunks(call, self.num_shards,
-                               use_thread_pool=self.ctx.use_thread_pool)
+        per_strip = self.backend.run_block(
+            block, semiring=semiring, sorted_output=sorted_output,
+            strip_masks=strip_masks, mask_complement=mask_complement,
+            block_merge=block_merge)
         # equal per-vector share of the batch wall time, frozen before the
         # bookkeeping below (as the fused kernel itself apportions)
         wall_share_s = (time.perf_counter() - t0) / max(k, 1)
@@ -581,9 +581,29 @@ class ShardedEngine:
         return sum(1 for a, b in zip(self.history, self.history[1:])
                    if a.algorithm != b.algorithm)
 
+    def close(self) -> None:
+        """Release backend resources (worker pool, shared memory; idempotent).
+
+        A no-op for the emulated backend.  Engines are also cleaned up by a
+        gc finalizer, so forgetting to close leaks nothing past collection —
+        but long-lived processes that churn through process-backed engines
+        should close (or ``with``) them promptly.
+        """
+        self.backend.close()
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     def workspace_stats(self) -> Dict[str, float]:
-        """Aggregate reuse statistics over the per-strip workspaces."""
-        stats = [ws.stats() for ws in self.workspaces]
+        """Aggregate reuse statistics over the per-strip workspaces.
+
+        For out-of-process backends these are the latest stats the workers
+        piggybacked on their replies (fresh-workspace values before any
+        call)."""
+        stats = self.backend.workspace_stats()
         acq = sum(s["acquisitions"] for s in stats)
         alloc = sum(s["allocations"] for s in stats)
         saved = max(acq - alloc, 0)
@@ -718,7 +738,7 @@ class EngineGroup:
         return {key: engine.summary() for key, engine in self._engines.items()}
 
     def close(self) -> None:
-        """Release the members' cache pins (idempotent)."""
+        """Release the members' cache pins and backend pools (idempotent)."""
         with self._lock:
             if self._closed:
                 return
@@ -726,6 +746,9 @@ class EngineGroup:
             for matrix in self._pinned:
                 unpin_engine(matrix, self.ctx)
             self._pinned.clear()
+            for engine in self._engines.values():
+                if isinstance(engine, ShardedEngine):
+                    engine.close()
 
     def __enter__(self) -> "EngineGroup":
         return self

@@ -20,7 +20,8 @@ traffic the reuse saved.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from multiprocessing import shared_memory as _shared_memory
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -83,23 +84,113 @@ class DenseScratch:
         return False
 
     def merge(self, rows: np.ndarray, values: np.ndarray, semiring: Semiring, *,
-              sort_output: bool = True) -> Tuple[np.ndarray, np.ndarray]:
+              sort_output: bool = True, publish: bool = False
+              ) -> Tuple[np.ndarray, np.ndarray]:
         """Combine entries sharing a row id with the semiring ADD, via the scratch.
 
         The reduction is :func:`merge_by_row` itself (not a scatter
         ``ufunc.at`` loop, whose sequential rounding differs from
         ``reduceat``'s pairwise summation), so the workspace path is
-        bit-identical to the fresh path by construction.  The merged values
-        are published into (and gathered back from) the persistent dense
-        buffer, which plays the role of the baselines' strip-private SPA.
+        bit-identical to the fresh path by construction.  With ``publish``
+        the merged values are additionally published into (and gathered back
+        from) the persistent dense buffer — the baselines' strip-private SPA
+        made observable.  The publish/gather is O(nnz_y) work on top of the
+        merge and changes no output bit and no work metric (the baselines'
+        SPA accounting is analytic, not instrumented), so it is opt-in:
+        engine-internal calls skip it, callers that want to inspect the
+        dense state (or model its memory traffic in wall time) ask for it.
         """
         if len(rows) == 0:
             return rows, values
         self.ensure_dtype(np.asarray(values).dtype)
         uind, merged = merge_by_row(rows, values, semiring, sort_output=sort_output)
+        if not publish:
+            return uind, merged
         uind = uind.astype(INDEX_DTYPE, copy=False)
         self.values[uind] = merged
         return uind, self.values[uind].copy()
+
+
+class SharedSlab:
+    """A named, shared-memory-backed array slab (one ndarray, one segment).
+
+    This is the unit the process backend ships strip data with: the owning
+    process :meth:`create`\\ s a slab per strip array (CSC ``indptr`` /
+    ``indices`` / ``data``), workers :meth:`attach` by name and wrap the
+    same physical pages in a zero-copy ndarray view, so a strip is paid for
+    once at engine build no matter how many calls the workers serve.
+    Lifecycle: every process that opened a slab calls :meth:`close`; the
+    owner additionally calls :meth:`unlink` (idempotent) to release the
+    segment — :class:`~repro.parallel.backends.ProcessBackend` does both on
+    shutdown and from a gc finalizer, so no ``/dev/shm`` block outlives the
+    engine.
+    """
+
+    __slots__ = ("shm", "array", "owner", "_meta")
+
+    def __init__(self, shm: _shared_memory.SharedMemory, array: np.ndarray,
+                 owner: bool):
+        self.shm = shm
+        self.array = array
+        self.owner = owner
+        self._meta = (shm.name, tuple(array.shape), array.dtype.str)
+
+    @classmethod
+    def create(cls, array: np.ndarray) -> "SharedSlab":
+        """Copy ``array`` into a fresh named segment (size >= 1 byte: empty
+        arrays get a minimal segment so their names still round-trip)."""
+        array = np.ascontiguousarray(array)
+        shm = _shared_memory.SharedMemory(create=True, size=max(array.nbytes, 1))
+        view = np.frombuffer(shm.buf, dtype=array.dtype,
+                             count=array.size).reshape(array.shape)
+        view[...] = array
+        return cls(shm, view, owner=True)
+
+    @classmethod
+    def attach(cls, name: str, shape: Sequence[int], dtype: str, *,
+               untrack: bool = False) -> "SharedSlab":
+        """Attach to an existing segment and view it as ``(shape, dtype)``.
+
+        ``untrack`` unregisters the segment from this process's
+        ``resource_tracker``: an attaching worker must not trigger the
+        tracker's destroy-on-exit behaviour for a segment the owner is still
+        serving (CPython registers on attach as well as on create).
+        """
+        shm = _shared_memory.SharedMemory(name=name)
+        if untrack:
+            try:
+                from multiprocessing import resource_tracker
+                resource_tracker.unregister(shm._name, "shared_memory")
+            except Exception:  # pragma: no cover - tracker internals moved
+                pass
+        dt = np.dtype(dtype)
+        count = int(np.prod(shape, dtype=np.int64)) if len(shape) else 1
+        array = np.frombuffer(shm.buf, dtype=dt, count=count).reshape(tuple(shape))
+        return cls(shm, array, owner=False)
+
+    @property
+    def meta(self) -> Tuple[str, Tuple[int, ...], str]:
+        """``(segment name, shape, dtype.str)`` — everything attach() needs."""
+        return self._meta
+
+    @property
+    def name(self) -> str:
+        return self._meta[0]
+
+    def close(self) -> None:
+        """Drop this process's view and mapping (idempotent, reference-safe)."""
+        self.array = None
+        try:
+            self.shm.close()
+        except BufferError:  # a caller still holds a view; the fd stays open
+            pass
+
+    def unlink(self) -> None:
+        """Release the segment itself (owner side; idempotent)."""
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:
+            pass
 
 
 class BlockBuffers:

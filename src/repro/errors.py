@@ -28,5 +28,16 @@ class NotSupportedError(ReproError, NotImplementedError):
     """The requested combination of options is not supported."""
 
 
+class BackendError(ReproError, RuntimeError):
+    """An execution backend failed outside the kernel itself.
+
+    Raised by the process backend when a worker dies (killed, segfaulted,
+    lost its pipe) rather than raising a normal Python exception — kernel
+    exceptions propagate as themselves, annotated with the failing strip id.
+    The pool recovers on the next call: dead workers are respawned against
+    the same shared-memory strips.
+    """
+
+
 class ConvergenceError(ReproError, RuntimeError):
     """An iterative algorithm failed to converge within its iteration budget."""

@@ -1,5 +1,13 @@
-"""Parallel runtime: execution context, work partitioning, scheduling, metrics."""
+"""Parallel runtime: execution context, backends, partitioning, scheduling, metrics."""
 
+from .backends import (
+    EmulatedBackend,
+    ExecutionBackend,
+    ProcessBackend,
+    available_backends,
+    make_backend,
+    register_backend,
+)
 from .context import ExecutionContext, default_context
 from .metrics import ExecutionRecord, PhaseRecord, WorkMetrics
 from .partitioner import (
@@ -13,15 +21,21 @@ from .threadpool import run_chunks, shutdown_pool
 
 __all__ = [
     "Assignment",
+    "EmulatedBackend",
+    "ExecutionBackend",
     "ExecutionContext",
     "ExecutionRecord",
     "PhaseRecord",
+    "ProcessBackend",
     "WorkMetrics",
+    "available_backends",
     "chunk_edges",
     "default_context",
     "load_imbalance",
+    "make_backend",
     "partition_by_weight",
     "partition_vector_nonzeros",
+    "register_backend",
     "run_chunks",
     "schedule",
     "schedule_dynamic",

@@ -1,0 +1,671 @@
+"""Pluggable execution backends for sharded SpMSpV.
+
+The :class:`~repro.core.sharded.ShardedEngine` turns one multiplication into
+P independent per-strip kernel calls.  *How* those calls execute is this
+module's concern, behind one small seam:
+
+* :class:`EmulatedBackend` — the historical behaviour, unchanged: strips run
+  deterministically in the calling process (optionally fanned out on the
+  GIL-bound thread pool).  Bit-reproducible, zero setup cost, no wall-clock
+  parallelism.
+* :class:`ProcessBackend` — a persistent ``multiprocessing`` worker pool.
+  Strip CSC arrays are copied **once**, at backend build, into
+  ``multiprocessing.shared_memory`` slabs
+  (:class:`~repro.core.workspace.SharedSlab`); each worker attaches zero-copy
+  views, builds its strips' persistent
+  :class:`~repro.core.workspace.SpMSpVWorkspace` objects, and keeps both for
+  its lifetime.  Per call, the only traffic is the sparse input vector (or
+  packed block) and per-strip mask slices going out, and the per-strip
+  ``(indices, values, metrics)`` results coming back.  This is the first
+  execution path in the package where P strips genuinely run on P cores.
+
+Determinism contract: a kernel is a pure function of (strip, vector, call
+options), so for any *fixed* kernel/mode the two backends are **bit
+identical** — outputs, work metrics, and the priced costs that drive
+adaptive dispatch (wall times differ, so the wall-time-trained fused-vs-
+looped block fits may take different internal routes under ``"auto"``; every
+route is itself bit-identical).  ``tests/test_backend_equivalence.py`` locks
+this down across the full sharded grid.
+
+Failure contract: an exception raised inside a strip's kernel propagates to
+the caller as itself (same type, same args), annotated with the failing
+strip id (``exc.strip_id`` plus an ``add_note`` line) — identically for both
+backends.  A worker that *dies* (kill -9, segfault) instead surfaces as a
+:class:`~repro.errors.BackendError`; the pool respawns dead workers against
+the same shared-memory strips on the next call, and backend shutdown (or
+garbage collection of the engine, via a ``weakref`` finalizer) releases
+every shared-memory segment.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import sys
+import traceback
+import weakref
+from abc import ABC, abstractmethod
+from multiprocessing import get_all_start_methods, get_context
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import BackendError, NotSupportedError
+from ..formats.csc import CSCMatrix
+from ..formats.sparse_vector import SparseVector
+from ..semiring import Semiring, get_semiring
+from .context import ExecutionContext
+from .threadpool import run_chunks
+
+#: lazily-built template of :meth:`repro.core.workspace.SpMSpVWorkspace.stats`
+#: for a workspace no kernel has touched yet (derived from the real class so
+#: it cannot drift from the implementation)
+_FRESH_STATS_TEMPLATE: Optional[Dict[str, float]] = None
+
+
+def _fresh_stats(spa_rows: int) -> Dict[str, float]:
+    """Stats reported for a strip whose worker has not executed a call yet."""
+    global _FRESH_STATS_TEMPLATE
+    if _FRESH_STATS_TEMPLATE is None:
+        from ..core.workspace import SpMSpVWorkspace  # late: avoids import cycle
+        _FRESH_STATS_TEMPLATE = SpMSpVWorkspace(0).stats()
+    return dict(_FRESH_STATS_TEMPLATE, spa_rows=spa_rows)
+
+
+def _attach_strip_id(exc: BaseException, strip: int, backend: str,
+                     remote_traceback: Optional[str] = None) -> BaseException:
+    """Annotate a kernel exception with the strip that raised it."""
+    try:
+        exc.strip_id = strip
+    except Exception:  # pragma: no cover - exotic immutable exceptions
+        pass
+    if hasattr(exc, "add_note"):
+        try:
+            exc.add_note(f"[repro] raised by strip {strip} ({backend} backend)")
+            if remote_traceback:
+                exc.add_note("[repro] worker traceback:\n" + remote_traceback)
+        except Exception:  # pragma: no cover
+            pass
+    return exc
+
+
+class ExecutionBackend(ABC):
+    """How a sharded engine executes its P independent per-strip calls.
+
+    A backend is built once per :class:`~repro.core.sharded.ShardedEngine`
+    from the engine's row strips and per-strip context (``num_threads=1`` —
+    the paper's sync-free row-split configuration), owns whatever persistent
+    per-strip state the execution needs (workspaces, worker processes,
+    shared memory), and serves two operations: a per-vector multiply fanned
+    across all strips, and a fused block multiply fanned across all strips.
+    Results always come back in strip order; strip outputs are row-disjoint,
+    so the engine concatenates them without a merge.
+    """
+
+    name: str = "?"
+
+    @abstractmethod
+    def run_multiply(self, algorithm: str, x: SparseVector, *,
+                     semiring: Semiring, sorted_output: Optional[bool],
+                     mask_slices: Sequence[Optional[SparseVector]],
+                     mask_complement: bool, kwargs: Dict) -> List:
+        """One kernel call per strip; returns per-strip results in strip order."""
+
+    @abstractmethod
+    def run_block(self, block, *, semiring: Semiring,
+                  sorted_output: Optional[bool], strip_masks: Sequence,
+                  mask_complement: bool, block_merge: str) -> List[List]:
+        """One fused block call per strip; per-strip lists of k results."""
+
+    @abstractmethod
+    def workspace_stats(self) -> List[Dict[str, float]]:
+        """Latest known per-strip workspace reuse statistics."""
+
+    def close(self) -> None:
+        """Release backend resources (idempotent; default: nothing to do)."""
+
+    @property
+    def closed(self) -> bool:
+        return False
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class EmulatedBackend(ExecutionBackend):
+    """Deterministic in-process execution — the historical sharded behaviour.
+
+    Strips run sequentially in the calling thread (or on the shared
+    ``ThreadPoolExecutor`` when the context asks for it); each strip owns a
+    local persistent workspace.  This is the default backend: zero setup
+    cost, bit-reproducible, and the right choice whenever the workload is
+    dominated by correctness runs, tests, or single-core machines.
+    """
+
+    name = "emulated"
+
+    def __init__(self, *, strips: Sequence[CSCMatrix], shard_ctx: ExecutionContext,
+                 dtype, use_thread_pool: bool = False, workers: int = 0):
+        from ..core.workspace import SpMSpVWorkspace  # late: avoids import cycle
+
+        self.strips = list(strips)
+        self.shard_ctx = shard_ctx
+        self.use_thread_pool = bool(use_thread_pool)
+        self.workspaces = [SpMSpVWorkspace(s.nrows, dtype=dtype)
+                           for s in self.strips]
+
+    def run_multiply(self, algorithm, x, *, semiring, sorted_output,
+                     mask_slices, mask_complement, kwargs):
+        from ..core.dispatch import get_algorithm
+        from ..core.engine import _accepts_workspace
+
+        fn = get_algorithm(algorithm)
+        takes_ws = _accepts_workspace(fn)
+
+        def call(s: int):
+            kw = dict(kwargs)
+            if takes_ws:
+                kw["workspace"] = self.workspaces[s]
+            try:
+                return fn(self.strips[s], x, self.shard_ctx,
+                          semiring=semiring, sorted_output=sorted_output,
+                          mask=mask_slices[s], mask_complement=mask_complement,
+                          **kw)
+            except Exception as exc:
+                raise _attach_strip_id(exc, s, self.name)
+
+        return run_chunks(call, len(self.strips),
+                          use_thread_pool=self.use_thread_pool)
+
+    def run_block(self, block, *, semiring, sorted_output, strip_masks,
+                  mask_complement, block_merge):
+        from ..core.spmspv_block import spmspv_bucket_block
+
+        def call(s: int):
+            try:
+                return spmspv_bucket_block(
+                    self.strips[s], block, self.shard_ctx, semiring=semiring,
+                    sorted_output=sorted_output, masks=strip_masks[s],
+                    mask_complement=mask_complement, merge=block_merge,
+                    workspace=self.workspaces[s])
+            except Exception as exc:
+                raise _attach_strip_id(exc, s, self.name)
+
+        return run_chunks(call, len(self.strips),
+                          use_thread_pool=self.use_thread_pool)
+
+    def workspace_stats(self):
+        return [ws.stats() for ws in self.workspaces]
+
+
+# --------------------------------------------------------------------------- #
+# the process backend: shared-memory strips + a persistent worker pool
+# --------------------------------------------------------------------------- #
+def _dump_exception(exc: BaseException):
+    """Serialize a worker-side exception for transport to the parent."""
+    tb = "".join(traceback.format_exception(type(exc), exc, exc.__traceback__))
+    try:
+        payload = pickle.dumps(exc)
+        pickle.loads(payload)  # round-trip now: fail in the worker, not the parent
+        return ("pickle", payload, tb)
+    except Exception:
+        return ("text", f"{type(exc).__name__}: {exc}", tb)
+
+
+def _load_exception(dump, strip: int) -> BaseException:
+    kind, payload, tb = dump
+    if kind == "pickle":
+        exc = pickle.loads(payload)
+    else:
+        exc = BackendError(f"strip {strip} worker raised an unpicklable "
+                           f"exception: {payload}")
+    return _attach_strip_id(exc, strip, "process", remote_traceback=tb)
+
+
+def _worker_loop(conn, spec, slabs):  # pragma: no cover - worker process
+    """Serve calls until stopped; every shm view lives inside this frame.
+
+    The worker holds, for its assigned strips, zero-copy CSC views over the
+    parent's shared-memory slabs and locally-allocated persistent
+    workspaces.  Every reply piggybacks the strips' workspace stats so the
+    parent can answer :meth:`ProcessBackend.workspace_stats` without an
+    extra round trip.  Kernel exceptions are caught per strip and shipped
+    back; only transport failure ends the loop.  Workers do *not* untrack
+    the segments they attach: a pool worker shares its parent's
+    ``resource_tracker`` (both fork and spawn ship the tracker fd), whose
+    registry is a set — the attach-side register is idempotent and the
+    owner's unlink unregisters exactly once.
+
+    The recv loop polls with a timeout and watches ``os.getppid()``: a
+    fork-started worker inherits the parent ends of its *siblings'* pipes,
+    so an abruptly-killed parent (SIGKILL skips daemon cleanup) never
+    delivers EOF — the reparent check is what lets orphaned workers exit
+    instead of pinning their shared-memory mappings forever.
+    """
+    from ..core.dispatch import get_algorithm
+    from ..core.engine import _accepts_workspace
+    from ..core.spmspv_block import spmspv_bucket_block
+    from ..core.workspace import SharedSlab, SpMSpVWorkspace
+
+    strips: Dict[int, CSCMatrix] = {}
+    workspaces: Dict[int, "SpMSpVWorkspace"] = {}
+    for st in spec["strips"]:
+        views = {}
+        for name in ("indptr", "indices", "data"):
+            seg, shape, dt = st["arrays"][name]
+            slab = SharedSlab.attach(seg, shape, dt)
+            slabs.append(slab)
+            views[name] = slab.array
+        strips[st["strip"]] = CSCMatrix(
+            st["shape"], views["indptr"], views["indices"], views["data"],
+            sorted_within_columns=st["sorted"], check=False)
+        workspaces[st["strip"]] = SpMSpVWorkspace(
+            strips[st["strip"]].nrows, dtype=np.dtype(st["dtype"]))
+    ctx = spec["ctx"]
+    parent = os.getppid()
+
+    while True:
+        try:
+            while not conn.poll(1.0):
+                if os.getppid() != parent:  # orphaned: parent died abruptly
+                    return
+            msg = conn.recv()
+        except (EOFError, OSError):
+            return
+        if msg[0] == "stop":
+            return
+        op, call_id, strip_ids = msg[0], msg[1], msg[2]
+        outs = []
+        for strip in strip_ids:
+            try:
+                if op == "multiply":
+                    _, _, _, algorithm, x, sr, so, masks, comp, kwargs = msg
+                    fn = get_algorithm(algorithm)
+                    kw = dict(kwargs)
+                    if _accepts_workspace(fn):
+                        kw["workspace"] = workspaces[strip]
+                    result = fn(strips[strip], x, ctx,
+                                semiring=get_semiring(sr), sorted_output=so,
+                                mask=masks[strip], mask_complement=comp, **kw)
+                elif op == "block":
+                    _, _, _, block, sr, so, masks, comp, merge = msg
+                    result = spmspv_bucket_block(
+                        strips[strip], block, ctx, semiring=get_semiring(sr),
+                        sorted_output=so, masks=masks[strip],
+                        mask_complement=comp, merge=merge,
+                        workspace=workspaces[strip])
+                else:
+                    raise BackendError(f"unknown backend op {op!r}")
+                outs.append((strip, "ok", result))
+            except Exception as exc:
+                outs.append((strip, "err", _dump_exception(exc)))
+        stats = {strip: workspaces[strip].stats() for strip in strip_ids}
+        try:
+            conn.send(("done", call_id, outs, stats))
+        except (BrokenPipeError, OSError):
+            return
+
+
+def _worker_main(conn, spec):  # pragma: no cover - runs in the worker process
+    """Entry point of one pool worker: loop, release shm mappings, hard-exit.
+
+    The CSC views, kernel results and message locals all live in
+    :func:`_worker_loop`'s frame, so by the time the slabs close here no
+    exported pointer into *this worker's* segments remains.  The exit is
+    ``os._exit`` rather than a normal interpreter teardown: a forked worker
+    also inherits the parent's own slab objects (and whatever other engines
+    were alive at fork time), whose still-exported views would make their
+    inherited ``SharedMemory.__del__``\\ s spray ``BufferError`` tracebacks
+    during shutdown — those mappings belong to the parent, die with the
+    process either way, and are not this worker's to close.
+    """
+    slabs: List = []
+    try:
+        _worker_loop(conn, spec, slabs)
+    finally:
+        for slab in slabs:
+            slab.close()
+        try:
+            conn.close()
+        except OSError:
+            pass
+        sys.stdout.flush()
+        sys.stderr.flush()
+        os._exit(0)
+
+
+def _shutdown_pool(workers: List, conns: List, slabs: List) -> None:
+    """Stop workers, close pipes, release shared memory (idempotent).
+
+    Module-level so a ``weakref.finalize`` can run it after the backend
+    object is gone; the lists are the backend's own mutable state, shared by
+    identity, so an explicit ``close()`` beforehand leaves nothing to do.
+    """
+    for conn in conns:
+        if conn is not None:
+            try:
+                conn.send(("stop",))
+            except Exception:
+                pass
+    for w, proc in enumerate(workers):
+        if proc is None:
+            continue
+        proc.join(timeout=2.0)
+        if proc.is_alive():  # pragma: no cover - stuck worker
+            proc.terminate()
+            proc.join(timeout=1.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=1.0)
+        workers[w] = None
+    for i, conn in enumerate(conns):
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+            conns[i] = None
+    for slab in slabs:
+        slab.close()
+        slab.unlink()
+    slabs.clear()
+
+
+class ProcessBackend(ExecutionBackend):
+    """Real multi-process execution of the per-strip kernel calls.
+
+    Build cost: one shared-memory copy of every strip's CSC arrays plus one
+    worker process per strip (capped by ``workers`` / the machine's core
+    count; strips are assigned round-robin, and a strip always runs on the
+    same worker so its workspace persists).  Per-call cost: pickling the
+    input vector (or block) and mask slices out, and the per-strip result
+    triples back.
+
+    Environment knobs: ``REPRO_BACKEND_WORKERS`` caps the pool when the
+    context doesn't, ``REPRO_BACKEND_START`` picks the multiprocessing start
+    method (default ``fork`` where available — workers inherit the loaded
+    package; ``spawn`` re-imports it).
+    """
+
+    name = "process"
+
+    def __init__(self, *, strips: Sequence[CSCMatrix], shard_ctx: ExecutionContext,
+                 dtype, use_thread_pool: bool = False, workers: int = 0):
+        from ..core.workspace import SharedSlab  # late: avoids import cycle
+
+        self.shard_ctx = shard_ctx
+        self.num_strips = len(strips)
+        cap = int(workers) or int(os.environ.get("REPRO_BACKEND_WORKERS", "0") or 0) \
+            or (os.cpu_count() or 1)
+        self.num_workers = max(1, min(self.num_strips, cap))
+        start = os.environ.get(
+            "REPRO_BACKEND_START",
+            "fork" if "fork" in get_all_start_methods() else "spawn")
+        self._mp = get_context(start)
+
+        self._slabs: List = []
+        self._strip_specs = []
+        for s, strip in enumerate(strips):
+            arrays = {}
+            for name in ("indptr", "indices", "data"):
+                slab = SharedSlab.create(getattr(strip, name))
+                self._slabs.append(slab)
+                arrays[name] = slab.meta
+            self._strip_specs.append({
+                "strip": s, "shape": strip.shape,
+                "sorted": strip.sorted_within_columns, "arrays": arrays,
+                "dtype": np.dtype(dtype).str,
+            })
+        self._spa_rows = [strip.nrows for strip in strips]
+        #: strip -> worker assignment (round-robin; fixed for the pool's life)
+        self.assignment = [[s for s in range(self.num_strips)
+                            if s % self.num_workers == w]
+                           for w in range(self.num_workers)]
+        self._workers: List = [None] * self.num_workers
+        self._conns: List = [None] * self.num_workers
+        self._stats: Dict[int, Dict[str, float]] = {}
+        self._call_seq = 0
+        self._closed = False
+        #: gc safety net: releases workers and /dev/shm segments even when
+        #: nobody called close() (the lists are shared by identity, so an
+        #: explicit close() leaves this a no-op).  Registered *before* the
+        #: spawn loop: if a fork fails mid-way, the half-built pool and every
+        #: already-created segment still get torn down when this object dies.
+        self._finalizer = weakref.finalize(
+            self, _shutdown_pool, self._workers, self._conns, self._slabs)
+        try:
+            for w in range(self.num_workers):
+                self._spawn(w)
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------ #
+    # pool plumbing
+    # ------------------------------------------------------------------ #
+    def _spawn(self, w: int) -> None:
+        parent_conn, child_conn = self._mp.Pipe(duplex=True)
+        spec = {"strips": [self._strip_specs[s] for s in self.assignment[w]],
+                "ctx": self.shard_ctx}
+        proc = self._mp.Process(target=_worker_main, args=(child_conn, spec),
+                                daemon=True, name=f"repro-strip-worker-{w}")
+        proc.start()
+        child_conn.close()  # parent keeps one end only, so worker death -> EOF
+        self._workers[w] = proc
+        self._conns[w] = parent_conn
+
+    def _mark_dead(self, w: int) -> None:
+        conn, self._conns[w] = self._conns[w], None
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        proc, self._workers[w] = self._workers[w], None
+        if proc is not None:
+            if proc.is_alive():  # pragma: no cover - unreachable but hung
+                proc.terminate()
+            proc.join(timeout=1.0)
+
+    def _ensure_workers(self) -> None:
+        """Respawn dead workers; report each worker death exactly once.
+
+        A slot that is ``None`` was already reported (its death raised a
+        :class:`BackendError` mid-call) and is respawned silently; a worker
+        found dead *here* — killed between calls — is respawned too, but the
+        death still surfaces as one clean :class:`BackendError` so callers
+        never silently lose a worker.  Either way the very next call runs on
+        a complete pool.
+        """
+        unreported = []
+        for w in range(self.num_workers):
+            if self._workers[w] is None:
+                self._spawn(w)
+            elif not self._workers[w].is_alive():
+                unreported.append((w, self._workers[w].pid))
+                self._mark_dead(w)
+                self._spawn(w)
+        if unreported:
+            raise BackendError(
+                f"strip worker(s) {unreported} died since the last call "
+                f"(killed or crashed); the pool has respawned them — the "
+                f"next call will run normally")
+
+    def worker_pids(self) -> List[int]:
+        """Live worker pids (fault-injection tests kill these)."""
+        return [proc.pid for proc in self._workers if proc is not None]
+
+    @staticmethod
+    def _semiring_name(semiring: Semiring) -> str:
+        """Encode a semiring for transport (registered semirings only).
+
+        Built-in semirings carry lambdas, which do not pickle; both ends of
+        the pipe therefore exchange registry *names*.  An unregistered
+        custom semiring is rejected here, parent-side, with a clear message
+        instead of a worker-side pickling failure.
+        """
+        try:
+            if get_semiring(semiring.name) == semiring:
+                return semiring.name
+        except KeyError:
+            pass
+        raise NotSupportedError(
+            f"the process backend ships semirings by registry name, and "
+            f"{semiring!r} is not the registered semiring of that name; "
+            f"use the emulated backend for ad-hoc semirings")
+
+    def _dispatch(self, build_msg: Callable[[int, List[int]], tuple]) -> Dict[int, object]:
+        """Send one message per worker, collect per-strip payloads.
+
+        Raises the lowest-strip kernel exception (matching the emulated
+        backend, which executes strips in order and stops at the first
+        failure) or a :class:`BackendError` when a worker is gone.  Stale
+        replies from an earlier, abandoned call are discarded by call id, so
+        one failure never poisons the next call's results.
+        """
+        if self._closed:
+            raise BackendError("process backend is closed")
+        self._ensure_workers()
+        self._call_seq += 1
+        call_id = self._call_seq
+        pending = []
+        for w in range(self.num_workers):
+            if not self.assignment[w]:
+                continue
+            try:
+                self._conns[w].send(build_msg(call_id, self.assignment[w]))
+            except (BrokenPipeError, OSError) as exc:
+                self._mark_dead(w)
+                raise BackendError(
+                    f"strip worker {w} died before accepting a call "
+                    f"({exc!r}); the pool will respawn it") from exc
+            pending.append(w)
+
+        results: Dict[int, object] = {}
+        errors: Dict[int, tuple] = {}
+        for w in pending:
+            reply = self._recv(w, call_id)
+            for strip, status, payload in reply[2]:
+                if status == "ok":
+                    results[strip] = payload
+                else:
+                    errors[strip] = payload
+            self._stats.update(reply[3])
+        if errors:
+            strip = min(errors)
+            raise _load_exception(errors[strip], strip)
+        return results
+
+    def _recv(self, w: int, call_id: int):
+        conn = self._conns[w]
+        while True:
+            try:
+                reply = conn.recv()
+            except (EOFError, OSError) as exc:
+                pid = self._workers[w].pid if self._workers[w] else None
+                self._mark_dead(w)
+                raise BackendError(
+                    f"strip worker {w} (pid {pid}) died mid-call; its strips "
+                    f"{self.assignment[w]} were lost — the pool respawns the "
+                    f"worker on the next call") from exc
+            if reply[0] == "done" and reply[1] == call_id:
+                return reply
+            # stale reply from an abandoned earlier call: drain and ignore
+
+    # ------------------------------------------------------------------ #
+    # ExecutionBackend interface
+    # ------------------------------------------------------------------ #
+    def run_multiply(self, algorithm, x, *, semiring, sorted_output,
+                     mask_slices, mask_complement, kwargs):
+        sr = self._semiring_name(semiring)
+
+        def build(call_id, strip_ids):
+            masks = {s: mask_slices[s] for s in strip_ids}
+            return ("multiply", call_id, strip_ids, algorithm, x, sr,
+                    sorted_output, masks, mask_complement, kwargs)
+
+        results = self._dispatch(build)
+        return [results[s] for s in range(self.num_strips)]
+
+    def run_block(self, block, *, semiring, sorted_output, strip_masks,
+                  mask_complement, block_merge):
+        sr = self._semiring_name(semiring)
+
+        def build(call_id, strip_ids):
+            masks = {s: strip_masks[s] for s in strip_ids}
+            return ("block", call_id, strip_ids, block, sr, sorted_output,
+                    masks, mask_complement, block_merge)
+
+        results = self._dispatch(build)
+        return [results[s] for s in range(self.num_strips)]
+
+    def workspace_stats(self):
+        out = []
+        for s in range(self.num_strips):
+            stats = self._stats.get(s)
+            if stats is None:
+                stats = _fresh_stats(self._spa_rows[s])
+            out.append(stats)
+        return out
+
+    def segment_names(self) -> List[str]:
+        """Names of the live shared-memory segments (leak checks)."""
+        return [slab.name for slab in self._slabs]
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Stop the pool and release every shared-memory segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._finalizer.detach()
+        _shutdown_pool(self._workers, self._conns, self._slabs)
+
+
+# --------------------------------------------------------------------------- #
+# registry
+# --------------------------------------------------------------------------- #
+_BACKENDS: Dict[str, Callable[..., ExecutionBackend]] = {
+    "emulated": EmulatedBackend,
+    "process": ProcessBackend,
+}
+
+
+def register_backend(name: str, factory: Callable[..., ExecutionBackend], *,
+                     overwrite: bool = False) -> None:
+    """Register an execution backend under a context-selectable name.
+
+    ``factory`` is called with the keyword arguments of
+    :func:`make_backend` (``strips``, ``shard_ctx``, ``dtype``,
+    ``use_thread_pool``, ``workers``) and must return an
+    :class:`ExecutionBackend`.
+    """
+    if name in _BACKENDS and not overwrite:
+        raise ValueError(f"backend {name!r} is already registered")
+    _BACKENDS[name] = factory
+
+
+def available_backends() -> List[str]:
+    """Names of all registered execution backends."""
+    return sorted(_BACKENDS)
+
+
+def make_backend(name: str, *, strips: Sequence[CSCMatrix],
+                 shard_ctx: ExecutionContext, dtype,
+                 use_thread_pool: bool = False,
+                 workers: int = 0) -> ExecutionBackend:
+    """Build the backend ``name`` for one sharded engine's strips."""
+    try:
+        factory = _BACKENDS[name]
+    except KeyError:
+        raise NotSupportedError(
+            f"unknown execution backend {name!r}; available: "
+            f"{available_backends()}") from None
+    return factory(strips=strips, shard_ctx=shard_ctx, dtype=dtype,
+                   use_thread_pool=use_thread_pool, workers=workers)

@@ -1,7 +1,7 @@
-"""Execution context: how a kernel should be "parallelized".
+"""Execution context: how a kernel should be parallelized.
 
 The :class:`ExecutionContext` carries everything a kernel needs to know about
-its (emulated) parallel environment:
+its parallel environment:
 
 * ``num_threads`` — the thread count ``t`` of the paper's analysis,
 * ``buckets_per_thread`` — the paper uses ``nb = 4·t`` buckets (§III-A,
@@ -16,10 +16,18 @@ its (emulated) parallel environment:
   pool adds overhead without adding parallelism for these index-heavy
   kernels, and the deterministic serial execution keeps tests reproducible.
   The flag exists so the structure can be exercised end-to-end.
+* ``backend`` — how a :class:`~repro.core.sharded.ShardedEngine` executes its
+  per-strip kernel calls: ``'emulated'`` (deterministic in-process execution,
+  the default) or ``'process'`` (a persistent ``multiprocessing`` worker pool
+  holding the strips in shared memory — the first genuinely parallel
+  execution path in the package).  Backends are pluggable; see
+  :mod:`repro.parallel.backends`.  ``backend_workers`` caps the process
+  pool's size (0 = one worker per strip, up to the machine's core count).
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
@@ -28,7 +36,7 @@ from ..machine.platforms import EDISON, Platform
 
 @dataclass(frozen=True)
 class ExecutionContext:
-    """Parameters of one (emulated) parallel execution."""
+    """Parameters of one (emulated or real) parallel execution."""
 
     num_threads: int = 1
     buckets_per_thread: int = 4
@@ -41,6 +49,11 @@ class ExecutionContext:
     private_buffer_size: int = 512
     #: deterministic seed used wherever a kernel needs tie-breaking randomness
     seed: int = 0
+    #: execution backend for sharded engines ('emulated' | 'process' | any
+    #: name registered with :func:`repro.parallel.backends.register_backend`)
+    backend: str = "emulated"
+    #: worker-process cap for the process backend; 0 = min(shards, cpu_count)
+    backend_workers: int = 0
 
     def __post_init__(self):
         if self.num_threads < 1:
@@ -53,6 +66,10 @@ class ExecutionContext:
             raise ValueError(
                 f"num_threads={self.num_threads} exceeds platform "
                 f"'{self.platform.name}' max_threads={self.platform.max_threads}")
+        if not self.backend or not isinstance(self.backend, str):
+            raise ValueError(f"backend must be a non-empty name, got {self.backend!r}")
+        if self.backend_workers < 0:
+            raise ValueError(f"backend_workers must be >= 0, got {self.backend_workers}")
 
     @property
     def num_buckets(self) -> int:
@@ -71,10 +88,24 @@ class ExecutionContext:
         """Return a copy with the sorted/unsorted vector policy changed."""
         return replace(self, sorted_vectors=sorted_vectors)
 
+    def with_backend(self, backend: str, *, workers: Optional[int] = None
+                     ) -> "ExecutionContext":
+        """Return a copy executing sharded calls on a different backend."""
+        if workers is None:
+            return replace(self, backend=backend)
+        return replace(self, backend=backend, backend_workers=workers)
+
 
 def default_context(num_threads: int = 1, platform: Optional[Platform] = None,
                     **kwargs) -> ExecutionContext:
-    """Convenience constructor used throughout examples and benchmarks."""
+    """Convenience constructor used throughout examples and benchmarks.
+
+    The sharded-execution backend defaults to the ``REPRO_BACKEND``
+    environment variable when set (``emulated`` otherwise), which is how CI
+    runs the whole sharded suite against the process backend without touching
+    any call site.
+    """
     if platform is None:
         platform = EDISON
+    kwargs.setdefault("backend", os.environ.get("REPRO_BACKEND") or "emulated")
     return ExecutionContext(num_threads=num_threads, platform=platform, **kwargs)

@@ -1,0 +1,567 @@
+"""Cross-backend differential suite: ProcessBackend ≡ EmulatedBackend, bit for bit.
+
+The process backend runs the exact same kernel code on the exact same strip
+arrays (shared-memory copies preserve every byte), so for any *fixed*
+kernel/mode the two backends must agree **bit for bit** — output vectors
+(sorted outputs byte-identical as stored, unsorted outputs identical as
+(row, value) pairs), merged execution records, and every work-metric
+counter.  This file holds the process backend to the standard
+``test_sharded_equivalence`` established for emulated shards, across
+
+    P ∈ {1, 2, 3, 7} x all 5 kernels x semirings x mask modes x
+        sorted/unsorted inputs x fused / looped ``multiply_many`` x
+        sync / async front-ends,
+
+plus the failure contract: kernel exceptions propagate with the failing
+strip id through ``multiply``, ``gather`` and ``EngineGroup`` and clear the
+async queue; a killed worker surfaces exactly one ``BackendError`` and the
+pool recovers; closing (or garbage-collecting) a process-backed engine
+releases every ``/dev/shm`` segment.
+
+Pools are expensive relative to these tiny problems, so each parametrized
+case builds ONE engine pair and drives the whole sub-grid through it
+(``multiply(algorithm=...)`` overrides the per-call kernel), with
+``backend_workers=2`` so strips outnumber workers and the round-robin
+worker assignment is exercised even on single-core machines.
+"""
+
+import gc
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import EngineGroup, ShardedEngine
+from repro.errors import BackendError, DimensionError, NotSupportedError
+from repro.formats import SparseVector
+from repro.parallel import available_backends, default_context
+from repro.parallel.backends import EmulatedBackend, ProcessBackend
+from repro.semiring import (
+    MAX_SELECT2ND,
+    MAX_TIMES,
+    MIN_PLUS,
+    MIN_SELECT1ST,
+    MIN_SELECT2ND,
+    OR_AND,
+    PLUS_TIMES,
+    Semiring,
+)
+
+from conftest import random_csc
+
+KERNELS = ["bucket", "combblas_spa", "combblas_heap", "graphmat", "sort"]
+ALL_SEMIRINGS = [PLUS_TIMES, MIN_PLUS, MAX_TIMES, OR_AND, MIN_SELECT2ND,
+                 MAX_SELECT2ND, MIN_SELECT1ST]
+#: the cross-kernel sweep uses a reduced semiring set; the bucket kernel —
+#: the one the fused/sharded fast paths specialize — runs all seven
+CORE_SEMIRINGS = [PLUS_TIMES, MIN_SELECT2ND]
+MASK_MODES = ["none", "mask", "complement"]
+SHARD_COUNTS = [1, 2, 3, 7]
+
+
+def engine_pair(matrix, shards, *, threads=2, seed=0):
+    """One emulated and one process engine over the same matrix and context."""
+    emu = ShardedEngine(matrix, shards,
+                        default_context(num_threads=threads, seed=seed,
+                                        backend="emulated"),
+                        algorithm="bucket")
+    proc = ShardedEngine(matrix, shards,
+                         default_context(num_threads=threads, seed=seed,
+                                         backend="process", backend_workers=2),
+                         algorithm="bucket")
+    return emu, proc
+
+
+def problem(shards, seed):
+    rng = np.random.default_rng(seed)
+    m, n = 50 + shards, 45
+    matrix = random_csc(m, n, 0.18, seed=seed)
+    idx = rng.choice(n, size=12, replace=False)
+    x_sorted = SparseVector(n, np.sort(idx), rng.random(12) + 0.1)
+    x_unsorted = SparseVector(n, idx, rng.random(12) + 0.1,
+                              sorted=False, check=False)
+    mask = SparseVector.full_like_indices(
+        m, np.sort(rng.choice(m, size=m // 2, replace=False)), 1.0)
+    return matrix, x_sorted, x_unsorted, mask
+
+
+def as_semiring_input(x: SparseVector, semiring: Semiring) -> SparseVector:
+    if semiring is OR_AND:
+        return SparseVector(x.n, x.indices, np.ones(x.nnz, dtype=bool),
+                            sorted=x.sorted, check=False)
+    return x
+
+
+def mask_kwargs(mode, mask):
+    if mode == "none":
+        return {"mask": None, "mask_complement": False}
+    return {"mask": mask, "mask_complement": mode == "complement"}
+
+
+def assert_bit_identical(a, b, label):
+    assert np.array_equal(a.indices, b.indices), f"{label}: indices differ"
+    assert np.array_equal(a.values, b.values), f"{label}: values differ"
+    assert a.values.dtype == b.values.dtype, f"{label}: dtypes differ"
+
+
+def assert_same_pairs(a, b, label):
+    ao, bo = np.argsort(a.indices, kind="stable"), np.argsort(b.indices, kind="stable")
+    assert np.array_equal(a.indices[ao], b.indices[bo]), f"{label}: rows differ"
+    assert np.array_equal(a.values[ao], b.values[bo]), f"{label}: values differ"
+
+
+def record_signature(record):
+    """Everything observable about a merged record except wall time."""
+    return (record.algorithm, record.num_threads, dict(record.info),
+            [(p.name, p.parallel, p.barriers, p.serial_metrics.as_dict(),
+              [t.as_dict() for t in p.thread_metrics]) for p in record.phases])
+
+
+def assert_results_match(ref, out, label):
+    assert_bit_identical(ref.vector, out.vector, label)
+    assert record_signature(ref.record) == record_signature(out.record), \
+        f"{label}: merged records differ"
+    assert ref.info == out.info, f"{label}: result info differs"
+
+
+# --------------------------------------------------------------------------- #
+# the differential grid
+# --------------------------------------------------------------------------- #
+def test_backend_registry_exposes_both_backends():
+    assert {"emulated", "process"} <= set(available_backends())
+    matrix = random_csc(10, 10, 0.3, seed=1)
+    emu, proc = engine_pair(matrix, 2)
+    assert isinstance(emu.backend, EmulatedBackend)
+    assert isinstance(proc.backend, ProcessBackend)
+    proc.close()
+
+
+def test_unknown_backend_is_rejected():
+    matrix = random_csc(10, 10, 0.3, seed=1)
+    with pytest.raises(NotSupportedError):
+        ShardedEngine(matrix, 2, default_context(backend="quantum"))
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_process_backend_bit_identical_across_kernel_grid(shards):
+    """P x kernels x semirings x mask modes x input/output sortedness.
+
+    Sorted outputs must be byte-identical as stored; unsorted outputs are
+    compared as (row, value) pairs, exactly the contract of the emulated
+    equivalence suite.  Merged records (and so every work metric) must match
+    field for field.
+    """
+    matrix, x_sorted, x_unsorted, mask = problem(shards, seed=100 + shards)
+    with ShardedEngine(matrix, shards,
+                       default_context(num_threads=2, backend="emulated"),
+                       algorithm="bucket") as emu, \
+         ShardedEngine(matrix, shards,
+                       default_context(num_threads=2, backend="process",
+                                       backend_workers=2),
+                       algorithm="bucket") as proc:
+        for kernel in KERNELS:
+            semirings = ALL_SEMIRINGS if kernel == "bucket" else CORE_SEMIRINGS
+            for semiring in semirings:
+                for mode in MASK_MODES:
+                    kw = mask_kwargs(mode, mask)
+                    for x in (x_sorted, x_unsorted):
+                        x = as_semiring_input(x, semiring)
+                        label = f"{kernel}/{semiring.name}/{mode}/P={shards}" \
+                                f"/sorted={x.sorted}"
+                        ref = emu.multiply(x, algorithm=kernel,
+                                           semiring=semiring, **kw)
+                        out = proc.multiply(x, algorithm=kernel,
+                                            semiring=semiring, **kw)
+                        assert_same_pairs(ref.vector, out.vector, label)
+                        assert record_signature(ref.record) == \
+                            record_signature(out.record), label
+                    # forced sorted output: identical storage bytes
+                    xs = as_semiring_input(x_sorted, semiring)
+                    ref = emu.multiply(xs, algorithm=kernel, semiring=semiring,
+                                       sorted_output=True, **kw)
+                    out = proc.multiply(xs, algorithm=kernel, semiring=semiring,
+                                        sorted_output=True, **kw)
+                    assert_results_match(ref, out, label + "/sorted_out")
+                    assert out.vector.sorted
+
+
+@pytest.mark.parametrize("shards", [1, 3, 7])
+@pytest.mark.parametrize("block_merge", ["segmented", "global"])
+def test_process_backend_fused_and_looped_blocks_bit_identical(shards, block_merge):
+    """multiply_many across backends: fused and looped, masked and unmasked."""
+    matrix, x_sorted, x_unsorted, mask = problem(shards, seed=300 + shards)
+    xs = [x_sorted, x_unsorted, SparseVector.empty(x_sorted.n)]
+    emu, proc = engine_pair(matrix, shards)
+    try:
+        for block_mode in ("fused", "looped"):
+            for masks in (None, [mask] * len(xs), [mask, None, mask]):
+                label = f"{block_mode}/{block_merge}/P={shards}" \
+                        f"/masked={masks is not None}"
+                refs = emu.multiply_many(xs, masks=masks, block_mode=block_mode,
+                                         block_merge=block_merge)
+                outs = proc.multiply_many(xs, masks=masks, block_mode=block_mode,
+                                          block_merge=block_merge)
+                assert len(refs) == len(outs) == len(xs)
+                for i, (ref, out) in enumerate(zip(refs, outs)):
+                    assert_same_pairs(ref.vector, out.vector, f"{label}/vec{i}")
+                    assert record_signature(ref.record) == \
+                        record_signature(out.record), f"{label}/vec{i}"
+    finally:
+        proc.close()
+
+
+def test_process_backend_handles_empty_strips_and_vectors():
+    """P > nrows (empty strips live on real workers) and empty inputs."""
+    matrix = random_csc(6, 9, 0.3, seed=7)
+    emu, proc = engine_pair(matrix, matrix.nrows + 5)
+    try:
+        x = SparseVector.full_like_indices(9, np.arange(4), 1.0)
+        assert_results_match(emu.multiply(x, sorted_output=True),
+                             proc.multiply(x, sorted_output=True), "P>m")
+        empty = SparseVector.empty(9)
+        assert_results_match(emu.multiply(empty, sorted_output=True),
+                             proc.multiply(empty, sorted_output=True), "empty x")
+    finally:
+        proc.close()
+
+
+@pytest.mark.parametrize("dtype", [np.float32, np.float64])
+def test_process_backend_preserves_value_dtype(dtype):
+    matrix = random_csc(30, 28, 0.2, seed=9)
+    matrix.data = matrix.data.astype(dtype)
+    rng = np.random.default_rng(9)
+    x = SparseVector(28, np.sort(rng.choice(28, 8, replace=False)),
+                     (rng.random(8) + 0.1).astype(dtype))
+    emu, proc = engine_pair(matrix, 3)
+    try:
+        ref = emu.multiply(x, sorted_output=True)
+        out = proc.multiply(x, sorted_output=True)
+        assert out.vector.values.dtype == np.dtype(dtype)
+        assert_results_match(ref, out, f"dtype={dtype}")
+    finally:
+        proc.close()
+
+
+def test_process_backend_dispatch_decisions_match_emulated():
+    """Auto dispatch is priced from work metrics, which match bit for bit —
+    so the two backends' adaptive histories pick identical kernels."""
+    matrix = random_csc(60, 60, 0.2, seed=21)
+    emu = ShardedEngine(matrix, 3,
+                        default_context(num_threads=2, backend="emulated"),
+                        algorithm="auto", explore_every=2)
+    proc = ShardedEngine(matrix, 3,
+                         default_context(num_threads=2, backend="process",
+                                         backend_workers=2),
+                         algorithm="auto", explore_every=2)
+    try:
+        sparse_x = SparseVector.full_like_indices(60, np.arange(3), 1.0)
+        dense_x = SparseVector.full_like_indices(60, np.arange(40), 1.0)
+        for _ in range(3):
+            for x in (sparse_x, dense_x):
+                assert_results_match(emu.multiply(x), proc.multiply(x), "auto")
+        for _ in range(6):
+            assert_results_match(emu.multiply(sparse_x), proc.multiply(sparse_x),
+                                 "auto-modeled")
+        assert [c.algorithm for c in emu.history] == \
+            [c.algorithm for c in proc.history]
+        assert [c.explored for c in emu.history] == \
+            [c.explored for c in proc.history]
+        assert emu.total_explored == proc.total_explored
+    finally:
+        proc.close()
+
+
+# --------------------------------------------------------------------------- #
+# async front-end and EngineGroup
+# --------------------------------------------------------------------------- #
+def test_async_gather_matches_emulated_including_execution_order():
+    matrix, x_sorted, x_unsorted, mask = problem(3, seed=400)
+    emu, proc = engine_pair(matrix, 3, seed=5)
+    try:
+        calls = [
+            {},
+            {"semiring": MIN_SELECT2ND},
+            {"mask": mask, "mask_complement": True},
+            {"sorted_output": True},
+            {"algorithm": "graphmat"},
+        ]
+        for engine in (emu, proc):
+            for kw in calls:
+                engine.submit(x_sorted, **kw)
+        ref_results = emu.gather()
+        out_results = proc.gather()
+        # same seeded out-of-order execution, same submit-order results
+        assert emu.execution_log == proc.execution_log
+        for i, (ref, out) in enumerate(zip(ref_results, out_results)):
+            assert_same_pairs(ref.vector, out.vector, f"async {i}")
+            assert record_signature(ref.record) == record_signature(out.record)
+    finally:
+        proc.close()
+
+
+def test_engine_group_process_backend_matches_emulated():
+    matrices = {name: random_csc(40 + i, 36, 0.2, seed=50 + i)
+                for i, name in enumerate(["a", "b", "c"])}
+    x = SparseVector.full_like_indices(36, np.arange(0, 36, 4), 1.0)
+    with EngineGroup(matrices, default_context(seed=3, backend="emulated"),
+                     shards=2) as emu_group, \
+         EngineGroup(matrices,
+                     default_context(seed=3, backend="process",
+                                     backend_workers=2),
+                     shards=2) as proc_group:
+        for group in (emu_group, proc_group):
+            for key in matrices:
+                group.submit(key, x)
+                group.submit(key, x, sorted_output=True)
+        ref_results = emu_group.gather()
+        out_results = proc_group.gather()
+        assert emu_group.execution_log == proc_group.execution_log
+        for i, (ref, out) in enumerate(zip(ref_results, out_results)):
+            assert_same_pairs(ref.vector, out.vector, f"group call {i}")
+
+
+def test_engine_group_close_shuts_down_process_pools():
+    matrix = random_csc(20, 20, 0.2, seed=60)
+    group = EngineGroup([matrix],
+                        default_context(backend="process", backend_workers=1),
+                        shards=2)
+    backend = group.engine(0).backend
+    segments = backend.segment_names()
+    assert all(os.path.exists("/dev/shm/" + name) for name in segments)
+    group.close()
+    assert backend.closed
+    assert not any(os.path.exists("/dev/shm/" + name) for name in segments)
+
+
+# --------------------------------------------------------------------------- #
+# fault paths
+# --------------------------------------------------------------------------- #
+def test_worker_exception_propagates_with_strip_id_through_multiply():
+    matrix = random_csc(30, 30, 0.2, seed=70)
+    x = SparseVector.full_like_indices(30, np.arange(5), 1.0)
+    emu, proc = engine_pair(matrix, 3)
+    try:
+        with pytest.raises(TypeError) as proc_err:
+            proc.multiply(x, bogus_kernel_kwarg=True)
+        with pytest.raises(TypeError) as emu_err:
+            emu.multiply(x, bogus_kernel_kwarg=True)
+        # both backends annotate the failing strip (lowest strip raises first)
+        assert getattr(proc_err.value, "strip_id", None) == 0
+        assert getattr(emu_err.value, "strip_id", None) == 0
+        # the pool survives a kernel exception: next call runs normally
+        assert_results_match(emu.multiply(x, sorted_output=True),
+                             proc.multiply(x, sorted_output=True),
+                             "after exception")
+    finally:
+        proc.close()
+
+
+def test_worker_exception_propagates_through_gather_and_clears_queue():
+    matrix = random_csc(30, 30, 0.2, seed=71)
+    x = SparseVector.full_like_indices(30, np.arange(5), 1.0)
+    emu, proc = engine_pair(matrix, 2)
+    try:
+        for engine, exc_type in ((emu, TypeError), (proc, TypeError)):
+            engine.submit(x)
+            engine.submit(x, bogus_kernel_kwarg=1)
+            engine.submit(x)
+            with pytest.raises(exc_type) as err:
+                engine.gather()
+            assert getattr(err.value, "strip_id", None) == 0
+            assert engine.pending == 0  # queue cleared despite the failure
+            engine.submit(x)
+            assert len(engine.gather()) == 1  # later submissions start fresh
+    finally:
+        proc.close()
+
+
+def test_worker_exception_propagates_through_engine_group():
+    matrix = random_csc(25, 25, 0.25, seed=72)
+    x = SparseVector.full_like_indices(25, np.arange(4), 1.0)
+    with EngineGroup([matrix],
+                     default_context(backend="process", backend_workers=1),
+                     shards=2) as group:
+        group.submit(0, x)
+        group.submit(0, x, bogus_kernel_kwarg=1)
+        with pytest.raises(TypeError) as err:
+            group.gather()
+        assert getattr(err.value, "strip_id", None) == 0
+        assert group.pending == 0
+        group.submit(0, x)
+        assert len(group.gather()) == 1
+
+
+def test_invalid_operands_raise_parent_side_before_any_worker_runs():
+    matrix = random_csc(30, 30, 0.2, seed=73)
+    engine = ShardedEngine(matrix, 2,
+                           default_context(backend="process",
+                                           backend_workers=1))
+    try:
+        with pytest.raises(DimensionError):
+            engine.multiply(SparseVector.full_like_indices(30, [0], 1.0),
+                            mask=SparseVector.full_like_indices(29, [0], 1.0))
+        with pytest.raises(Exception):
+            engine.multiply(SparseVector.full_like_indices(17, [0], 1.0))
+    finally:
+        engine.close()
+
+
+def test_unregistered_semiring_is_rejected_with_clear_message():
+    matrix = random_csc(20, 20, 0.3, seed=74)
+    x = SparseVector.full_like_indices(20, np.arange(3), 1.0)
+    custom = Semiring("my_custom", np.add, 0.0, lambda a, b: a * b)
+    engine = ShardedEngine(matrix, 2,
+                           default_context(backend="process",
+                                           backend_workers=1))
+    try:
+        with pytest.raises(NotSupportedError):
+            engine.multiply(x, semiring=custom)
+        # the pool is still healthy afterwards
+        assert engine.multiply(x).vector.nnz >= 0
+    finally:
+        engine.close()
+
+
+def test_killed_worker_raises_backend_error_once_then_recovers():
+    matrix = random_csc(40, 36, 0.2, seed=75)
+    x = SparseVector.full_like_indices(36, np.arange(8), 1.0)
+    emu, proc = engine_pair(matrix, 3)
+    try:
+        ref = emu.multiply(x, sorted_output=True)
+        assert_bit_identical(ref.vector,
+                             proc.multiply(x, sorted_output=True).vector, "warm")
+        victim = proc.backend.worker_pids()[0]
+        os.kill(victim, signal.SIGKILL)
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:  # wait until the kill lands
+            try:
+                os.kill(victim, 0)
+            except OSError:
+                break
+            time.sleep(0.01)
+        with pytest.raises(BackendError):
+            proc.multiply(x)
+        # exactly one failure: the respawned pool serves the next call
+        out = proc.multiply(x, sorted_output=True)
+        assert_bit_identical(ref.vector, out.vector, "after recovery")
+        assert victim not in proc.backend.worker_pids()
+    finally:
+        proc.close()
+
+
+def test_killed_worker_mid_gather_clears_queue_and_recovers():
+    matrix = random_csc(30, 30, 0.2, seed=76)
+    x = SparseVector.full_like_indices(30, np.arange(6), 1.0)
+    engine = ShardedEngine(matrix, 2,
+                           default_context(backend="process",
+                                           backend_workers=2))
+    try:
+        engine.multiply(x)  # warm pool
+        engine.submit(x)
+        engine.submit(x)
+        os.kill(engine.backend.worker_pids()[0], signal.SIGKILL)
+        time.sleep(0.2)
+        with pytest.raises(BackendError):
+            engine.gather()
+        assert engine.pending == 0
+        engine.submit(x)
+        assert len(engine.gather()) == 1
+    finally:
+        engine.close()
+
+
+# --------------------------------------------------------------------------- #
+# shared-memory lifecycle
+# --------------------------------------------------------------------------- #
+def test_close_releases_every_shared_memory_segment():
+    matrix = random_csc(30, 30, 0.2, seed=80)
+    engine = ShardedEngine(matrix, 4,
+                           default_context(backend="process",
+                                           backend_workers=2))
+    engine.multiply(SparseVector.full_like_indices(30, np.arange(5), 1.0))
+    segments = engine.backend.segment_names()
+    assert len(segments) == 3 * 4  # indptr/indices/data per strip
+    assert all(os.path.exists("/dev/shm/" + name) for name in segments)
+    engine.close()
+    assert not any(os.path.exists("/dev/shm/" + name) for name in segments)
+    engine.close()  # idempotent
+    with pytest.raises(BackendError):
+        engine.multiply(SparseVector.full_like_indices(30, np.arange(5), 1.0))
+
+
+def test_garbage_collected_engine_releases_shared_memory():
+    """Like the PR 3 detach test: no reachable engine, no leaked segment."""
+    matrix = random_csc(25, 25, 0.25, seed=81)
+    engine = ShardedEngine(matrix, 3,
+                           default_context(backend="process",
+                                           backend_workers=1))
+    engine.multiply(SparseVector.full_like_indices(25, np.arange(4), 1.0))
+    segments = engine.backend.segment_names()
+    assert all(os.path.exists("/dev/shm/" + name) for name in segments)
+    del engine
+    gc.collect()
+    assert not any(os.path.exists("/dev/shm/" + name) for name in segments)
+
+
+def test_workspace_stats_reflect_remote_reuse():
+    matrix = random_csc(40, 40, 0.2, seed=82)
+    engine = ShardedEngine(matrix, 2,
+                           default_context(backend="process",
+                                           backend_workers=1))
+    try:
+        x = SparseVector.full_like_indices(40, np.arange(10), 1.0)
+        before = engine.workspace_stats()
+        assert before["acquisitions"] == 0  # fresh-workspace placeholder
+        for _ in range(4):
+            engine.multiply(x)
+        after = engine.workspace_stats()
+        assert after["acquisitions"] > 0
+        assert after["allocations_saved"] > 0  # buffers were genuinely reused
+        assert after["spa_rows"] == matrix.nrows
+        summary = engine.summary()
+        assert summary["shards"] == 2 and summary["calls"] == 4
+    finally:
+        engine.close()
+
+
+# --------------------------------------------------------------------------- #
+# algorithms across backends (the shards= entry points)
+# --------------------------------------------------------------------------- #
+def test_algorithms_match_across_backends():
+    from repro.algorithms import bfs, bfs_multi_source, pagerank, pagerank_block
+    from repro.graphs.generators import erdos_renyi
+
+    matrix = erdos_renyi(120, 4.0, seed=33)
+    ctx = default_context(num_threads=2, backend="emulated")
+
+    ref = bfs(matrix, 0, ctx, shards=3)
+    out = bfs(matrix, 0, ctx, shards=3, backend="process")
+    assert np.array_equal(ref.levels, out.levels)
+    assert np.array_equal(ref.parents, out.parents)
+    out.engine.close()
+
+    ref_ms = bfs_multi_source(matrix, [0, 5, 11], ctx, shards=3,
+                              block_mode="fused")
+    out_ms = bfs_multi_source(matrix, [0, 5, 11], ctx, shards=3,
+                              block_mode="fused", backend="process")
+    assert np.array_equal(ref_ms.levels, out_ms.levels)
+    assert np.array_equal(ref_ms.parents, out_ms.parents)
+    assert ref_ms.iterations_per_source == out_ms.iterations_per_source
+    out_ms.engine.close()
+
+    ref_pr = pagerank(matrix, ctx, shards=2, restrict=np.arange(80))
+    out_pr = pagerank(matrix, ctx, shards=2, restrict=np.arange(80),
+                      backend="process")
+    assert np.array_equal(ref_pr.scores, out_pr.scores)
+    assert ref_pr.num_iterations == out_pr.num_iterations
+    out_pr.engine.close()
+
+    seeds = [np.arange(3), np.arange(40, 44)]
+    ref_pb = pagerank_block(matrix, seeds, ctx, shards=2, block_mode="fused")
+    out_pb = pagerank_block(matrix, seeds, ctx, shards=2, block_mode="fused",
+                            backend="process")
+    assert np.array_equal(ref_pb.scores, out_pb.scores)
+    assert ref_pb.iterations_per_source == out_pb.iterations_per_source
+    out_pb.engine.close()

@@ -155,6 +155,47 @@ def test_dense_scratch_merge_matches_merge_by_row():
             assert np.array_equal(expect_val, got_val)
 
 
+def test_dense_scratch_publish_is_opt_in_and_changes_no_bit():
+    """The O(nnz_y) publish/gather through the dense buffer is opt-in: the
+    default path leaves the persistent buffer untouched, the ``publish=True``
+    path writes the merged values into it — and both return identical bits."""
+    rng = np.random.default_rng(11)
+    rows = rng.integers(0, 24, size=50)
+    values = rng.random(50) + 0.1
+    workspace = SpMSpVWorkspace(24)
+    scratch = workspace.acquire_scratch(values.dtype)
+    before = scratch.values.copy()
+    ind, val = merge_entries(rows, values, PLUS_TIMES, m=24, workspace=workspace)
+    # engine-internal default: no publish, the dense buffer is untouched
+    assert np.array_equal(scratch.values, before, equal_nan=True)
+    pub_ind, pub_val = merge_entries(rows, values, PLUS_TIMES, m=24,
+                                     workspace=workspace, publish=True)
+    assert np.array_equal(ind, pub_ind) and np.array_equal(val, pub_val)
+    assert np.array_equal(scratch.values[pub_ind], pub_val)  # SPA observable
+
+
+@pytest.mark.parametrize("algorithm", ["combblas_spa", "combblas_heap",
+                                       "graphmat", "sort"])
+def test_baseline_work_metrics_unchanged_by_publish_removal(algorithm):
+    """The baselines' SPA accounting is analytic, not instrumented: dropping
+    the default publish/gather must leave every recorded work metric (and the
+    workspace-vs-fresh parity the engine relies on) exactly as it was."""
+    matrix = random_csc(40, 40, 0.15, seed=23)
+    x = random_sparse_vector(40, 9, seed=23)
+    fn = get_algorithm(algorithm)
+    fresh = fn(matrix, x, default_context(num_threads=2))
+    reused = fn(matrix, x, default_context(num_threads=2),
+                workspace=SpMSpVWorkspace(40))
+    assert np.array_equal(fresh.vector.indices, reused.vector.indices)
+    assert np.array_equal(fresh.vector.values, reused.vector.values)
+    for ref_phase, out_phase in zip(fresh.record.phases, reused.record.phases):
+        assert ref_phase.name == out_phase.name
+        assert ref_phase.serial_metrics.as_dict() == \
+            out_phase.serial_metrics.as_dict()
+        assert [t.as_dict() for t in ref_phase.thread_metrics] == \
+            [t.as_dict() for t in out_phase.thread_metrics]
+
+
 def test_workspace_rejects_wrong_matrix_dimension():
     workspace = SpMSpVWorkspace(10)
     matrix = random_csc(20, 20, 0.2, seed=5)
