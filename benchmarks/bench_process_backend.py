@@ -5,8 +5,8 @@ kernel calls on the real ``multiprocessing`` worker pool
 (:class:`~repro.parallel.backends.ProcessBackend` — strips in shared memory,
 one persistent worker per strip slot) instead of the deterministic
 in-process emulation (:class:`~repro.parallel.backends.EmulatedBackend`),
-across the RMAT suite graphs.  Two workloads per graph, both at P=4 strips
-and 4 workers:
+across the RMAT suite graphs.  Two timed workloads per graph, both at P=4
+strips and 4 workers:
 
 * ``multiply`` — a dense BFS-shaped frontier through the sharded engine on
   each backend (the primitive itself; gated at >= 1.3x process-vs-emulated);
@@ -16,11 +16,23 @@ and 4 workers:
   cores can win back — so the gate is that the process backend is **no
   longer slower than monolithic** (>= 1.0x).
 
+A third, untimed phase audits the **comm plane**: with
+``REPRO_BACKEND_COMM_AUDIT`` enabled the backend additionally accounts what
+the legacy pickle-over-pipe data plane would have shipped for the same
+calls, so the report carries an honest before/after per-call pipe-byte
+breakdown.  The comm gate (pipe bytes per multiply reduced >= 10x by the
+shared-memory slab plane) is machine-independent and always evaluated.
+
 Wall-clock parallelism needs hardware: on machines with fewer than
-``GATE_MIN_CORES`` physical cores the numbers are still measured and
-reported honestly, but the gates are recorded as skipped (a 1-core machine
-cannot exhibit a multi-process speedup, only IPC overhead) and ``--check``
-exits 0.  CI runs this on >= 4-core runners, where the gates bite.
+``GATE_MIN_CORES`` physical cores the speedup numbers are still measured
+and reported honestly, but those gates are recorded as skipped
+(``"passed": null`` — a 1-core machine cannot exhibit a multi-process
+speedup, only IPC overhead) and ``--check`` exits 0 unless
+``--require-cores N`` says the machine was *supposed* to have cores, in
+which case a core shortfall is a hard failure instead of a skip.
+``check_passed`` is ``true``/``false`` only over gates that actually
+evaluated, and ``null`` when every gate was skipped — a skip can no longer
+be misread as a pass.
 
 Results are printed as a table and written to ``BENCH_process_backend.json``.
 Exit status is the regression gate used by CI:
@@ -53,15 +65,20 @@ QUICK_GRAPHS = [("ljournal-like", 13), ("webgoogle-like", 13)]
 SHARDS = 4
 WORKERS = 4
 BLOCK_K = 8
+#: multiplies per graph in the (untimed) comm-audit phase
+AUDIT_CALLS = 4
 
-#: gates need real cores: P=4 workers cannot beat one in-process loop on
-#: fewer than 4 of them, so below this the gates are reported as skipped
+#: speedup gates need real cores: P=4 workers cannot beat one in-process
+#: loop on fewer than 4 of them, so below this those gates report skipped
 GATE_MIN_CORES = 4
 #: sharded multiply on the process backend vs the emulated backend
 GATE_MULTIPLY_SPEEDUP = 1.3
 #: sharded fused multiply_many on the process backend vs the monolithic
 #: fused engine (the ROADMAP caveat: "no longer slower than monolithic")
 GATE_MANY_SPEEDUP = 1.0
+#: pipe bytes per multiply: legacy pickle-over-pipe plane vs the
+#: shared-memory comm plane (machine-independent, never skipped)
+GATE_COMM_REDUCTION = 10.0
 
 
 def dense_frontier(n: int, divisor: int, seed: int) -> SparseVector:
@@ -124,8 +141,53 @@ def bench_multiply_many(matrix, ctx, rounds: int) -> dict:
     finally:
         process.close()
 
+def audit_comm(matrix, ctx) -> dict:
+    """Untimed comm-plane audit: new vs. legacy pipe bytes for one graph.
 
-def run(quick: bool, threads: int, rounds: int) -> dict:
+    Runs a few dense-frontier multiplies and one fused ``multiply_many``
+    batch on a fresh process-backed engine with the backend's legacy-plane
+    audit enabled, then reads the backend's comm counters.  The audit
+    pickles the exact PR-5-shaped messages (input vector + per-strip result
+    triples) without sending them, so the "before" numbers are measured,
+    not estimated.
+    """
+    x = dense_frontier(matrix.ncols, 2, seed=31)
+    frontiers = [dense_frontier(matrix.ncols, 8, seed=41 + i)
+                 for i in range(BLOCK_K)]
+    os.environ["REPRO_BACKEND_COMM_AUDIT"] = "1"
+    try:
+        engine = ShardedEngine(
+            matrix, SHARDS, ctx.with_backend("process", workers=WORKERS),
+            algorithm="bucket")
+        try:
+            for _ in range(AUDIT_CALLS):
+                engine.multiply(x)
+            engine.multiply_many(frontiers, block_mode="fused")
+            comm = engine.backend.comm_stats()
+        finally:
+            engine.close()
+    finally:
+        del os.environ["REPRO_BACKEND_COMM_AUDIT"]
+    calls = max(comm["calls"], 1)
+    pipe = comm["pipe_bytes_out"] + comm["pipe_bytes_in"]
+    legacy = comm["legacy_pipe_bytes_out"] + comm["legacy_pipe_bytes_in"]
+    return {
+        "calls": comm["calls"],
+        "pipe_bytes_per_call": round(pipe / calls, 1),
+        "pipe_bytes_out_per_call": round(comm["pipe_bytes_out"] / calls, 1),
+        "pipe_bytes_in_per_call": round(comm["pipe_bytes_in"] / calls, 1),
+        "legacy_pipe_bytes_per_call": round(legacy / calls, 1),
+        "slab_bytes_in_per_call": round(comm["slab_bytes_in"] / calls, 1),
+        "slab_bytes_out_per_call": round(comm["slab_bytes_out"] / calls, 1),
+        "output_overflows": comm["output_overflows"],
+        "input_grows": comm["input_grows"],
+        "output_grows": comm["output_grows"],
+        "reduction": round(legacy / pipe, 2) if pipe else float("inf"),
+    }
+
+
+def run(quick: bool, threads: int, rounds: int,
+        require_cores: int = 0) -> dict:
     graphs = QUICK_GRAPHS if quick else FULL_GRAPHS
     ctx = default_context(num_threads=threads, backend="emulated")
     cores = os.cpu_count() or 1
@@ -137,11 +199,14 @@ def run(quick: bool, threads: int, rounds: int) -> dict:
         "shards": SHARDS,
         "workers": WORKERS,
         "cpu_cores": cores,
+        "require_cores": require_cores or None,
         "gate": {"multiply_min_speedup": GATE_MULTIPLY_SPEEDUP,
                  "multiply_many_min_speedup": GATE_MANY_SPEEDUP,
+                 "comm_min_reduction": GATE_COMM_REDUCTION,
                  "min_cores": GATE_MIN_CORES},
         "graphs": [],
         "results": [],
+        "comm": [],
     }
     for name, scale in graphs:
         graph = build_problem(name, scale)
@@ -167,8 +232,11 @@ def run(quick: bool, threads: int, rounds: int) -> dict:
             "speedup": round(many["monolithic"] / many["process"], 4)
             if many["process"] > 0 else float("inf"),
         })
+        report["comm"].append(dict(graph=name, **audit_comm(matrix, ctx)))
 
     gates = {}
+    core_gated_ok = cores >= GATE_MIN_CORES or (
+        require_cores and cores < require_cores)  # shortfall fails below
     for workload, floor in (("multiply", GATE_MULTIPLY_SPEEDUP),
                             ("multiply_many", GATE_MANY_SPEEDUP)):
         speedups = [r["speedup"] for r in report["results"]
@@ -177,17 +245,30 @@ def run(quick: bool, threads: int, rounds: int) -> dict:
             "min_speedup": min(speedups) if speedups else None,
             "floor": floor,
         }
-        if cores < GATE_MIN_CORES:
+        if cores >= GATE_MIN_CORES:
+            gates[workload]["passed"] = bool(speedups and
+                                             min(speedups) >= floor)
+        elif require_cores and cores < require_cores:
+            # the runner was supposed to have cores: hard-fail, don't skip
+            gates[workload]["passed"] = False
+            gates[workload]["failed_reason"] = (
+                f"--require-cores {require_cores} but machine has {cores}")
+        else:
             gates[workload]["skipped"] = (
                 f"machine has {cores} core(s); P={WORKERS} workers need "
                 f">= {GATE_MIN_CORES} for wall-clock parallelism")
             gates[workload]["passed"] = None
-        else:
-            gates[workload]["passed"] = bool(speedups and
-                                             min(speedups) >= floor)
+    reductions = [c["reduction"] for c in report["comm"]]
+    gates["comm"] = {
+        "min_reduction": min(reductions) if reductions else None,
+        "floor": GATE_COMM_REDUCTION,
+        "passed": bool(reductions and min(reductions) >= GATE_COMM_REDUCTION),
+    }
+    evaluated = [g["passed"] for g in gates.values() if g["passed"] is not None]
     report["summary"] = {
         "gates": gates,
-        "check_passed": all(g["passed"] is not False for g in gates.values()),
+        # null (not true!) when every gate was skipped: a skip is not a pass
+        "check_passed": all(evaluated) if evaluated else None,
     }
     return report
 
@@ -202,13 +283,26 @@ def print_table(report: dict) -> None:
         print(f"{r['graph']:<16} {r['workload']:<14} {baseline:<11} "
               f"{r[baseline + '_ms']:>12.3f} {r['process_ms']:>11.3f} "
               f"{r['speedup']:>7.2f}x")
+    print()
+    for c in report["comm"]:
+        print(f"{c['graph']:<16} comm: {c['legacy_pipe_bytes_per_call']:>11,.0f} "
+              f"pipe B/call legacy -> {c['pipe_bytes_per_call']:>9,.0f} now "
+              f"({c['reduction']:.1f}x less; "
+              f"{c['slab_bytes_in_per_call'] + c['slab_bytes_out_per_call']:,.0f} "
+              f"B/call via /dev/shm, {c['output_overflows']} overflow retries)")
     for workload, gate in report["summary"]["gates"].items():
         if gate.get("skipped"):
+            measured = gate.get("min_speedup")
             print(f"{workload} gate SKIPPED: {gate['skipped']} "
-                  f"(measured min {gate['min_speedup']}x)")
+                  f"(measured min {measured}x)")
+        elif "min_reduction" in gate:
+            print(f"min comm reduction: {gate['min_reduction']}x "
+                  f"(floor {gate['floor']}x, passed: {gate['passed']})")
         else:
             print(f"min {workload} speedup: {gate['min_speedup']} "
-                  f"(floor {gate['floor']}x, passed: {gate['passed']})")
+                  f"(floor {gate['floor']}x, passed: {gate['passed']}"
+                  + (f", {gate['failed_reason']}" if gate.get("failed_reason")
+                     else "") + ")")
     print(f"regression check passed: {report['summary']['check_passed']}")
 
 
@@ -217,11 +311,15 @@ def main(argv=None) -> int:
     parser.add_argument("--quick", action="store_true",
                         help="smoke mode: the RMAT suite at scale 13")
     parser.add_argument("--check", action="store_true",
-                        help="exit 1 unless the process backend is >= 1.3x "
-                             "the emulated backend on sharded multiply and "
-                             ">= 1.0x monolithic on fused multiply_many at "
-                             "P=4 (gates skip below "
-                             f"{GATE_MIN_CORES} cores)")
+                        help="exit 1 unless every evaluated gate passed "
+                             "(speedup gates skip below "
+                             f"{GATE_MIN_CORES} cores unless --require-cores; "
+                             "the comm-reduction gate always evaluates)")
+    parser.add_argument("--require-cores", type=int, default=0, metavar="N",
+                        help="hard-fail (instead of skipping the speedup "
+                             "gates) when the machine has fewer than N "
+                             "cores — for runners that are supposed to "
+                             "have them")
     parser.add_argument("--threads", type=int, default=4,
                         help="thread budget of the shared context (the "
                              "emulated backend schedules strips onto them "
@@ -235,15 +333,17 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     rounds = args.rounds if args.rounds is not None else (5 if args.quick else 7)
-    report = run(args.quick, args.threads, rounds)
+    report = run(args.quick, args.threads, rounds,
+                 require_cores=args.require_cores)
     report["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%S")
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print_table(report)
     print(f"\nwrote {args.out}")
-    if args.check and not report["summary"]["check_passed"]:
-        print(f"FAIL: process-backend regression gate (multiply >= "
-              f"{GATE_MULTIPLY_SPEEDUP}x emulated, fused multiply_many >= "
-              f"{GATE_MANY_SPEEDUP}x monolithic at P={SHARDS}) not met",
+    if args.check and report["summary"]["check_passed"] is False:
+        print(f"FAIL: process-backend regression gate not met "
+              f"(multiply >= {GATE_MULTIPLY_SPEEDUP}x emulated, fused "
+              f"multiply_many >= {GATE_MANY_SPEEDUP}x monolithic at "
+              f"P={SHARDS}, comm reduction >= {GATE_COMM_REDUCTION}x)",
               file=sys.stderr)
         return 1
     return 0

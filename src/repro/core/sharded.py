@@ -303,55 +303,93 @@ class ShardedEngine:
         unsorted outputs pair-for-pair); the combined record models the
         strip schedule's makespan on the context's threads.
         """
+        with self._lock:
+            plan = self._plan_call(
+                x, semiring=semiring, sorted_output=sorted_output, mask=mask,
+                mask_complement=mask_complement, algorithm=algorithm,
+                _batch=_batch, _explored=_explored, **kwargs)
+            outs = self._run_strip_calls(
+                plan["name"], x, semiring=semiring,
+                sorted_output=plan["resolved_sorted"],
+                mask_slices=plan["mask_slices"],
+                mask_complement=mask_complement, kwargs=kwargs)
+            return self._finish_call(plan, outs)
+
+    def _plan_call(self, x: SparseVector, *,
+                   semiring: Semiring = PLUS_TIMES,
+                   sorted_output: Optional[bool] = None,
+                   mask: Optional[SparseVector] = None,
+                   mask_complement: bool = False,
+                   algorithm: Optional[str] = None,
+                   _batch: Optional[int] = None,
+                   _explored: bool = False, **kwargs) -> Dict:
+        """Validate + select + resolve one call, without executing it.
+
+        This is the submit half of a multiplication: everything that must
+        happen *before* the strip calls go out (operand/mask checks,
+        adaptive kernel selection against the current fits, sorted-output
+        resolution, mask slicing) — so the pipelined :meth:`gather` can
+        broadcast a call to the backend and plan the next one while workers
+        are still running.  The bookkeeping half is :meth:`_finish_call`.
+        """
         from .dispatch import get_algorithm  # late: avoids import cycle
 
-        with self._lock:
-            check_operands(self.matrix, x)
-            check_mask(mask, self.matrix.nrows)
-            requested = algorithm if algorithm is not None else self.algorithm
-            explored = _explored
-            if requested == "auto":
-                name, explored = self.select_algorithm(x)
-            else:
-                name = requested
-            get_algorithm(name)  # validate the kernel name before dispatching
-            resolved_sorted = (sorted_output if sorted_output is not None
-                               else (x.sorted and self.ctx.sorted_vectors))
+        check_operands(self.matrix, x)
+        check_mask(mask, self.matrix.nrows)
+        requested = algorithm if algorithm is not None else self.algorithm
+        explored = _explored
+        if requested == "auto":
+            name, explored = self.select_algorithm(x)
+        else:
+            name = requested
+        get_algorithm(name)  # validate the kernel name before dispatching
+        resolved_sorted = (sorted_output if sorted_output is not None
+                           else (x.sorted and self.ctx.sorted_vectors))
+        return {"x": x, "name": name, "requested": requested,
+                "explored": explored, "resolved_sorted": resolved_sorted,
+                "semiring": semiring, "mask_slices": self._slice_mask(mask),
+                "mask_complement": mask_complement, "kwargs": kwargs,
+                "batch": _batch, "t0": time.perf_counter()}
 
-            t0 = time.perf_counter()
-            outs = self._run_strip_calls(
-                name, x, semiring=semiring, sorted_output=resolved_sorted,
-                mask_slices=self._slice_mask(mask),
-                mask_complement=mask_complement, kwargs=kwargs)
-            y = self._concatenate([o.vector for o in outs], resolved_sorted)
-            dfs = [float(o.info.get("df", o.record.info.get("df", 0.0))) for o in outs]
-            assignment = self._schedule_shards([df + 1.0 for df in dfs])
-            record = self._merge_records(
-                [o.record for o in outs], assignment,
-                algorithm=f"sharded[{self.num_shards}]:{outs[0].record.algorithm}",
-                info={"m": self.matrix.nrows, "n": self.matrix.ncols,
-                      "nnz_A": self.matrix.nnz, "f": x.nnz,
-                      "df": sum(dfs), "nnz_y": y.nnz,
-                      "shards": self.num_shards,
-                      "shard_imbalance": assignment.imbalance(),
-                      "early_mask": outs[0].record.info.get("early_mask", False)})
-            record.wall_time_s = time.perf_counter() - t0
+    def _finish_call(self, plan: Dict, outs: List[SpMSpVResult]) -> SpMSpVResult:
+        """Fold strip results into one result + all per-call bookkeeping.
 
-            cost_ms = self._price.record_time_ms(record)
-            if name in self._models:
-                self._models[name].observe(self.call_features(x), cost_ms)
-            self.history.append(EngineCall(
-                index=self.total_calls, algorithm=name, requested=requested,
-                f=x.nnz, density=x.nnz / max(x.n, 1), cost_ms=cost_ms,
-                explored=explored, batch=_batch))
-            self.total_calls += 1
-            self.total_cost_ms += cost_ms
-            self.total_explored += int(explored)
-            if len(self.history) > 2 * self.max_history:
-                del self.history[:len(self.history) - self.max_history]
-            return SpMSpVResult(vector=y, record=record,
-                                info={"f": x.nnz, "df": sum(dfs),
-                                      "nnz_y": y.nnz, "shards": self.num_shards})
+        Runs in gather order (= the deterministic execution order), so the
+        history, cost observations and adaptive-fit updates are identical
+        across backends regardless of how the strip calls overlapped.
+        """
+        x = plan["x"]
+        name = plan["name"]
+        resolved_sorted = plan["resolved_sorted"]
+        y = self._concatenate([o.vector for o in outs], resolved_sorted)
+        dfs = [float(o.info.get("df", o.record.info.get("df", 0.0))) for o in outs]
+        assignment = self._schedule_shards([df + 1.0 for df in dfs])
+        record = self._merge_records(
+            [o.record for o in outs], assignment,
+            algorithm=f"sharded[{self.num_shards}]:{outs[0].record.algorithm}",
+            info={"m": self.matrix.nrows, "n": self.matrix.ncols,
+                  "nnz_A": self.matrix.nnz, "f": x.nnz,
+                  "df": sum(dfs), "nnz_y": y.nnz,
+                  "shards": self.num_shards,
+                  "shard_imbalance": assignment.imbalance(),
+                  "early_mask": outs[0].record.info.get("early_mask", False)})
+        record.wall_time_s = time.perf_counter() - plan["t0"]
+
+        cost_ms = self._price.record_time_ms(record)
+        if name in self._models:
+            self._models[name].observe(self.call_features(x), cost_ms)
+        self.history.append(EngineCall(
+            index=self.total_calls, algorithm=name, requested=plan["requested"],
+            f=x.nnz, density=x.nnz / max(x.n, 1), cost_ms=cost_ms,
+            explored=plan["explored"], batch=plan["batch"]))
+        self.total_calls += 1
+        self.total_cost_ms += cost_ms
+        self.total_explored += int(plan["explored"])
+        if len(self.history) > 2 * self.max_history:
+            del self.history[:len(self.history) - self.max_history]
+        return SpMSpVResult(vector=y, record=record,
+                            info={"f": x.nnz, "df": sum(dfs),
+                                  "nnz_y": y.nnz, "shards": self.num_shards})
 
     # ------------------------------------------------------------------ #
     # blocked execution
@@ -551,6 +589,15 @@ class ShardedEngine:
         The executed tickets are appended to :attr:`execution_log`.  The
         queue is cleared even when a strip call raises — the exception
         propagates to the caller and later submissions start fresh.
+
+        Execution is **pipelined**: up to ``ctx.backend_inflight`` calls are
+        submitted to the backend before the oldest is drained, so on the
+        process backend consecutive multiplies overlap across the worker
+        pool instead of barriering per call.  All per-call bookkeeping
+        (history, cost observations, adaptive-fit updates) happens at drain
+        time in execution order, so the pipeline depth never changes what
+        any backend records — and the emulated backend, whose submissions
+        are deferred thunks, remains bit-identical.
         """
         with self._lock:
             pending, self._pending = self._pending, []
@@ -558,11 +605,38 @@ class ShardedEngine:
                 return []
             rng = np.random.default_rng(self.ctx.seed + len(pending))
             order = rng.permutation(len(pending))
+            window = max(1, self.ctx.backend_inflight)
+            #: (ticket, plan, token) in execution order, oldest first
+            inflight: List[Tuple[int, Dict, object]] = []
             results: Dict[int, SpMSpVResult] = {}
-            for pos in order.tolist():
-                ticket, x, kwargs = pending[pos]
-                self.execution_log.append(ticket)
-                results[ticket] = self.multiply(x, **kwargs)
+
+            def drain_one() -> None:
+                ticket, plan, token = inflight.pop(0)
+                results[ticket] = self._finish_call(
+                    plan, self.backend.gather_multiply(token))
+
+            try:
+                for pos in order.tolist():
+                    ticket, x, kwargs = pending[pos]
+                    self.execution_log.append(ticket)
+                    plan = self._plan_call(x, **kwargs)
+                    token = self.backend.submit_multiply(
+                        plan["name"], x, semiring=plan["semiring"],
+                        sorted_output=plan["resolved_sorted"],
+                        mask_slices=plan["mask_slices"],
+                        mask_complement=plan["mask_complement"],
+                        kwargs=plan["kwargs"])
+                    inflight.append((ticket, plan, token))
+                    if len(inflight) >= window:
+                        drain_one()
+                while inflight:
+                    drain_one()
+            except BaseException:
+                # a failed plan or strip call abandons whatever is in flight;
+                # the queue was already cleared, so later submissions restart
+                for _ticket, _plan, token in inflight:
+                    self.backend.abandon(token)
+                raise
             return [results[ticket] for ticket, _x, _kw in pending]
 
     # ------------------------------------------------------------------ #
@@ -630,6 +704,7 @@ class ShardedEngine:
             "shards": self.num_shards,
             "nnz_balance": self.nnz_balance,
             "workspace": self.workspace_stats(),
+            "comm": self.backend.comm_stats(),
         }
 
     def __repr__(self) -> str:  # pragma: no cover

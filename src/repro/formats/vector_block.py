@@ -155,6 +155,38 @@ class SparseVectorBlock:
                 raise FormatError(f"vector {i}: position out of union range")
 
     # ------------------------------------------------------------------ #
+    # zero-copy transport
+    # ------------------------------------------------------------------ #
+    def pack_arrays(self):
+        """Split the block into transportable pieces: ``(meta, arrays)``.
+
+        ``arrays`` is the fixed-order list of flat ndarrays a comm plane can
+        pack into a shared-memory region (union indices, value slab,
+        membership mask, and the k positions arrays concatenated); ``meta``
+        is the small picklable remainder (n, k, per-vector position lengths,
+        sortedness flags).  :meth:`from_arrays` rebuilds an equivalent block
+        from views over those arrays without copying — this is how the
+        process backend broadcasts one packed block to every strip.
+        """
+        positions = (np.concatenate(self.positions) if self.k
+                     else np.empty(0, dtype=INDEX_DTYPE))
+        meta = {"n": self.n, "k": self.k,
+                "pos_lengths": [len(p) for p in self.positions],
+                "sorted_flags": list(self.sorted_flags)}
+        return meta, [self.indices, self.values, self.member,
+                      positions.astype(INDEX_DTYPE, copy=False)]
+
+    @classmethod
+    def from_arrays(cls, meta, arrays) -> "SparseVectorBlock":
+        """Rebuild a block from :meth:`pack_arrays` output (zero-copy views)."""
+        indices, values, member, positions = arrays
+        splits = np.cumsum(meta["pos_lengths"])[:-1]
+        return cls(meta["n"], meta["k"], indices, values,
+                   member.astype(bool, copy=False),
+                   np.split(positions, splits),
+                   meta["sorted_flags"], check=False)
+
+    # ------------------------------------------------------------------ #
     # conversions
     # ------------------------------------------------------------------ #
     def vector(self, i: int) -> SparseVector:

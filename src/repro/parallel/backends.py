@@ -8,16 +8,27 @@ module's concern, behind one small seam:
   deterministically in the calling process (optionally fanned out on the
   GIL-bound thread pool).  Bit-reproducible, zero setup cost, no wall-clock
   parallelism.
-* :class:`ProcessBackend` — a persistent ``multiprocessing`` worker pool.
-  Strip CSC arrays are copied **once**, at backend build, into
-  ``multiprocessing.shared_memory`` slabs
-  (:class:`~repro.core.workspace.SharedSlab`); each worker attaches zero-copy
-  views, builds its strips' persistent
+* :class:`ProcessBackend` — a persistent ``multiprocessing`` worker pool
+  with a **zero-copy comm plane**.  Strip CSC arrays are copied **once**, at
+  backend build, into ``multiprocessing.shared_memory`` slabs
+  (:class:`~repro.core.workspace.SharedSlab`); each worker attaches
+  zero-copy views, builds its strips' persistent
   :class:`~repro.core.workspace.SpMSpVWorkspace` objects, and keeps both for
-  its lifetime.  Per call, the only traffic is the sparse input vector (or
-  packed block) and per-strip mask slices going out, and the per-strip
-  ``(indices, values, metrics)`` results coming back.  This is the first
-  execution path in the package where P strips genuinely run on P cores.
+  its lifetime.  Per call, the input frontier (or packed
+  :class:`~repro.formats.vector_block.SparseVectorBlock`) and every
+  per-strip mask slice are packed **once** into a shared-memory input arena
+  (:class:`~repro.core.workspace.SlabArena`) that all strips attach —
+  broadcast-once, instead of P pickled copies — and workers write their
+  ``(indices, values)`` outputs directly into preallocated per-strip output
+  slabs.  The only pipe traffic is fixed-shape control records (call id,
+  strip ids, region descriptors, work metrics).  Output slabs grow
+  geometrically: a result that outgrows its granted region is retained by
+  the worker, reported as a ``grow`` record, and flushed into a re-granted
+  region — no respawn, no recompute.  The async
+  :meth:`submit_multiply`/:meth:`gather_multiply` pair broadcasts a call's
+  strips immediately and drains completion records as they land, so
+  consecutive multiplies pipeline across workers instead of barriering per
+  call (:meth:`~repro.core.sharded.ShardedEngine.gather` drives this).
 
 Determinism contract: a kernel is a pure function of (strip, vector, call
 options), so for any *fixed* kernel/mode the two backends are **bit
@@ -25,7 +36,8 @@ identical** — outputs, work metrics, and the priced costs that drive
 adaptive dispatch (wall times differ, so the wall-time-trained fused-vs-
 looped block fits may take different internal routes under ``"auto"``; every
 route is itself bit-identical).  ``tests/test_backend_equivalence.py`` locks
-this down across the full sharded grid.
+this down across the full sharded grid, including the slab data plane
+(output overflow/regrow, broadcast-once blocks, overlapped async ordering).
 
 Failure contract: an exception raised inside a strip's kernel propagates to
 the caller as itself (same type, same args), annotated with the failing
@@ -34,7 +46,7 @@ backends.  A worker that *dies* (kill -9, segfault) instead surfaces as a
 :class:`~repro.errors.BackendError`; the pool respawns dead workers against
 the same shared-memory strips on the next call, and backend shutdown (or
 garbage collection of the engine, via a ``weakref`` finalizer) releases
-every shared-memory segment.
+every shared-memory segment — strip slabs and comm arenas alike.
 """
 
 from __future__ import annotations
@@ -46,7 +58,7 @@ import traceback
 import weakref
 from abc import ABC, abstractmethod
 from multiprocessing import get_all_start_methods, get_context
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -61,6 +73,17 @@ from .threadpool import run_chunks
 #: for a workspace no kernel has touched yet (derived from the real class so
 #: it cannot drift from the implementation)
 _FRESH_STATS_TEMPLATE: Optional[Dict[str, float]] = None
+
+#: env knobs for the comm plane's initial shared-memory footprint (bytes);
+#: tests shrink these to force the overflow/regrow paths deterministically
+_INPUT_SLAB_ENV = "REPRO_BACKEND_INPUT_SLAB"
+_OUTPUT_SLAB_ENV = "REPRO_BACKEND_OUTPUT_SLAB"
+#: env knob enabling the legacy-plane byte audit (measures what the PR-5
+#: pickle-over-pipe plane *would* have shipped, for the bench's breakdown)
+_COMM_AUDIT_ENV = "REPRO_BACKEND_COMM_AUDIT"
+
+_DEFAULT_INPUT_SLAB = 1 << 16
+_DEFAULT_OUTPUT_SLAB = 1 << 16
 
 
 def _fresh_stats(spa_rows: int) -> Dict[str, float]:
@@ -100,6 +123,12 @@ class ExecutionBackend(ABC):
     across all strips, and a fused block multiply fanned across all strips.
     Results always come back in strip order; strip outputs are row-disjoint,
     so the engine concatenates them without a merge.
+
+    The async pair :meth:`submit_multiply` / :meth:`gather_multiply` lets
+    the engine keep several independent multiplies in flight at once.  The
+    base implementation simply defers execution to gather time (no overlap,
+    bit-identical bookkeeping order); backends with real concurrency
+    override it to start work at submit.
     """
 
     name: str = "?"
@@ -120,6 +149,37 @@ class ExecutionBackend(ABC):
     @abstractmethod
     def workspace_stats(self) -> List[Dict[str, float]]:
         """Latest known per-strip workspace reuse statistics."""
+
+    # ------------------------------------------------------------------ #
+    # async front-end (overlapped gather)
+    # ------------------------------------------------------------------ #
+    def submit_multiply(self, algorithm: str, x: SparseVector, *,
+                        semiring: Semiring, sorted_output: Optional[bool],
+                        mask_slices: Sequence[Optional[SparseVector]],
+                        mask_complement: bool, kwargs: Dict):
+        """Queue one multiply; returns an opaque token for :meth:`gather_multiply`.
+
+        Default: a deferred thunk executed at gather (in-process backends
+        cannot overlap anyway, and deferring keeps the two backends'
+        bookkeeping order identical).
+        """
+        def run():
+            return self.run_multiply(
+                algorithm, x, semiring=semiring, sorted_output=sorted_output,
+                mask_slices=mask_slices, mask_complement=mask_complement,
+                kwargs=kwargs)
+        return run
+
+    def gather_multiply(self, token) -> List:
+        """Complete a submitted multiply; per-strip results in strip order."""
+        return token()
+
+    def abandon(self, token) -> None:
+        """Give up on a submitted call (its results will never be gathered)."""
+
+    def comm_stats(self) -> Dict[str, float]:
+        """Comm-plane accounting (empty for in-process backends)."""
+        return {}
 
     def close(self) -> None:
         """Release backend resources (idempotent; default: nothing to do)."""
@@ -202,15 +262,19 @@ class EmulatedBackend(ExecutionBackend):
 
 
 # --------------------------------------------------------------------------- #
-# the process backend: shared-memory strips + a persistent worker pool
+# the process backend: shared-memory comm plane + a persistent worker pool
 # --------------------------------------------------------------------------- #
 def _dump_exception(exc: BaseException):
-    """Serialize a worker-side exception for transport to the parent."""
+    """Serialize a worker-side exception for transport to the parent.
+
+    Picklability is probed with ``dumps`` only — the historical immediate
+    ``loads`` round-trip doubled the serialization cost for zero benefit,
+    since the parent-side :func:`_load_exception` guards its own ``loads``
+    and degrades to the same textual fallback.
+    """
     tb = "".join(traceback.format_exception(type(exc), exc, exc.__traceback__))
     try:
-        payload = pickle.dumps(exc)
-        pickle.loads(payload)  # round-trip now: fail in the worker, not the parent
-        return ("pickle", payload, tb)
+        return ("pickle", pickle.dumps(exc), tb)
     except Exception:
         return ("text", f"{type(exc).__name__}: {exc}", tb)
 
@@ -218,26 +282,57 @@ def _dump_exception(exc: BaseException):
 def _load_exception(dump, strip: int) -> BaseException:
     kind, payload, tb = dump
     if kind == "pickle":
-        exc = pickle.loads(payload)
+        try:
+            exc = pickle.loads(payload)
+        except Exception:
+            # dumps succeeded worker-side but loads failed here (e.g. an
+            # exception whose reconstruction raises): degrade like the
+            # unpicklable case instead of masking the kernel failure with a
+            # parent-side UnpicklingError
+            exc = BackendError(
+                f"strip {strip} worker raised an exception that could not "
+                f"be reconstructed parent-side; worker traceback follows")
     else:
         exc = BackendError(f"strip {strip} worker raised an unpicklable "
                            f"exception: {payload}")
     return _attach_strip_id(exc, strip, "process", remote_traceback=tb)
 
 
-def _worker_loop(conn, spec, slabs):  # pragma: no cover - worker process
+def _send_obj(conn, obj) -> int:
+    """Pickle + send one control record; returns the exact pipe byte count."""
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    conn.send_bytes(payload)
+    return len(payload)
+
+
+def _payload_nbytes(descs) -> int:
+    """Region bytes a packed payload actually used (from its descriptors)."""
+    from ..core.workspace import _align_up  # late: avoids import cycle
+
+    end = 0
+    for offset, dtype, shape in descs:
+        count = int(np.prod(shape, dtype=np.int64)) if len(shape) else 1
+        end = max(end, offset + count * np.dtype(dtype).itemsize)
+    return _align_up(end)
+
+
+def _worker_loop(conn, spec, closers):  # pragma: no cover - worker process
     """Serve calls until stopped; every shm view lives inside this frame.
 
     The worker holds, for its assigned strips, zero-copy CSC views over the
     parent's shared-memory slabs and locally-allocated persistent
-    workspaces.  Every reply piggybacks the strips' workspace stats so the
-    parent can answer :meth:`ProcessBackend.workspace_stats` without an
-    extra round trip.  Kernel exceptions are caught per strip and shipped
-    back; only transport failure ends the loop.  Workers do *not* untrack
-    the segments they attach: a pool worker shares its parent's
-    ``resource_tracker`` (both fork and spawn ship the tracker fd), whose
-    registry is a set — the attach-side register is idempotent and the
-    owner's unlink unregisters exactly once.
+    workspaces.  Inputs arrive as region descriptors into the engine's
+    input arena (one packed frontier/block + mask slices per call, shared by
+    every strip); outputs are packed into the parent-granted per-strip
+    output regions, so replies carry only descriptors, records and stats.
+    A result that outgrows its grant is retained locally and reported as a
+    ``grow`` record; the parent re-grants a large-enough region and the
+    worker flushes the retained vectors — no recompute, no respawn.  Kernel
+    exceptions are caught per strip and shipped back; only transport failure
+    ends the loop.  Workers do *not* untrack the segments they attach: a
+    pool worker shares its parent's ``resource_tracker`` (both fork and
+    spawn ship the tracker fd), whose registry is a set — the attach-side
+    register is idempotent and the owner's unlink unregisters exactly once.
 
     The recv loop polls with a timeout and watches ``os.getppid()``: a
     fork-started worker inherits the parent ends of its *siblings'* pipes,
@@ -248,7 +343,21 @@ def _worker_loop(conn, spec, slabs):  # pragma: no cover - worker process
     from ..core.dispatch import get_algorithm
     from ..core.engine import _accepts_workspace
     from ..core.spmspv_block import spmspv_bucket_block
-    from ..core.workspace import SharedSlab, SpMSpVWorkspace
+    from ..core.workspace import (
+        SharedSlab,
+        SlabReader,
+        SpMSpVWorkspace,
+        pack_arrays,
+        packed_nbytes,
+        unpack_arrays,
+    )
+    from ..formats.vector_block import SparseVectorBlock
+
+    if spec.get("affinity") is not None and hasattr(os, "sched_setaffinity"):
+        try:
+            os.sched_setaffinity(0, {spec["affinity"]})
+        except OSError:
+            pass  # affinity is best-effort: containers may mask cores
 
     strips: Dict[int, CSCMatrix] = {}
     workspaces: Dict[int, "SpMSpVWorkspace"] = {}
@@ -257,54 +366,128 @@ def _worker_loop(conn, spec, slabs):  # pragma: no cover - worker process
         for name in ("indptr", "indices", "data"):
             seg, shape, dt = st["arrays"][name]
             slab = SharedSlab.attach(seg, shape, dt)
-            slabs.append(slab)
+            closers.append(slab)
             views[name] = slab.array
         strips[st["strip"]] = CSCMatrix(
             st["shape"], views["indptr"], views["indices"], views["data"],
             sorted_within_columns=st["sorted"], check=False)
         workspaces[st["strip"]] = SpMSpVWorkspace(
             strips[st["strip"]].nrows, dtype=np.dtype(st["dtype"]))
+    reader = SlabReader()
+    closers.append(reader)
     ctx = spec["ctx"]
     parent = os.getppid()
+    #: (call_id, strip) -> list of result vectors awaiting a bigger grant
+    retained: Dict[Tuple[int, int], List] = {}
+
+    def read_vector(region, vec_spec) -> SparseVector:
+        idx_desc, val_desc, n, sorted_flag = vec_spec
+        idx, vals = unpack_arrays(region, [idx_desc, val_desc])
+        return SparseVector(n, idx, vals, sorted=sorted_flag, check=False)
+
+    def write_results(out_ref, results):
+        """Pack result vectors into the granted region; None if they don't fit."""
+        arrays = []
+        for r in results:
+            arrays.append(np.ascontiguousarray(r.vector.indices))
+            arrays.append(np.ascontiguousarray(r.vector.values))
+        region = reader.region(out_ref)
+        if packed_nbytes(arrays) > region.nbytes:
+            return None
+        descs = pack_arrays(region, arrays)
+        payload = [((descs[2 * i], descs[2 * i + 1]), r.vector.n,
+                    r.vector.sorted, r.record, r.info)
+                   for i, r in enumerate(results)]
+        return payload
 
     while True:
         try:
             while not conn.poll(1.0):
                 if os.getppid() != parent:  # orphaned: parent died abruptly
                     return
-            msg = conn.recv()
+            msg = pickle.loads(conn.recv_bytes())
         except (EOFError, OSError):
             return
-        if msg[0] == "stop":
+        op = msg[0]
+        if op == "stop":
             return
-        op, call_id, strip_ids = msg[0], msg[1], msg[2]
+        if op == "flush":
+            _, call_id, out_refs = msg
+            flushed = {}
+            for strip, ref in out_refs.items():
+                results = retained.pop((call_id, strip), None)
+                if results is None:
+                    continue  # pragma: no cover - flush for an unknown call
+                payload = write_results(ref, results)
+                if payload is None:  # pragma: no cover - parent granted too little
+                    flushed[strip] = ("err", _dump_exception(BackendError(
+                        f"strip {strip}: re-granted output region still too "
+                        f"small for the retained result")))
+                else:
+                    flushed[strip] = ("ok", payload)
+            try:
+                _send_obj(conn, ("flushed", call_id, flushed))
+            except (BrokenPipeError, OSError):
+                return
+            continue
+
+        call_id, strip_ids = msg[1], msg[2]
+        if op == "multiply":
+            (_, _, _, algorithm, sr, so, comp, kwargs, in_ref, x_spec,
+             mask_specs, out_refs) = msg
+            in_region = reader.region(in_ref)
+            x = read_vector(in_region, x_spec)
+            fn = get_algorithm(algorithm)
+            takes_ws = _accepts_workspace(fn)
+        else:  # block
+            (_, _, _, sr, so, comp, merge, in_ref, block_spec,
+             mask_specs, out_refs) = msg
+            in_region = reader.region(in_ref)
+            block_descs, block_meta = block_spec
+            block = SparseVectorBlock.from_arrays(
+                block_meta, unpack_arrays(in_region, block_descs))
+
         outs = []
         for strip in strip_ids:
             try:
                 if op == "multiply":
-                    _, _, _, algorithm, x, sr, so, masks, comp, kwargs = msg
-                    fn = get_algorithm(algorithm)
+                    mspec = mask_specs[strip]
+                    mask = (None if mspec is None
+                            else read_vector(in_region, mspec))
                     kw = dict(kwargs)
-                    if _accepts_workspace(fn):
+                    if takes_ws:
                         kw["workspace"] = workspaces[strip]
                     result = fn(strips[strip], x, ctx,
                                 semiring=get_semiring(sr), sorted_output=so,
-                                mask=masks[strip], mask_complement=comp, **kw)
+                                mask=mask, mask_complement=comp, **kw)
+                    results = [result]
                 elif op == "block":
-                    _, _, _, block, sr, so, masks, comp, merge = msg
-                    result = spmspv_bucket_block(
+                    mspecs = mask_specs[strip]
+                    masks = (None if mspecs is None
+                             else [None if ms is None
+                                   else read_vector(in_region, ms)
+                                   for ms in mspecs])
+                    results = spmspv_bucket_block(
                         strips[strip], block, ctx, semiring=get_semiring(sr),
-                        sorted_output=so, masks=masks[strip],
+                        sorted_output=so, masks=masks,
                         mask_complement=comp, merge=merge,
                         workspace=workspaces[strip])
                 else:
                     raise BackendError(f"unknown backend op {op!r}")
-                outs.append((strip, "ok", result))
+                payload = write_results(out_refs[strip], results)
+                if payload is None:
+                    retained[(call_id, strip)] = results
+                    needed = packed_nbytes(
+                        [a for r in results
+                         for a in (r.vector.indices, r.vector.values)])
+                    outs.append((strip, "grow", needed))
+                else:
+                    outs.append((strip, "ok", payload))
             except Exception as exc:
                 outs.append((strip, "err", _dump_exception(exc)))
         stats = {strip: workspaces[strip].stats() for strip in strip_ids}
         try:
-            conn.send(("done", call_id, outs, stats))
+            _send_obj(conn, ("done", call_id, outs, stats))
         except (BrokenPipeError, OSError):
             return
 
@@ -322,12 +505,12 @@ def _worker_main(conn, spec):  # pragma: no cover - runs in the worker process
     during shutdown — those mappings belong to the parent, die with the
     process either way, and are not this worker's to close.
     """
-    slabs: List = []
+    closers: List = []
     try:
-        _worker_loop(conn, spec, slabs)
+        _worker_loop(conn, spec, closers)
     finally:
-        for slab in slabs:
-            slab.close()
+        for closer in closers:
+            closer.close()
         try:
             conn.close()
         except OSError:
@@ -337,7 +520,7 @@ def _worker_main(conn, spec):  # pragma: no cover - runs in the worker process
         os._exit(0)
 
 
-def _shutdown_pool(workers: List, conns: List, slabs: List) -> None:
+def _shutdown_pool(workers: List, conns: List, slabs: List, arenas: List) -> None:
     """Stop workers, close pipes, release shared memory (idempotent).
 
     Module-level so a ``weakref.finalize`` can run it after the backend
@@ -347,7 +530,7 @@ def _shutdown_pool(workers: List, conns: List, slabs: List) -> None:
     for conn in conns:
         if conn is not None:
             try:
-                conn.send(("stop",))
+                _send_obj(conn, ("stop",))
             except Exception:
                 pass
     for w, proc in enumerate(workers):
@@ -372,6 +555,35 @@ def _shutdown_pool(workers: List, conns: List, slabs: List) -> None:
         slab.close()
         slab.unlink()
     slabs.clear()
+    for arena in arenas:
+        arena.destroy()
+    arenas.clear()
+
+
+class _Inflight:
+    """Parent-side state of one submitted (possibly still running) call."""
+
+    __slots__ = ("call_id", "op", "pending", "flushing", "payloads", "errors",
+                 "input_region", "out_regions", "dead", "abandoned",
+                 "finalized", "legacy_out")
+
+    def __init__(self, call_id: int, op: str, input_region):
+        self.call_id = call_id
+        self.op = op
+        self.pending: Set[int] = set()
+        self.flushing: Set[int] = set()
+        self.payloads: Dict[int, object] = {}
+        self.errors: Dict[int, tuple] = {}
+        self.input_region = input_region
+        self.out_regions: Dict[int, tuple] = {}
+        self.dead: Optional[Tuple[int, Optional[int]]] = None
+        self.abandoned = False
+        self.finalized = False
+        self.legacy_out = 0
+
+    @property
+    def complete(self) -> bool:
+        return not self.pending and not self.flushing
 
 
 class ProcessBackend(ExecutionBackend):
@@ -380,21 +592,30 @@ class ProcessBackend(ExecutionBackend):
     Build cost: one shared-memory copy of every strip's CSC arrays plus one
     worker process per strip (capped by ``workers`` / the machine's core
     count; strips are assigned round-robin, and a strip always runs on the
-    same worker so its workspace persists).  Per-call cost: pickling the
-    input vector (or block) and mask slices out, and the per-strip result
-    triples back.
+    same worker so its workspace persists), plus the comm plane's input
+    arena and per-strip output slabs.  Per-call cost: one packed
+    shared-memory write of the frontier/block + mask slices (broadcast-once:
+    every strip attaches the same region), one shared-memory write per strip
+    of the output ``(indices, values)``, and small fixed-shape control
+    records over the pipes.
 
     Environment knobs: ``REPRO_BACKEND_WORKERS`` caps the pool when the
     context doesn't, ``REPRO_BACKEND_START`` picks the multiprocessing start
     method (default ``fork`` where available — workers inherit the loaded
-    package; ``spawn`` re-imports it).
+    package; ``spawn`` re-imports it), ``REPRO_BACKEND_INPUT_SLAB`` /
+    ``REPRO_BACKEND_OUTPUT_SLAB`` set the initial arena sizes (bytes; they
+    grow geometrically on demand), and ``REPRO_BACKEND_COMM_AUDIT=1``
+    additionally measures what the legacy pickle-over-pipe plane would have
+    shipped (the bench's before/after breakdown).  ``ExecutionContext.pin_workers``
+    pins each worker to one CPU core (``os.sched_setaffinity``; silently a
+    no-op where unsupported).
     """
 
     name = "process"
 
     def __init__(self, *, strips: Sequence[CSCMatrix], shard_ctx: ExecutionContext,
                  dtype, use_thread_pool: bool = False, workers: int = 0):
-        from ..core.workspace import SharedSlab  # late: avoids import cycle
+        from ..core.workspace import SharedSlab, SlabArena  # late: avoids cycle
 
         self.shard_ctx = shard_ctx
         self.num_strips = len(strips)
@@ -424,10 +645,45 @@ class ProcessBackend(ExecutionBackend):
         self.assignment = [[s for s in range(self.num_strips)
                             if s % self.num_workers == w]
                            for w in range(self.num_workers)]
+        #: worker -> pinned core (only when the context asks for pinning)
+        self._affinity: List[Optional[int]] = [None] * self.num_workers
+        if getattr(shard_ctx, "pin_workers", False) and \
+                hasattr(os, "sched_getaffinity"):
+            cores = sorted(os.sched_getaffinity(0))
+            if cores:
+                self._affinity = [cores[w % len(cores)]
+                                  for w in range(self.num_workers)]
+
+        in_bytes = int(os.environ.get(_INPUT_SLAB_ENV, "0") or 0) \
+            or _DEFAULT_INPUT_SLAB
+        out_bytes = int(os.environ.get(_OUTPUT_SLAB_ENV, "0") or 0) \
+            or _DEFAULT_OUTPUT_SLAB
+        self._input_arena = SlabArena("in", initial_bytes=in_bytes)
+        self._out_arenas = [SlabArena(f"out{s}", initial_bytes=out_bytes)
+                            for s in range(self.num_strips)]
+        self._arenas: List = [self._input_arena, *self._out_arenas]
+        #: per-op, per-strip grant size hints (grown from observed outputs)
+        self._grant_hint = {
+            "multiply": [out_bytes] * self.num_strips,
+            "block": [out_bytes] * self.num_strips,
+        }
+        self._audit = bool(os.environ.get(_COMM_AUDIT_ENV))
+        self._comm: Dict[str, float] = {
+            "calls": 0, "pipe_bytes_out": 0, "pipe_bytes_in": 0,
+            "pipe_msgs_out": 0, "pipe_msgs_in": 0,
+            "slab_bytes_in": 0, "slab_bytes_out": 0,
+            "output_overflows": 0, "max_inflight": 0,
+            "legacy_pipe_bytes_out": 0, "legacy_pipe_bytes_in": 0,
+        }
+
         self._workers: List = [None] * self.num_workers
         self._conns: List = [None] * self.num_workers
         self._stats: Dict[int, Dict[str, float]] = {}
         self._call_seq = 0
+        self._tokens: Dict[int, _Inflight] = {}
+        #: (worker, pid) deaths detected outside any gather (e.g. by the
+        #: non-blocking drain); raised once from the next _ensure_workers
+        self._dead_unreported: List[Tuple[int, Optional[int]]] = []
         self._closed = False
         #: gc safety net: releases workers and /dev/shm segments even when
         #: nobody called close() (the lists are shared by identity, so an
@@ -435,7 +691,8 @@ class ProcessBackend(ExecutionBackend):
         #: spawn loop: if a fork fails mid-way, the half-built pool and every
         #: already-created segment still get torn down when this object dies.
         self._finalizer = weakref.finalize(
-            self, _shutdown_pool, self._workers, self._conns, self._slabs)
+            self, _shutdown_pool, self._workers, self._conns, self._slabs,
+            self._arenas)
         try:
             for w in range(self.num_workers):
                 self._spawn(w)
@@ -449,7 +706,7 @@ class ProcessBackend(ExecutionBackend):
     def _spawn(self, w: int) -> None:
         parent_conn, child_conn = self._mp.Pipe(duplex=True)
         spec = {"strips": [self._strip_specs[s] for s in self.assignment[w]],
-                "ctx": self.shard_ctx}
+                "ctx": self.shard_ctx, "affinity": self._affinity[w]}
         proc = self._mp.Process(target=_worker_main, args=(child_conn, spec),
                                 daemon=True, name=f"repro-strip-worker-{w}")
         proc.start()
@@ -457,7 +714,7 @@ class ProcessBackend(ExecutionBackend):
         self._workers[w] = proc
         self._conns[w] = parent_conn
 
-    def _mark_dead(self, w: int) -> None:
+    def _mark_dead(self, w: int) -> Optional[int]:
         conn, self._conns[w] = self._conns[w], None
         if conn is not None:
             try:
@@ -465,10 +722,28 @@ class ProcessBackend(ExecutionBackend):
             except OSError:  # pragma: no cover
                 pass
         proc, self._workers[w] = self._workers[w], None
+        pid = None
         if proc is not None:
+            pid = proc.pid
             if proc.is_alive():  # pragma: no cover - unreachable but hung
                 proc.terminate()
             proc.join(timeout=1.0)
+        # every in-flight call expecting this worker has lost its strips;
+        # their gathers raise, which counts as reporting the death
+        reported = False
+        for token in list(self._tokens.values()):
+            if w in token.pending or w in token.flushing:
+                token.pending.discard(w)
+                token.flushing.discard(w)
+                token.dead = (w, pid)
+                reported = reported or not token.abandoned
+                if token.abandoned and token.complete:
+                    self._finalize(token)
+        if not reported:
+            # died between calls (nobody was waiting on it): surface the
+            # death from the next _ensure_workers instead of losing it
+            self._dead_unreported.append((w, pid))
+        return pid
 
     def _ensure_workers(self) -> None:
         """Respawn dead workers; report each worker death exactly once.
@@ -480,14 +755,13 @@ class ProcessBackend(ExecutionBackend):
         never silently lose a worker.  Either way the very next call runs on
         a complete pool.
         """
-        unreported = []
         for w in range(self.num_workers):
             if self._workers[w] is None:
                 self._spawn(w)
             elif not self._workers[w].is_alive():
-                unreported.append((w, self._workers[w].pid))
-                self._mark_dead(w)
+                self._mark_dead(w)  # lands in _dead_unreported
                 self._spawn(w)
+        unreported, self._dead_unreported = self._dead_unreported, []
         if unreported:
             raise BackendError(
                 f"strip worker(s) {unreported} died since the last call "
@@ -517,90 +791,332 @@ class ProcessBackend(ExecutionBackend):
             f"{semiring!r} is not the registered semiring of that name; "
             f"use the emulated backend for ad-hoc semirings")
 
-    def _dispatch(self, build_msg: Callable[[int, List[int]], tuple]) -> Dict[int, object]:
-        """Send one message per worker, collect per-strip payloads.
+    # ------------------------------------------------------------------ #
+    # comm plane: packing, granting, pumping
+    # ------------------------------------------------------------------ #
+    def _send(self, w: int, msg, token: Optional[_Inflight] = None) -> None:
+        try:
+            nbytes = _send_obj(self._conns[w], msg)
+        except (BrokenPipeError, OSError) as exc:
+            if token is not None:
+                token.abandoned = True  # replies already in flight drain later
+            self._mark_dead(w)
+            raise BackendError(
+                f"strip worker {w} died before accepting a call "
+                f"({exc!r}); the pool will respawn it") from exc
+        self._comm["pipe_bytes_out"] += nbytes
+        self._comm["pipe_msgs_out"] += 1
 
-        Raises the lowest-strip kernel exception (matching the emulated
-        backend, which executes strips in order and stops at the first
-        failure) or a :class:`BackendError` when a worker is gone.  Stale
-        replies from an earlier, abandoned call are discarded by call id, so
-        one failure never poisons the next call's results.
-        """
+    def _pack_input(self, arrays: List[np.ndarray]):
+        """Reserve + fill one input-arena region; returns (region, ref, descs)."""
+        from ..core.workspace import pack_arrays, packed_nbytes
+
+        nbytes = packed_nbytes(arrays)
+        region = self._input_arena.reserve(nbytes)
+        descs = pack_arrays(self._input_arena.view(region), arrays)
+        self._comm["slab_bytes_in"] += nbytes
+        return region, self._input_arena.ref(region), descs
+
+    def _grant(self, token: _Inflight, strip: int) -> tuple:
+        """Reserve a per-strip output region sized from observed history."""
+        region = self._out_arenas[strip].reserve(
+            self._grant_hint[token.op][strip])
+        token.out_regions[strip] = region
+        return self._out_arenas[strip].ref(region)
+
+    def _begin_call(self, op: str, input_region) -> _Inflight:
         if self._closed:
             raise BackendError("process backend is closed")
+        self._drain_ready()
         self._ensure_workers()
         self._call_seq += 1
-        call_id = self._call_seq
-        pending = []
+        token = _Inflight(self._call_seq, op, input_region)
+        self._tokens[token.call_id] = token
+        self._comm["calls"] += 1
+        self._comm["max_inflight"] = max(self._comm["max_inflight"],
+                                         len(self._tokens))
+        return token
+
+    def _drain_ready(self) -> None:
+        """Route any replies already sitting in the pipes (non-blocking)."""
+        for w in range(self.num_workers):
+            conn = self._conns[w]
+            while conn is not None and conn.poll(0):
+                if not self._pump_worker(w):
+                    break
+
+    def _pump_worker(self, w: int) -> bool:
+        """Receive + route one reply from worker ``w``; False if it died."""
+        conn = self._conns[w]
+        if conn is None:
+            return False
+        try:
+            payload = conn.recv_bytes()
+        except (EOFError, OSError):
+            self._mark_dead(w)
+            return False
+        self._comm["pipe_bytes_in"] += len(payload)
+        self._comm["pipe_msgs_in"] += 1
+        reply = pickle.loads(payload)
+        self._route(w, reply)
+        return True
+
+    def _route(self, w: int, reply) -> None:
+        kind, call_id = reply[0], reply[1]
+        token = self._tokens.get(call_id)
+        if token is None:
+            return  # reply for a call that was already finalized
+        if kind == "done":
+            _, _, outs, stats = reply
+            self._stats.update(stats)
+            token.pending.discard(w)
+            grows: Dict[int, int] = {}
+            for strip, status, payload in outs:
+                if status == "ok":
+                    token.payloads[strip] = payload
+                elif status == "err":
+                    token.errors[strip] = payload
+                else:  # grow: result retained worker-side, needs a bigger grant
+                    grows[strip] = int(payload)
+            if grows:
+                self._comm["output_overflows"] += len(grows)
+                refs = {}
+                for strip, needed in grows.items():
+                    arena = self._out_arenas[strip]
+                    arena.release(token.out_regions[strip])
+                    hint = self._grant_hint[token.op]
+                    hint[strip] = max(hint[strip], needed + needed // 4)
+                    region = arena.reserve(needed)
+                    token.out_regions[strip] = region
+                    refs[strip] = arena.ref(region)
+                self._send(w, ("flush", call_id, refs), token)
+                token.flushing.add(w)
+        elif kind == "flushed":
+            _, _, flushed = reply
+            token.flushing.discard(w)
+            for strip, (status, payload) in flushed.items():
+                if status == "ok":
+                    token.payloads[strip] = payload
+                else:  # pragma: no cover - re-granted region still too small
+                    token.errors[strip] = payload
+        if token.abandoned and token.complete:
+            self._finalize(token)
+
+    def _pump_token(self, token: _Inflight) -> None:
+        """Block until every expected reply for this call has been routed."""
+        while token.pending or token.flushing:
+            if token.dead is not None:
+                break
+            waiting = token.pending or token.flushing
+            self._pump_worker(next(iter(waiting)))
+        if token.dead is not None:
+            w, pid = token.dead
+            raise BackendError(
+                f"strip worker {w} (pid {pid}) died mid-call; its strips "
+                f"{self.assignment[w]} were lost — the pool respawns the "
+                f"worker on the next call")
+
+    def _finalize(self, token: _Inflight) -> None:
+        """Release the call's arena regions once nothing can still write them."""
+        if not token.complete:
+            token.abandoned = True  # finalized by _route on the last reply
+            return
+        if token.finalized:
+            return
+        token.finalized = True
+        if token.input_region is not None:
+            self._input_arena.release(token.input_region)
+        for strip, region in token.out_regions.items():
+            self._out_arenas[strip].release(region)
+        self._tokens.pop(token.call_id, None)
+
+    def _read_results(self, token: _Inflight, strip: int) -> List:
+        """Copy a strip's packed result vectors out of its output region."""
+        from ..core.result import SpMSpVResult
+        from ..core.workspace import unpack_arrays
+
+        region = self._out_arenas[strip].view(token.out_regions[strip])
+        results = []
+        used = 0
+        for (idx_desc, val_desc), n, sorted_flag, record, info in \
+                token.payloads[strip]:
+            idx, vals = unpack_arrays(region, [idx_desc, val_desc])
+            self._comm["slab_bytes_out"] += idx.nbytes + vals.nbytes
+            used = max(used, _payload_nbytes([idx_desc, val_desc]))
+            results.append(SpMSpVResult(
+                vector=SparseVector(n, idx.copy(), vals.copy(),
+                                    sorted=sorted_flag, check=False),
+                record=record, info=info))
+        hint = self._grant_hint[token.op]
+        if token.payloads[strip]:
+            total = _payload_nbytes(
+                [d for pair, *_rest in token.payloads[strip] for d in pair])
+            hint[strip] = max(hint[strip], total + total // 4)
+        return results
+
+    # ------------------------------------------------------------------ #
+    # async submit/gather (the overlapped data plane)
+    # ------------------------------------------------------------------ #
+    def submit_multiply(self, algorithm, x, *, semiring, sorted_output,
+                        mask_slices, mask_complement, kwargs):
+        sr = self._semiring_name(semiring)
+        arrays = [np.ascontiguousarray(x.indices),
+                  np.ascontiguousarray(x.values)]
+        mask_at: List[Optional[int]] = []
+        for mask in mask_slices:
+            if mask is None:
+                mask_at.append(None)
+            else:
+                mask_at.append(len(arrays))
+                arrays.append(np.ascontiguousarray(mask.indices))
+                arrays.append(np.ascontiguousarray(mask.values))
+        token = self._begin_call("multiply", None)
+        region, in_ref, descs = self._pack_input(arrays)
+        token.input_region = region
+        x_spec = (descs[0], descs[1], x.n, x.sorted)
         for w in range(self.num_workers):
             if not self.assignment[w]:
                 continue
-            try:
-                self._conns[w].send(build_msg(call_id, self.assignment[w]))
-            except (BrokenPipeError, OSError) as exc:
-                self._mark_dead(w)
-                raise BackendError(
-                    f"strip worker {w} died before accepting a call "
-                    f"({exc!r}); the pool will respawn it") from exc
-            pending.append(w)
+            mask_specs = {}
+            out_refs = {}
+            for s in self.assignment[w]:
+                at = mask_at[s]
+                mask_specs[s] = None if at is None else (
+                    descs[at], descs[at + 1], mask_slices[s].n,
+                    mask_slices[s].sorted)
+                out_refs[s] = self._grant(token, s)
+            self._send(w, ("multiply", token.call_id, self.assignment[w],
+                           algorithm, sr, sorted_output, mask_complement,
+                           kwargs, in_ref, x_spec, mask_specs, out_refs),
+                       token)
+            token.pending.add(w)
+        if self._audit:
+            for w in range(self.num_workers):
+                if not self.assignment[w]:
+                    continue
+                token.legacy_out += len(pickle.dumps(
+                    ("multiply", token.call_id, self.assignment[w], algorithm,
+                     x, sr, sorted_output,
+                     {s: mask_slices[s] for s in self.assignment[w]},
+                     mask_complement, kwargs)))
+        return token
 
-        results: Dict[int, object] = {}
-        errors: Dict[int, tuple] = {}
-        for w in pending:
-            reply = self._recv(w, call_id)
-            for strip, status, payload in reply[2]:
-                if status == "ok":
-                    results[strip] = payload
+    def gather_multiply(self, token: _Inflight) -> List:
+        try:
+            self._pump_token(token)
+            if token.errors:
+                strip = min(token.errors)
+                raise _load_exception(token.errors[strip], strip)
+            results = [self._read_results(token, s)[0]
+                       for s in range(self.num_strips)]
+            if self._audit:
+                self._audit_reply(token, [[r] for r in results])
+            return results
+        finally:
+            self._finalize(token)
+
+    def abandon(self, token: _Inflight) -> None:
+        self._finalize(token)
+
+    def submit_block(self, block, *, semiring, sorted_output, strip_masks,
+                     mask_complement, block_merge):
+        sr = self._semiring_name(semiring)
+        block_meta, block_arrays = block.pack_arrays()
+        arrays = list(block_arrays)
+        #: strip -> None | list over k of None | index into ``arrays``
+        mask_at: List = []
+        for masks in strip_masks:
+            if masks is None:
+                mask_at.append(None)
+                continue
+            ats = []
+            for mask in masks:
+                if mask is None:
+                    ats.append(None)
                 else:
-                    errors[strip] = payload
-            self._stats.update(reply[3])
-        if errors:
-            strip = min(errors)
-            raise _load_exception(errors[strip], strip)
-        return results
+                    ats.append(len(arrays))
+                    arrays.append(np.ascontiguousarray(mask.indices))
+                    arrays.append(np.ascontiguousarray(mask.values))
+            mask_at.append(ats)
+        token = self._begin_call("block", None)
+        region, in_ref, descs = self._pack_input(arrays)
+        token.input_region = region
+        block_spec = (descs[:4], block_meta)
+        for w in range(self.num_workers):
+            if not self.assignment[w]:
+                continue
+            mask_specs = {}
+            out_refs = {}
+            for s in self.assignment[w]:
+                ats = mask_at[s]
+                if ats is None:
+                    mask_specs[s] = None
+                else:
+                    mask_specs[s] = [
+                        None if at is None else (
+                            descs[at], descs[at + 1], strip_masks[s][i].n,
+                            strip_masks[s][i].sorted)
+                        for i, at in enumerate(ats)]
+                out_refs[s] = self._grant(token, s)
+            self._send(w, ("block", token.call_id, self.assignment[w], sr,
+                           sorted_output, mask_complement, block_merge,
+                           in_ref, block_spec, mask_specs, out_refs), token)
+            token.pending.add(w)
+        if self._audit:
+            for w in range(self.num_workers):
+                if not self.assignment[w]:
+                    continue
+                token.legacy_out += len(pickle.dumps(
+                    ("block", token.call_id, self.assignment[w], block, sr,
+                     sorted_output,
+                     {s: strip_masks[s] for s in self.assignment[w]},
+                     mask_complement, block_merge)))
+        return token
 
-    def _recv(self, w: int, call_id: int):
-        conn = self._conns[w]
-        while True:
-            try:
-                reply = conn.recv()
-            except (EOFError, OSError) as exc:
-                pid = self._workers[w].pid if self._workers[w] else None
-                self._mark_dead(w)
-                raise BackendError(
-                    f"strip worker {w} (pid {pid}) died mid-call; its strips "
-                    f"{self.assignment[w]} were lost — the pool respawns the "
-                    f"worker on the next call") from exc
-            if reply[0] == "done" and reply[1] == call_id:
-                return reply
-            # stale reply from an abandoned earlier call: drain and ignore
+    def gather_block(self, token: _Inflight) -> List[List]:
+        try:
+            self._pump_token(token)
+            if token.errors:
+                strip = min(token.errors)
+                raise _load_exception(token.errors[strip], strip)
+            results = [self._read_results(token, s)
+                       for s in range(self.num_strips)]
+            if self._audit:
+                self._audit_reply(token, results)
+            return results
+        finally:
+            self._finalize(token)
+
+    def _audit_reply(self, token: _Inflight, per_strip: List[List]) -> None:
+        """Account what the legacy pickle-over-pipe plane would have shipped."""
+        self._comm["legacy_pipe_bytes_out"] += token.legacy_out
+        for w in range(self.num_workers):
+            if not self.assignment[w]:
+                continue
+            outs = [(s, "ok", per_strip[s][0] if token.op == "multiply"
+                     else per_strip[s])
+                    for s in self.assignment[w]]
+            stats = {s: self._stats.get(s, _fresh_stats(self._spa_rows[s]))
+                     for s in self.assignment[w]}
+            self._comm["legacy_pipe_bytes_in"] += len(pickle.dumps(
+                ("done", token.call_id, outs, stats)))
 
     # ------------------------------------------------------------------ #
     # ExecutionBackend interface
     # ------------------------------------------------------------------ #
     def run_multiply(self, algorithm, x, *, semiring, sorted_output,
                      mask_slices, mask_complement, kwargs):
-        sr = self._semiring_name(semiring)
-
-        def build(call_id, strip_ids):
-            masks = {s: mask_slices[s] for s in strip_ids}
-            return ("multiply", call_id, strip_ids, algorithm, x, sr,
-                    sorted_output, masks, mask_complement, kwargs)
-
-        results = self._dispatch(build)
-        return [results[s] for s in range(self.num_strips)]
+        return self.gather_multiply(self.submit_multiply(
+            algorithm, x, semiring=semiring, sorted_output=sorted_output,
+            mask_slices=mask_slices, mask_complement=mask_complement,
+            kwargs=kwargs))
 
     def run_block(self, block, *, semiring, sorted_output, strip_masks,
                   mask_complement, block_merge):
-        sr = self._semiring_name(semiring)
-
-        def build(call_id, strip_ids):
-            masks = {s: strip_masks[s] for s in strip_ids}
-            return ("block", call_id, strip_ids, block, sr, sorted_output,
-                    masks, mask_complement, block_merge)
-
-        results = self._dispatch(build)
-        return [results[s] for s in range(self.num_strips)]
+        return self.gather_block(self.submit_block(
+            block, semiring=semiring, sorted_output=sorted_output,
+            strip_masks=strip_masks, mask_complement=mask_complement,
+            block_merge=block_merge))
 
     def workspace_stats(self):
         out = []
@@ -611,9 +1127,22 @@ class ProcessBackend(ExecutionBackend):
             out.append(stats)
         return out
 
+    def comm_stats(self) -> Dict[str, float]:
+        """Comm-plane accounting: pipe vs. slab traffic, growth, overlap."""
+        stats = dict(self._comm)
+        stats["inflight"] = len(self._tokens)
+        stats["input_grows"] = self._input_arena.grow_count
+        stats["output_grows"] = sum(a.grow_count for a in self._out_arenas)
+        stats["input_arena_bytes"] = self._input_arena.capacity
+        stats["output_arena_bytes"] = sum(a.capacity for a in self._out_arenas)
+        return stats
+
     def segment_names(self) -> List[str]:
         """Names of the live shared-memory segments (leak checks)."""
-        return [slab.name for slab in self._slabs]
+        names = [slab.name for slab in self._slabs]
+        for arena in self._arenas:
+            names.extend(arena.segment_names())
+        return names
 
     @property
     def closed(self) -> bool:
@@ -624,8 +1153,9 @@ class ProcessBackend(ExecutionBackend):
         if self._closed:
             return
         self._closed = True
+        self._tokens.clear()
         self._finalizer.detach()
-        _shutdown_pool(self._workers, self._conns, self._slabs)
+        _shutdown_pool(self._workers, self._conns, self._slabs, self._arenas)
 
 
 # --------------------------------------------------------------------------- #

@@ -54,6 +54,16 @@ class ExecutionContext:
     backend: str = "emulated"
     #: worker-process cap for the process backend; 0 = min(shards, cpu_count)
     backend_workers: int = 0
+    #: pin each process-backend worker to one CPU core
+    #: (``os.sched_setaffinity``; silently a no-op on platforms without it).
+    #: Off by default: pinning helps dedicated bench boxes and hurts shared
+    #: ones, so it is an explicit opt-in.
+    pin_workers: bool = False
+    #: how many queued async calls a sharded engine's ``gather()`` keeps
+    #: in flight on the backend at once (the overlapped-gather window; 1
+    #: degenerates to the historical call-at-a-time barrier).  Bounds the
+    #: comm plane's shared-memory footprint at window x per-call bytes.
+    backend_inflight: int = 8
 
     def __post_init__(self):
         if self.num_threads < 1:
@@ -70,6 +80,9 @@ class ExecutionContext:
             raise ValueError(f"backend must be a non-empty name, got {self.backend!r}")
         if self.backend_workers < 0:
             raise ValueError(f"backend_workers must be >= 0, got {self.backend_workers}")
+        if self.backend_inflight < 1:
+            raise ValueError(
+                f"backend_inflight must be >= 1, got {self.backend_inflight}")
 
     @property
     def num_buckets(self) -> int:

@@ -482,7 +482,9 @@ def test_close_releases_every_shared_memory_segment():
                                            backend_workers=2))
     engine.multiply(SparseVector.full_like_indices(30, np.arange(5), 1.0))
     segments = engine.backend.segment_names()
-    assert len(segments) == 3 * 4  # indptr/indices/data per strip
+    # indptr/indices/data per strip, plus the input slab arena and one
+    # output slab arena per strip (idle arenas hold exactly one segment).
+    assert len(segments) == 3 * 4 + 1 + 4
     assert all(os.path.exists("/dev/shm/" + name) for name in segments)
     engine.close()
     assert not any(os.path.exists("/dev/shm/" + name) for name in segments)
@@ -565,3 +567,164 @@ def test_algorithms_match_across_backends():
     assert np.array_equal(ref_pb.scores, out_pb.scores)
     assert ref_pb.iterations_per_source == out_pb.iterations_per_source
     out_pb.engine.close()
+
+
+# --------------------------------------------------------------------------- #
+# comm plane: slab overflow, broadcast-once blocks, overlapped gather (PR 6)
+# --------------------------------------------------------------------------- #
+def test_output_slab_overflow_regrows_and_stays_bit_identical(monkeypatch):
+    """Tiny slabs force the overflow -> re-grant -> flush retry on every call;
+    the results must still match the emulated backend bit for bit, and the
+    grant hint must adapt so a repeated frontier stops overflowing."""
+    monkeypatch.setenv("REPRO_BACKEND_INPUT_SLAB", "256")
+    monkeypatch.setenv("REPRO_BACKEND_OUTPUT_SLAB", "256")
+    matrix, x_sorted, x_unsorted, mask = problem(3, seed=90)
+    emu, proc = engine_pair(matrix, 3)
+    try:
+        for label, x, kw in [("sorted", x_sorted, {}),
+                             ("unsorted", x_unsorted, {}),
+                             ("masked", x_sorted, {"mask": mask})]:
+            assert_results_match(emu.multiply(x, **kw),
+                                 proc.multiply(x, **kw),
+                                 f"overflow/{label}")
+        stats = proc.backend.comm_stats()
+        assert stats["output_overflows"] > 0   # flush-retry path was taken
+        assert stats["output_grows"] > 0       # 256-byte arenas had to grow
+        assert stats["input_grows"] > 0
+        before = proc.backend.comm_stats()["output_overflows"]
+        assert_results_match(emu.multiply(x_sorted), proc.multiply(x_sorted),
+                             "post-grow repeat")
+        # same frontier again: the adapted hint grants enough up front
+        assert proc.backend.comm_stats()["output_overflows"] == before
+    finally:
+        proc.close()
+
+
+def test_fused_block_is_broadcast_once_through_the_input_slab():
+    """A fused multiply_many packs the block's arrays into the input arena
+    exactly once per call — workers share the region via descriptors instead
+    of receiving per-strip pickled copies."""
+    from repro.core.workspace import packed_nbytes
+    from repro.formats.vector_block import SparseVectorBlock
+
+    matrix, x_sorted, x_unsorted, _mask = problem(2, seed=91)
+    rng = np.random.default_rng(91)
+    xs = [x_sorted, x_unsorted,
+          SparseVector.full_like_indices(
+              x_sorted.n, np.sort(rng.choice(x_sorted.n, 8, replace=False)),
+              2.0)]
+    emu, proc = engine_pair(matrix, 4)
+    try:
+        before = proc.backend.comm_stats()
+        ref = emu.multiply_many(xs, block_mode="fused")
+        out = proc.multiply_many(xs, block_mode="fused")
+        for i, (r, o) in enumerate(zip(ref, out)):
+            assert_results_match(r, o, f"fused block vec {i}")
+        after = proc.backend.comm_stats()
+        _meta, arrays = SparseVectorBlock.from_vectors(xs).pack_arrays()
+        # one packed copy of the block — not one per worker or per strip
+        assert after["slab_bytes_in"] - before["slab_bytes_in"] == \
+            packed_nbytes(arrays)
+        assert after["calls"] - before["calls"] == 1
+    finally:
+        proc.close()
+
+
+def test_overlapped_gather_pipelines_and_matches_barrier_gather():
+    """With backend_inflight > 1 the async front-end keeps several calls in
+    flight on the pool at once (max_inflight > 1); results and the seeded
+    execution order are identical to the inflight=1 barrier and to the
+    emulated backend."""
+    matrix, x_sorted, x_unsorted, mask = problem(3, seed=92)
+    rng = np.random.default_rng(92)
+    xs = [x_sorted, x_unsorted] + [
+        SparseVector.full_like_indices(
+            x_sorted.n, np.sort(rng.choice(x_sorted.n, 6 + i, replace=False)),
+            1.0 + i)
+        for i in range(4)]
+
+    def run(backend, inflight):
+        ctx = default_context(num_threads=2, seed=0, backend=backend,
+                              backend_workers=2, backend_inflight=inflight)
+        engine = ShardedEngine(matrix, 3, ctx, algorithm="bucket")
+        try:
+            for i, x in enumerate(xs):
+                engine.submit(x, mask=mask if i % 2 else None)
+            results = engine.gather()
+            stats = engine.backend.comm_stats()
+            return results, list(engine.execution_log), stats
+        finally:
+            engine.close()
+
+    ref, ref_log, _ = run("emulated", 8)
+    overlapped, olog, ostats = run("process", 8)
+    barrier, blog, bstats = run("process", 1)
+    assert ostats["max_inflight"] > 1       # calls genuinely overlapped
+    assert bstats["max_inflight"] == 1      # window of 1 is the old barrier
+    assert ref_log == olog == blog
+    for i, r in enumerate(ref):
+        assert_results_match(r, overlapped[i], f"overlapped vec {i}")
+        assert_results_match(r, barrier[i], f"barrier vec {i}")
+
+
+# --------------------------------------------------------------------------- #
+# exception transport fallbacks
+# --------------------------------------------------------------------------- #
+def _raise_on_load():
+    raise RuntimeError("refusing to be reconstructed")
+
+
+class _UnloadableError(Exception):
+    """Pickles fine worker-side; reconstruction raises parent-side."""
+
+    def __reduce__(self):
+        return (_raise_on_load, ())
+
+
+def _kernel_raises_unpicklable(matrix, x, ctx, **kwargs):
+    class LocalError(Exception):  # local class: pickle.dumps fails
+        pass
+    raise LocalError("cannot leave the worker")
+
+
+def _kernel_raises_unloadable(matrix, x, ctx, **kwargs):
+    raise _UnloadableError()
+
+
+def test_unpicklable_worker_exceptions_degrade_to_backend_error():
+    """Both halves of the exception-transport guard: dumps failing worker-side
+    and loads failing parent-side each surface a BackendError carrying the
+    strip id and the worker traceback, and the pool stays usable."""
+    from multiprocessing import get_all_start_methods
+
+    from repro.core.dispatch import register_algorithm
+
+    if os.environ.get("REPRO_BACKEND_START",
+                      "fork" if "fork" in get_all_start_methods()
+                      else "spawn") != "fork":
+        pytest.skip("test kernels reach the workers by fork inheritance")
+    from repro.core import dispatch
+
+    register_algorithm("_test_raise_unpicklable", _kernel_raises_unpicklable,
+                       overwrite=True)
+    register_algorithm("_test_raise_unloadable", _kernel_raises_unloadable,
+                       overwrite=True)
+    matrix, x_sorted, _x_unsorted, _mask = problem(2, seed=93)
+    proc = ShardedEngine(matrix, 2,
+                         default_context(backend="process",
+                                         backend_workers=2),
+                         algorithm="bucket")
+    try:
+        with pytest.raises(BackendError, match="unpicklable") as ei:
+            proc.multiply(x_sorted, algorithm="_test_raise_unpicklable")
+        assert ei.value.strip_id == 0
+        assert "LocalError" in "".join(getattr(ei.value, "__notes__", []))
+        with pytest.raises(BackendError,
+                           match="could not be reconstructed") as ei:
+            proc.multiply(x_sorted, algorithm="_test_raise_unloadable")
+        assert "UnloadableError" in "".join(getattr(ei.value, "__notes__", []))
+        assert proc.multiply(x_sorted).nnz >= 0  # pool survived both
+    finally:
+        proc.close()
+        dispatch._REGISTRY.pop("_test_raise_unpicklable", None)
+        dispatch._REGISTRY.pop("_test_raise_unloadable", None)
