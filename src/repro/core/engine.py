@@ -576,6 +576,15 @@ class SpMSpVEngine:
     def close(self) -> None:
         """Release engine resources (the monolithic engine holds none)."""
 
+    def health_stats(self) -> Dict[str, object]:
+        """Resilience accounting, shape-compatible with sharded engines.
+
+        The monolithic engine has no workers to lose, so every counter is
+        zero — serving layers can aggregate health over a mixed engine
+        fleet without special-casing."""
+        return {"worker_deaths": [], "respawns": 0, "retries": 0,
+                "fallback_calls": 0, "fallback_strips": 0, "deadline_hits": 0}
+
     def __enter__(self) -> "SpMSpVEngine":
         return self
 

@@ -691,6 +691,12 @@ class ShardedEngine:
             "block_capacity": sum(s["block_capacity"] for s in stats),
         }
 
+    def health_stats(self) -> Dict[str, object]:
+        """Backend resilience accounting (deaths, retries, fallbacks,
+        deadline hits) — all zero for in-process backends and for a healthy
+        pool; see :meth:`.parallel.backends.ExecutionBackend.health_stats`."""
+        return self.backend.health_stats()
+
     def summary(self) -> Dict[str, object]:
         """Aggregate statistics of the engine's lifetime (for reporting)."""
         return {
@@ -705,6 +711,7 @@ class ShardedEngine:
             "nnz_balance": self.nnz_balance,
             "workspace": self.workspace_stats(),
             "comm": self.backend.comm_stats(),
+            "health": self.backend.health_stats(),
         }
 
     def __repr__(self) -> str:  # pragma: no cover

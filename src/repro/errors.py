@@ -39,5 +39,16 @@ class BackendError(ReproError, RuntimeError):
     """
 
 
+class DeadlineError(ReproError, TimeoutError):
+    """A backend call exceeded its ``ExecutionContext.deadline`` budget.
+
+    Raised from ``gather`` after the in-flight call is cleanly abandoned:
+    the shared-memory regions granted to still-running strips are released
+    as their late replies drain, so a timed-out call never leaks a segment
+    and never returns a partial answer.  Subclasses :class:`TimeoutError`
+    so generic timeout handling (``except TimeoutError``) also applies.
+    """
+
+
 class ConvergenceError(ReproError, RuntimeError):
     """An iterative algorithm failed to converge within its iteration budget."""

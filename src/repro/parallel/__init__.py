@@ -8,7 +8,8 @@ from .backends import (
     make_backend,
     register_backend,
 )
-from .context import ExecutionContext, default_context
+from .context import ExecutionContext, RetryPolicy, default_context
+from .faults import ChaosBackend, FaultPlan  # registers the "chaos" backend
 from .metrics import ExecutionRecord, PhaseRecord, WorkMetrics
 from .partitioner import (
     chunk_edges,
@@ -21,12 +22,15 @@ from .threadpool import run_chunks, shutdown_pool
 
 __all__ = [
     "Assignment",
+    "ChaosBackend",
     "EmulatedBackend",
     "ExecutionBackend",
     "ExecutionContext",
     "ExecutionRecord",
+    "FaultPlan",
     "PhaseRecord",
     "ProcessBackend",
+    "RetryPolicy",
     "WorkMetrics",
     "available_backends",
     "chunk_edges",

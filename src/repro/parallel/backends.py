@@ -42,11 +42,23 @@ this down across the full sharded grid, including the slab data plane
 Failure contract: an exception raised inside a strip's kernel propagates to
 the caller as itself (same type, same args), annotated with the failing
 strip id (``exc.strip_id`` plus an ``add_note`` line) — identically for both
-backends.  A worker that *dies* (kill -9, segfault) instead surfaces as a
-:class:`~repro.errors.BackendError`; the pool respawns dead workers against
-the same shared-memory strips on the next call, and backend shutdown (or
-garbage collection of the engine, via a ``weakref`` finalizer) releases
-every shared-memory segment — strip slabs and comm arenas alike.
+backends, and never retried (kernel exceptions are deterministic).  A worker
+that *dies* (kill -9, segfault) is a *retryable* failure: under the
+context's :class:`~repro.parallel.context.RetryPolicy` the lost strips are
+transparently re-dispatched (respawn + re-grant + resend of the same input
+region — bit-identical results), past the retry budget the
+``degraded_fallback`` mode recomputes them in-process from the parent's own
+strip copies, and only with both exhausted/disabled does the call surface
+exactly one :class:`~repro.errors.BackendError`.  A call that exceeds the
+context's ``deadline`` raises :class:`~repro.errors.DeadlineError` after
+being cleanly abandoned (its slab regions release as late replies drain).
+``health_stats()`` reports deaths/retries/fallbacks/deadline hits;
+:mod:`repro.parallel.faults` injects all of these failures deterministically
+through the ``chaos`` wrapper backend.  The pool respawns dead workers
+against the same shared-memory strips, and backend shutdown (or garbage
+collection of the engine, via a ``weakref`` finalizer) releases every
+shared-memory segment — strip slabs and comm arenas alike — following the
+context's ``shutdown_timeouts`` stop→terminate→kill escalation ladder.
 """
 
 from __future__ import annotations
@@ -54,6 +66,7 @@ from __future__ import annotations
 import os
 import pickle
 import sys
+import time
 import traceback
 import weakref
 from abc import ABC, abstractmethod
@@ -62,11 +75,11 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from ..errors import BackendError, NotSupportedError
+from ..errors import BackendError, DeadlineError, NotSupportedError
 from ..formats.csc import CSCMatrix
 from ..formats.sparse_vector import SparseVector
 from ..semiring import Semiring, get_semiring
-from .context import ExecutionContext
+from .context import ExecutionContext, RetryPolicy
 from .threadpool import run_chunks
 
 #: lazily-built template of :meth:`repro.core.workspace.SpMSpVWorkspace.stats`
@@ -81,6 +94,10 @@ _OUTPUT_SLAB_ENV = "REPRO_BACKEND_OUTPUT_SLAB"
 #: env knob enabling the legacy-plane byte audit (measures what the PR-5
 #: pickle-over-pipe plane *would* have shipped, for the bench's breakdown)
 _COMM_AUDIT_ENV = "REPRO_BACKEND_COMM_AUDIT"
+#: env knob carrying a seeded fault plan (see :mod:`repro.parallel.faults`);
+#: when set, :func:`make_backend` wraps the process backend in the chaos
+#: backend so every backend-selecting call site runs under injected faults
+_FAULTS_ENV = "REPRO_BACKEND_FAULTS"
 
 _DEFAULT_INPUT_SLAB = 1 << 16
 _DEFAULT_OUTPUT_SLAB = 1 << 16
@@ -181,6 +198,16 @@ class ExecutionBackend(ABC):
         """Comm-plane accounting (empty for in-process backends)."""
         return {}
 
+    def health_stats(self) -> Dict[str, object]:
+        """Resilience accounting: deaths, retries, fallbacks, deadline hits.
+
+        In-process backends have no workers to lose, so every counter is
+        zero; the keys are stable across backends so serving layers can
+        aggregate health uniformly.
+        """
+        return {"worker_deaths": [], "respawns": 0, "retries": 0,
+                "fallback_calls": 0, "fallback_strips": 0, "deadline_hits": 0}
+
     def close(self) -> None:
         """Release backend resources (idempotent; default: nothing to do)."""
 
@@ -217,6 +244,16 @@ class EmulatedBackend(ExecutionBackend):
         self.workspaces = [SpMSpVWorkspace(s.nrows, dtype=dtype)
                            for s in self.strips]
 
+    def _deadline_check(self, started_at: float, s: int) -> None:
+        """Cooperative per-strip deadline: in-process strips cannot be
+        preempted, so the budget is enforced between strip calls — a call
+        that has already exceeded it fails before starting its next strip."""
+        deadline = getattr(self.shard_ctx, "deadline", None)
+        if deadline is not None and time.monotonic() - started_at > deadline:
+            raise DeadlineError(
+                f"emulated backend call exceeded its {deadline:.3f}s deadline "
+                f"before strip {s} started")
+
     def run_multiply(self, algorithm, x, *, semiring, sorted_output,
                      mask_slices, mask_complement, kwargs):
         from ..core.dispatch import get_algorithm
@@ -224,8 +261,10 @@ class EmulatedBackend(ExecutionBackend):
 
         fn = get_algorithm(algorithm)
         takes_ws = _accepts_workspace(fn)
+        t0 = time.monotonic()
 
         def call(s: int):
+            self._deadline_check(t0, s)
             kw = dict(kwargs)
             if takes_ws:
                 kw["workspace"] = self.workspaces[s]
@@ -244,7 +283,10 @@ class EmulatedBackend(ExecutionBackend):
                   mask_complement, block_merge):
         from ..core.spmspv_block import spmspv_bucket_block
 
+        t0 = time.monotonic()
+
         def call(s: int):
+            self._deadline_check(t0, s)
             try:
                 return spmspv_bucket_block(
                     self.strips[s], block, self.shard_ctx, semiring=semiring,
@@ -520,13 +562,24 @@ def _worker_main(conn, spec):  # pragma: no cover - runs in the worker process
         os._exit(0)
 
 
-def _shutdown_pool(workers: List, conns: List, slabs: List, arenas: List) -> None:
+def _shutdown_pool(workers: List, conns: List, slabs: List, arenas: List,
+                   timeouts: Tuple[float, float, float] = (2.0, 1.0, 1.0)
+                   ) -> None:
     """Stop workers, close pipes, release shared memory (idempotent).
 
     Module-level so a ``weakref.finalize`` can run it after the backend
     object is gone; the lists are the backend's own mutable state, shared by
     identity, so an explicit ``close()`` beforehand leaves nothing to do.
+    ``timeouts`` is the context's ``shutdown_timeouts`` escalation ladder:
+    a worker that ignores ``stop`` for ``timeouts[0]`` seconds is
+    terminated, one that survives SIGTERM for ``timeouts[1]`` more (e.g. a
+    SIGSTOPped process, whose pending SIGTERM never delivers) is killed,
+    and the final join waits ``timeouts[2]``.  The slabs and arenas are
+    released regardless of how far the escalation had to go, so a worker
+    dying (or hanging) mid-shutdown never leaks a ``/dev/shm`` segment —
+    the parent owns every segment and unlinks them all here.
     """
+    stop_s, term_s, kill_s = timeouts
     for conn in conns:
         if conn is not None:
             try:
@@ -536,13 +589,13 @@ def _shutdown_pool(workers: List, conns: List, slabs: List, arenas: List) -> Non
     for w, proc in enumerate(workers):
         if proc is None:
             continue
-        proc.join(timeout=2.0)
+        proc.join(timeout=stop_s)
         if proc.is_alive():  # pragma: no cover - stuck worker
             proc.terminate()
-            proc.join(timeout=1.0)
+            proc.join(timeout=term_s)
             if proc.is_alive():
                 proc.kill()
-                proc.join(timeout=1.0)
+                proc.join(timeout=kill_s)
         workers[w] = None
     for i, conn in enumerate(conns):
         if conn is not None:
@@ -564,8 +617,12 @@ class _Inflight:
     """Parent-side state of one submitted (possibly still running) call."""
 
     __slots__ = ("call_id", "op", "pending", "flushing", "payloads", "errors",
-                 "input_region", "out_regions", "dead", "abandoned",
-                 "finalized", "legacy_out")
+                 "input_region", "out_regions", "abandoned",
+                 "finalized", "legacy_out",
+                 # resilience state
+                 "proto", "mask_specs", "call_args", "outstanding", "lost",
+                 "last_death", "attempts", "redispatches", "local_results",
+                 "local_errors", "deadline_at", "used_fallback")
 
     def __init__(self, call_id: int, op: str, input_region):
         self.call_id = call_id
@@ -576,10 +633,30 @@ class _Inflight:
         self.errors: Dict[int, tuple] = {}
         self.input_region = input_region
         self.out_regions: Dict[int, tuple] = {}
-        self.dead: Optional[Tuple[int, Optional[int]]] = None
         self.abandoned = False
         self.finalized = False
         self.legacy_out = 0
+        #: transport-ready call prologue, kept so lost strips can be resent
+        self.proto: Optional[tuple] = None
+        #: strip -> packed mask spec (all strips, for re-dispatch)
+        self.mask_specs: Dict[int, object] = {}
+        #: parent-side Python objects of the call (degraded-fallback inputs)
+        self.call_args: Dict[str, object] = {}
+        #: worker -> strips dispatched to it and not yet resolved
+        self.outstanding: Dict[int, Set[int]] = {}
+        #: strips lost to a worker death, awaiting retry/fallback/raise
+        self.lost: Set[int] = set()
+        self.last_death: Optional[Tuple[int, Optional[int]]] = None
+        #: strip -> total dispatch attempts (first dispatch counts as 1)
+        self.attempts: Dict[int, int] = {}
+        self.redispatches = 0
+        #: strip -> results recomputed in-process (degraded fallback)
+        self.local_results: Dict[int, List] = {}
+        #: strip -> kernel exception raised by a fallback recompute
+        self.local_errors: Dict[int, BaseException] = {}
+        #: monotonic instant the call's deadline expires (None = no deadline)
+        self.deadline_at: Optional[float] = None
+        self.used_fallback = False
 
     @property
     def complete(self) -> bool:
@@ -619,6 +696,19 @@ class ProcessBackend(ExecutionBackend):
 
         self.shard_ctx = shard_ctx
         self.num_strips = len(strips)
+        #: parent-side strip references (zero-copy: the engine's own split)
+        #: — the degraded-fallback path recomputes a lost strip from these
+        self._strips = list(strips)
+        self._dtype = np.dtype(dtype)
+        #: resilience knobs (older pickled contexts may lack the fields)
+        self._retry: RetryPolicy = getattr(shard_ctx, "retry", None) or RetryPolicy()
+        self._degraded_fallback = bool(getattr(shard_ctx, "degraded_fallback",
+                                               False))
+        self._deadline_s: Optional[float] = getattr(shard_ctx, "deadline", None)
+        self._shutdown_timeouts: Tuple[float, float, float] = tuple(
+            getattr(shard_ctx, "shutdown_timeouts", (2.0, 1.0, 1.0)))
+        #: lazily-built parent-side workspaces for fallback recomputes
+        self._fallback_ws: Dict[int, object] = {}
         cap = int(workers) or int(os.environ.get("REPRO_BACKEND_WORKERS", "0") or 0) \
             or (os.cpu_count() or 1)
         self.num_workers = max(1, min(self.num_strips, cap))
@@ -676,6 +766,11 @@ class ProcessBackend(ExecutionBackend):
             "legacy_pipe_bytes_out": 0, "legacy_pipe_bytes_in": 0,
         }
 
+        self._health: Dict[str, object] = {
+            "worker_deaths": [0] * self.num_workers, "respawns": 0,
+            "retries": 0, "fallback_calls": 0, "fallback_strips": 0,
+            "deadline_hits": 0,
+        }
         self._workers: List = [None] * self.num_workers
         self._conns: List = [None] * self.num_workers
         self._stats: Dict[int, Dict[str, float]] = {}
@@ -692,7 +787,7 @@ class ProcessBackend(ExecutionBackend):
         #: already-created segment still get torn down when this object dies.
         self._finalizer = weakref.finalize(
             self, _shutdown_pool, self._workers, self._conns, self._slabs,
-            self._arenas)
+            self._arenas, self._shutdown_timeouts)
         try:
             for w in range(self.num_workers):
                 self._spawn(w)
@@ -714,31 +809,47 @@ class ProcessBackend(ExecutionBackend):
         self._workers[w] = proc
         self._conns[w] = parent_conn
 
+    @property
+    def _resilient(self) -> bool:
+        """Whether worker deaths are absorbed (retried or degraded) instead
+        of surfacing as one :class:`BackendError` per death."""
+        return self._retry.max_attempts > 1 or self._degraded_fallback
+
     def _mark_dead(self, w: int) -> Optional[int]:
         conn, self._conns[w] = self._conns[w], None
+        proc = self._workers[w]
+        was_live = conn is not None or proc is not None
         if conn is not None:
             try:
                 conn.close()
             except OSError:  # pragma: no cover
                 pass
-        proc, self._workers[w] = self._workers[w], None
+        self._workers[w] = None
         pid = None
         if proc is not None:
             pid = proc.pid
             if proc.is_alive():  # pragma: no cover - unreachable but hung
                 proc.terminate()
             proc.join(timeout=1.0)
-        # every in-flight call expecting this worker has lost its strips;
-        # their gathers raise, which counts as reporting the death
+        if was_live:
+            self._health["worker_deaths"][w] += 1
+        # every in-flight call expecting this worker has lost the strips it
+        # still owed; their gathers recover (retry/fallback) or raise, which
+        # counts as reporting the death
         reported = False
         for token in list(self._tokens.values()):
-            if w in token.pending or w in token.flushing:
-                token.pending.discard(w)
-                token.flushing.discard(w)
-                token.dead = (w, pid)
-                reported = reported or not token.abandoned
-                if token.abandoned and token.complete:
-                    self._finalize(token)
+            waited = w in token.pending or w in token.flushing
+            lost = token.outstanding.pop(w, None)
+            if not waited and not lost:
+                continue
+            token.pending.discard(w)
+            token.flushing.discard(w)
+            if lost:
+                token.lost.update(lost)
+            token.last_death = (w, pid)
+            reported = reported or not token.abandoned
+            if token.abandoned and token.complete:
+                self._finalize(token)
         if not reported:
             # died between calls (nobody was waiting on it): surface the
             # death from the next _ensure_workers instead of losing it
@@ -748,21 +859,25 @@ class ProcessBackend(ExecutionBackend):
     def _ensure_workers(self) -> None:
         """Respawn dead workers; report each worker death exactly once.
 
-        A slot that is ``None`` was already reported (its death raised a
-        :class:`BackendError` mid-call) and is respawned silently; a worker
+        A slot that is ``None`` was already reported (its death was
+        recovered or raised mid-call) and is respawned silently; a worker
         found dead *here* — killed between calls — is respawned too, but the
         death still surfaces as one clean :class:`BackendError` so callers
-        never silently lose a worker.  Either way the very next call runs on
-        a complete pool.
+        never silently lose a worker.  With retries or degraded fallback
+        enabled, between-call deaths are absorbed instead — they are counted
+        in :meth:`health_stats` and the pool heals without failing any call.
+        Either way the very next call runs on a complete pool.
         """
         for w in range(self.num_workers):
             if self._workers[w] is None:
                 self._spawn(w)
+                self._health["respawns"] += 1
             elif not self._workers[w].is_alive():
                 self._mark_dead(w)  # lands in _dead_unreported
                 self._spawn(w)
+                self._health["respawns"] += 1
         unreported, self._dead_unreported = self._dead_unreported, []
-        if unreported:
+        if unreported and not self._resilient:
             raise BackendError(
                 f"strip worker(s) {unreported} died since the last call "
                 f"(killed or crashed); the pool has respawned them — the "
@@ -794,18 +909,27 @@ class ProcessBackend(ExecutionBackend):
     # ------------------------------------------------------------------ #
     # comm plane: packing, granting, pumping
     # ------------------------------------------------------------------ #
-    def _send(self, w: int, msg, token: Optional[_Inflight] = None) -> None:
-        try:
-            nbytes = _send_obj(self._conns[w], msg)
-        except (BrokenPipeError, OSError) as exc:
-            if token is not None:
-                token.abandoned = True  # replies already in flight drain later
+    def _send(self, w: int, msg) -> bool:
+        """Send one control record to worker ``w``; never raises.
+
+        A send that fails (worker already dead, pipe gone) marks the worker
+        dead, which attributes every strip it still owed to the affected
+        tokens' ``lost`` sets — the gather loop then retries, degrades, or
+        raises, exactly as if the death had happened mid-compute.  Returns
+        whether the send succeeded.
+        """
+        conn = self._conns[w]
+        if conn is None:
             self._mark_dead(w)
-            raise BackendError(
-                f"strip worker {w} died before accepting a call "
-                f"({exc!r}); the pool will respawn it") from exc
+            return False
+        try:
+            nbytes = _send_obj(conn, msg)
+        except (BrokenPipeError, OSError):
+            self._mark_dead(w)
+            return False
         self._comm["pipe_bytes_out"] += nbytes
         self._comm["pipe_msgs_out"] += 1
+        return True
 
     def _pack_input(self, arrays: List[np.ndarray]):
         """Reserve + fill one input-arena region; returns (region, ref, descs)."""
@@ -831,6 +955,9 @@ class ProcessBackend(ExecutionBackend):
         self._ensure_workers()
         self._call_seq += 1
         token = _Inflight(self._call_seq, op, input_region)
+        if self._deadline_s is not None:
+            # the budget covers the whole call, measured from submission
+            token.deadline_at = time.monotonic() + self._deadline_s
         self._tokens[token.call_id] = token
         self._comm["calls"] += 1
         self._comm["max_inflight"] = max(self._comm["max_inflight"],
@@ -874,8 +1001,10 @@ class ProcessBackend(ExecutionBackend):
             for strip, status, payload in outs:
                 if status == "ok":
                     token.payloads[strip] = payload
+                    token.outstanding.get(w, set()).discard(strip)
                 elif status == "err":
                     token.errors[strip] = payload
+                    token.outstanding.get(w, set()).discard(strip)
                 else:  # grow: result retained worker-side, needs a bigger grant
                     grows[strip] = int(payload)
             if grows:
@@ -889,8 +1018,10 @@ class ProcessBackend(ExecutionBackend):
                     region = arena.reserve(needed)
                     token.out_regions[strip] = region
                     refs[strip] = arena.ref(region)
-                self._send(w, ("flush", call_id, refs), token)
-                token.flushing.add(w)
+                if self._send(w, ("flush", call_id, refs)):
+                    token.flushing.add(w)
+            else:
+                token.outstanding.pop(w, None)
         elif kind == "flushed":
             _, _, flushed = reply
             token.flushing.discard(w)
@@ -899,22 +1030,186 @@ class ProcessBackend(ExecutionBackend):
                     token.payloads[strip] = payload
                 else:  # pragma: no cover - re-granted region still too small
                     token.errors[strip] = payload
+                token.outstanding.get(w, set()).discard(strip)
+            if not token.outstanding.get(w):
+                token.outstanding.pop(w, None)
         if token.abandoned and token.complete:
             self._finalize(token)
 
     def _pump_token(self, token: _Inflight) -> None:
-        """Block until every expected reply for this call has been routed."""
-        while token.pending or token.flushing:
-            if token.dead is not None:
-                break
+        """Block until every strip of this call is resolved.
+
+        Resolution means: an ``ok``/``err`` record routed, a lost strip
+        recovered (re-dispatched within the :class:`RetryPolicy` budget or
+        recomputed in-process under ``degraded_fallback``), or — past the
+        budget with fallback off — exactly one :class:`BackendError` for
+        the whole call.  A configured ``deadline`` is checked before every
+        wait, so a stalled worker can never hang the gather past its
+        budget: the call is abandoned (regions release as late replies
+        drain) and :class:`~repro.errors.DeadlineError` raised.
+        """
+        while True:
+            if token.lost:
+                self._recover(token)
+            if not token.pending and not token.flushing:
+                return
+            if token.deadline_at is not None and \
+                    time.monotonic() >= token.deadline_at:
+                self._deadline_hit(token)
             waiting = token.pending or token.flushing
-            self._pump_worker(next(iter(waiting)))
-        if token.dead is not None:
-            w, pid = token.dead
-            raise BackendError(
-                f"strip worker {w} (pid {pid}) died mid-call; its strips "
-                f"{self.assignment[w]} were lost — the pool respawns the "
-                f"worker on the next call")
+            w = next(iter(waiting))
+            conn = self._conns[w]
+            if conn is None:
+                # raced with a death detected elsewhere; _mark_dead already
+                # moved its strips to token.lost
+                self._mark_dead(w)
+                continue
+            if token.deadline_at is None:
+                self._pump_worker(w)
+                continue
+            remaining = token.deadline_at - time.monotonic()
+            try:
+                ready = conn.poll(min(max(remaining, 0.0), 0.2))
+            except (EOFError, OSError):  # pragma: no cover - pipe torn down
+                self._mark_dead(w)
+                continue
+            if ready:
+                self._pump_worker(w)
+
+    def _deadline_hit(self, token: _Inflight) -> None:
+        """Abandon a call that exceeded its deadline and raise DeadlineError."""
+        self._health["deadline_hits"] += 1
+        waiting = sorted(token.pending | token.flushing)
+        raise DeadlineError(
+            f"backend call exceeded its {self._deadline_s:.3f}s deadline "
+            f"with worker(s) {waiting} still running; the call was "
+            f"abandoned — its shared-memory regions are released as the "
+            f"late replies drain, and no partial result is returned")
+
+    # ------------------------------------------------------------------ #
+    # resilience: re-dispatch, degraded fallback
+    # ------------------------------------------------------------------ #
+    def _dispatch(self, token: _Inflight, w: int, strips: Sequence[int]) -> None:
+        """(Re-)send a subset of the call's strips to worker ``w``.
+
+        Builds the op message from the token's retained prologue
+        (``proto``/``mask_specs``) with fresh output grants — the input
+        region is still held by the token, so the resent call reads the
+        exact bytes of the original dispatch and its results are
+        bit-identical.  Bookkeeping (``pending``/``outstanding``) is updated
+        *before* the send so a send failure attributes the strips as lost.
+        """
+        strips = sorted(strips)
+        out_refs = {}
+        for s in strips:
+            old = token.out_regions.pop(s, None)
+            if old is not None:
+                self._out_arenas[s].release(old)
+            out_refs[s] = self._grant(token, s)
+            token.attempts[s] = token.attempts.get(s, 0) + 1
+        msg = (token.op, token.call_id, strips, *token.proto,
+               {s: token.mask_specs[s] for s in strips}, out_refs)
+        token.pending.add(w)
+        token.outstanding.setdefault(w, set()).update(strips)
+        self._send(w, msg)
+
+    def _recover(self, token: _Inflight) -> None:
+        """Resolve the call's lost strips: retry, degrade, or raise."""
+        lost, token.lost = sorted(token.lost), set()
+        retryable: List[int] = []
+        exhausted: List[int] = []
+        for s in lost:
+            if token.attempts.get(s, 1) < self._retry.max_attempts and \
+                    token.redispatches < self._retry.budget:
+                retryable.append(s)
+                token.redispatches += 1
+            else:
+                exhausted.append(s)
+        if retryable:
+            self._health["retries"] += len(retryable)
+            # exponential backoff before the i-th re-dispatch of a strip,
+            # clipped so it can never sleep the call past its deadline
+            max_prior = max(token.attempts.get(s, 1) for s in retryable)
+            delay = self._retry.backoff_s * (2 ** (max_prior - 1))
+            if delay > 0:
+                if token.deadline_at is not None:
+                    delay = min(delay, max(
+                        0.0, token.deadline_at - time.monotonic()))
+                time.sleep(delay)
+            for w in range(self.num_workers):
+                if self._workers[w] is None:
+                    self._spawn(w)
+                    self._health["respawns"] += 1
+            by_worker: Dict[int, List[int]] = {}
+            for s in retryable:
+                by_worker.setdefault(s % self.num_workers, []).append(s)
+            for w, strips in by_worker.items():
+                self._dispatch(token, w, strips)
+        if exhausted:
+            if self._degraded_fallback:
+                if not token.used_fallback:
+                    token.used_fallback = True
+                    self._health["fallback_calls"] += 1
+                for s in exhausted:
+                    self._fallback_strip(token, s)
+            else:
+                w, pid = token.last_death or (None, None)
+                raise BackendError(
+                    f"strip(s) {exhausted} lost to worker death (last: "
+                    f"worker {w}, pid {pid}) after "
+                    f"{max(token.attempts.get(s, 1) for s in exhausted)} "
+                    f"attempt(s); retry policy {self._retry} exhausted — "
+                    f"the pool respawns dead workers on the next call")
+
+    def _fallback_strip(self, token: _Inflight, strip: int) -> None:
+        """Recompute one lost strip in-process (the degraded path).
+
+        Runs the same kernel on the parent's own copy of the strip CSC with
+        the same shard context and Python-object inputs retained at submit
+        time, so the result is bit-identical to what the worker would have
+        produced.  The strip's output region (if any) is released here —
+        nothing will ever write it.
+        """
+        from ..core.dispatch import get_algorithm
+        from ..core.engine import _accepts_workspace
+        from ..core.spmspv_block import spmspv_bucket_block
+        from ..core.workspace import SpMSpVWorkspace
+
+        self._health["fallback_strips"] += 1
+        old = token.out_regions.pop(strip, None)
+        if old is not None:
+            self._out_arenas[strip].release(old)
+        ws = self._fallback_ws.get(strip)
+        if ws is None:
+            ws = SpMSpVWorkspace(self._strips[strip].nrows, dtype=self._dtype)
+            self._fallback_ws[strip] = ws
+        args = token.call_args
+        try:
+            if token.op == "multiply":
+                fn = get_algorithm(args["algorithm"])
+                kw = dict(args["kwargs"])
+                if _accepts_workspace(fn):
+                    kw["workspace"] = ws
+                result = fn(self._strips[strip], args["x"], self.shard_ctx,
+                            semiring=args["semiring"],
+                            sorted_output=args["sorted_output"],
+                            mask=args["mask_slices"][strip],
+                            mask_complement=args["mask_complement"], **kw)
+                token.local_results[strip] = [result]
+            else:
+                results = spmspv_bucket_block(
+                    self._strips[strip], args["block"], self.shard_ctx,
+                    semiring=args["semiring"],
+                    sorted_output=args["sorted_output"],
+                    masks=args["strip_masks"][strip],
+                    mask_complement=args["mask_complement"],
+                    merge=args["block_merge"], workspace=ws)
+                token.local_results[strip] = list(results)
+            self._stats[strip] = ws.stats()
+        except Exception as exc:
+            # kernel exceptions are deterministic: surface exactly as a
+            # worker-side failure would, annotated with the strip id
+            token.local_errors[strip] = _attach_strip_id(exc, strip, self.name)
 
     def _finalize(self, token: _Inflight) -> None:
         """Release the call's arena regions once nothing can still write them."""
@@ -974,22 +1269,21 @@ class ProcessBackend(ExecutionBackend):
         region, in_ref, descs = self._pack_input(arrays)
         token.input_region = region
         x_spec = (descs[0], descs[1], x.n, x.sorted)
+        token.proto = (algorithm, sr, sorted_output, mask_complement,
+                       kwargs, in_ref, x_spec)
+        for s in range(self.num_strips):
+            at = mask_at[s]
+            token.mask_specs[s] = None if at is None else (
+                descs[at], descs[at + 1], mask_slices[s].n,
+                mask_slices[s].sorted)
+        if self._degraded_fallback:
+            token.call_args = {
+                "algorithm": algorithm, "x": x, "semiring": semiring,
+                "sorted_output": sorted_output, "mask_slices": mask_slices,
+                "mask_complement": mask_complement, "kwargs": kwargs}
         for w in range(self.num_workers):
-            if not self.assignment[w]:
-                continue
-            mask_specs = {}
-            out_refs = {}
-            for s in self.assignment[w]:
-                at = mask_at[s]
-                mask_specs[s] = None if at is None else (
-                    descs[at], descs[at + 1], mask_slices[s].n,
-                    mask_slices[s].sorted)
-                out_refs[s] = self._grant(token, s)
-            self._send(w, ("multiply", token.call_id, self.assignment[w],
-                           algorithm, sr, sorted_output, mask_complement,
-                           kwargs, in_ref, x_spec, mask_specs, out_refs),
-                       token)
-            token.pending.add(w)
+            if self.assignment[w]:
+                self._dispatch(token, w, self.assignment[w])
         if self._audit:
             for w in range(self.num_workers):
                 if not self.assignment[w]:
@@ -1001,13 +1295,27 @@ class ProcessBackend(ExecutionBackend):
                      mask_complement, kwargs)))
         return token
 
+    def _raise_strip_error(self, token: _Inflight) -> None:
+        """Re-raise the lowest-strip kernel exception, worker- or parent-side."""
+        strips = set(token.errors) | set(token.local_errors)
+        if not strips:
+            return
+        strip = min(strips)
+        if strip in token.local_errors:
+            raise token.local_errors[strip]
+        raise _load_exception(token.errors[strip], strip)
+
+    def _strip_results(self, token: _Inflight, strip: int) -> List:
+        """A strip's result list: fallback recompute or slab read-out."""
+        if strip in token.local_results:
+            return token.local_results[strip]
+        return self._read_results(token, strip)
+
     def gather_multiply(self, token: _Inflight) -> List:
         try:
             self._pump_token(token)
-            if token.errors:
-                strip = min(token.errors)
-                raise _load_exception(token.errors[strip], strip)
-            results = [self._read_results(token, s)[0]
+            self._raise_strip_error(token)
+            results = [self._strip_results(token, s)[0]
                        for s in range(self.num_strips)]
             if self._audit:
                 self._audit_reply(token, [[r] for r in results])
@@ -1042,26 +1350,27 @@ class ProcessBackend(ExecutionBackend):
         region, in_ref, descs = self._pack_input(arrays)
         token.input_region = region
         block_spec = (descs[:4], block_meta)
+        token.proto = (sr, sorted_output, mask_complement, block_merge,
+                       in_ref, block_spec)
+        for s in range(self.num_strips):
+            ats = mask_at[s]
+            if ats is None:
+                token.mask_specs[s] = None
+            else:
+                token.mask_specs[s] = [
+                    None if at is None else (
+                        descs[at], descs[at + 1], strip_masks[s][i].n,
+                        strip_masks[s][i].sorted)
+                    for i, at in enumerate(ats)]
+        if self._degraded_fallback:
+            token.call_args = {
+                "block": block, "semiring": semiring,
+                "sorted_output": sorted_output, "strip_masks": strip_masks,
+                "mask_complement": mask_complement,
+                "block_merge": block_merge}
         for w in range(self.num_workers):
-            if not self.assignment[w]:
-                continue
-            mask_specs = {}
-            out_refs = {}
-            for s in self.assignment[w]:
-                ats = mask_at[s]
-                if ats is None:
-                    mask_specs[s] = None
-                else:
-                    mask_specs[s] = [
-                        None if at is None else (
-                            descs[at], descs[at + 1], strip_masks[s][i].n,
-                            strip_masks[s][i].sorted)
-                        for i, at in enumerate(ats)]
-                out_refs[s] = self._grant(token, s)
-            self._send(w, ("block", token.call_id, self.assignment[w], sr,
-                           sorted_output, mask_complement, block_merge,
-                           in_ref, block_spec, mask_specs, out_refs), token)
-            token.pending.add(w)
+            if self.assignment[w]:
+                self._dispatch(token, w, self.assignment[w])
         if self._audit:
             for w in range(self.num_workers):
                 if not self.assignment[w]:
@@ -1076,10 +1385,8 @@ class ProcessBackend(ExecutionBackend):
     def gather_block(self, token: _Inflight) -> List[List]:
         try:
             self._pump_token(token)
-            if token.errors:
-                strip = min(token.errors)
-                raise _load_exception(token.errors[strip], strip)
-            results = [self._read_results(token, s)
+            self._raise_strip_error(token)
+            results = [self._strip_results(token, s)
                        for s in range(self.num_strips)]
             if self._audit:
                 self._audit_reply(token, results)
@@ -1137,6 +1444,20 @@ class ProcessBackend(ExecutionBackend):
         stats["output_arena_bytes"] = sum(a.capacity for a in self._out_arenas)
         return stats
 
+    def health_stats(self) -> Dict[str, object]:
+        """Resilience accounting: deaths, retries, fallbacks, deadlines.
+
+        ``worker_deaths`` is a per-worker-slot death count; ``respawns``
+        counts replacement workers started; ``retries`` counts strip
+        re-dispatches after a death; ``fallback_calls``/``fallback_strips``
+        count calls (and strips within them) served by the in-process
+        degraded path; ``deadline_hits`` counts calls abandoned at their
+        deadline.  All zero on a healthy pool.
+        """
+        stats = dict(self._health)
+        stats["worker_deaths"] = list(self._health["worker_deaths"])
+        return stats
+
     def segment_names(self) -> List[str]:
         """Names of the live shared-memory segments (leak checks)."""
         names = [slab.name for slab in self._slabs]
@@ -1155,7 +1476,8 @@ class ProcessBackend(ExecutionBackend):
         self._closed = True
         self._tokens.clear()
         self._finalizer.detach()
-        _shutdown_pool(self._workers, self._conns, self._slabs, self._arenas)
+        _shutdown_pool(self._workers, self._conns, self._slabs, self._arenas,
+                       self._shutdown_timeouts)
 
 
 # --------------------------------------------------------------------------- #
@@ -1190,7 +1512,17 @@ def make_backend(name: str, *, strips: Sequence[CSCMatrix],
                  shard_ctx: ExecutionContext, dtype,
                  use_thread_pool: bool = False,
                  workers: int = 0) -> ExecutionBackend:
-    """Build the backend ``name`` for one sharded engine's strips."""
+    """Build the backend ``name`` for one sharded engine's strips.
+
+    When the ``REPRO_BACKEND_FAULTS`` environment variable carries a fault
+    plan (see :mod:`repro.parallel.faults`), requests for the ``process``
+    backend are transparently rerouted to the ``chaos`` wrapper, so every
+    call site that selects the process backend — including suites that name
+    it explicitly — runs under the seeded injected faults.
+    """
+    if name == "process" and os.environ.get(_FAULTS_ENV):
+        from . import faults  # noqa: F401  (registers the chaos backend)
+        name = "chaos"
     try:
         factory = _BACKENDS[name]
     except KeyError:

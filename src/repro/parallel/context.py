@@ -29,9 +29,40 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Optional, Tuple
 
 from ..machine.platforms import EDISON, Platform
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a backend retries *retryable* failures (worker deaths).
+
+    A strip call that fails because its worker died is transparently
+    re-executed — respawn the worker, re-grant an output region, resend the
+    same inputs — up to ``max_attempts`` total attempts per strip and
+    ``budget`` re-dispatches per call, never changing the answer (a kernel
+    is a pure function of its inputs, so a retried strip is bit-identical
+    to a fault-free run).  Kernel exceptions are *not* retryable: they are
+    deterministic and re-raise identically.  The default policy
+    (``max_attempts=1``) disables retries, preserving the historical
+    one-``BackendError``-per-death contract.
+    """
+
+    #: total attempts per strip, including the first (1 = no retries)
+    max_attempts: int = 1
+    #: sleep before the i-th re-dispatch: ``backoff_s * 2**(i-1)`` seconds
+    backoff_s: float = 0.0
+    #: total re-dispatches allowed within one call, across all strips
+    budget: int = 8
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_s < 0:
+            raise ValueError(f"backoff_s must be >= 0, got {self.backoff_s}")
+        if self.budget < 0:
+            raise ValueError(f"budget must be >= 0, got {self.budget}")
 
 
 @dataclass(frozen=True)
@@ -64,6 +95,21 @@ class ExecutionContext:
     #: degenerates to the historical call-at-a-time barrier).  Bounds the
     #: comm plane's shared-memory footprint at window x per-call bytes.
     backend_inflight: int = 8
+    #: per-call wall-clock budget (seconds) for backend execution, measured
+    #: from submission; a gather that exceeds it raises
+    #: :class:`~repro.errors.DeadlineError` after cleanly abandoning the
+    #: call's in-flight slab regions.  ``None`` (the default) disables it.
+    deadline: Optional[float] = None
+    #: retry policy for retryable backend failures (worker deaths); the
+    #: default policy performs no retries
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: when a strip's worker dies past the retry budget, recompute that
+    #: strip in-process via the emulated path (bit-identical, slower)
+    #: instead of raising — a sick pool keeps serving correct results
+    degraded_fallback: bool = False
+    #: process-backend shutdown escalation: seconds to wait after ``stop``,
+    #: after ``terminate()``, and after ``kill()`` before giving up on a join
+    shutdown_timeouts: Tuple[float, float, float] = (2.0, 1.0, 1.0)
 
     def __post_init__(self):
         if self.num_threads < 1:
@@ -83,6 +129,17 @@ class ExecutionContext:
         if self.backend_inflight < 1:
             raise ValueError(
                 f"backend_inflight must be >= 1, got {self.backend_inflight}")
+        if self.deadline is not None and not self.deadline > 0:
+            raise ValueError(f"deadline must be > 0 or None, got {self.deadline}")
+        if not isinstance(self.retry, RetryPolicy):
+            raise ValueError(f"retry must be a RetryPolicy, got {self.retry!r}")
+        object.__setattr__(self, "shutdown_timeouts",
+                           tuple(self.shutdown_timeouts))
+        if len(self.shutdown_timeouts) != 3 or \
+                any(t < 0 for t in self.shutdown_timeouts):
+            raise ValueError(
+                f"shutdown_timeouts must be three non-negative seconds "
+                f"(stop, terminate, kill), got {self.shutdown_timeouts!r}")
 
     @property
     def num_buckets(self) -> int:
@@ -108,6 +165,19 @@ class ExecutionContext:
             return replace(self, backend=backend)
         return replace(self, backend=backend, backend_workers=workers)
 
+    def with_deadline(self, deadline: Optional[float]) -> "ExecutionContext":
+        """Return a copy with a per-call wall-clock budget (``None`` disables)."""
+        return replace(self, deadline=deadline)
+
+    def with_retry(self, retry: RetryPolicy, *,
+                   degraded_fallback: Optional[bool] = None
+                   ) -> "ExecutionContext":
+        """Return a copy with a different retry policy (and optionally the
+        degraded-fallback mode)."""
+        if degraded_fallback is None:
+            return replace(self, retry=retry)
+        return replace(self, retry=retry, degraded_fallback=degraded_fallback)
+
 
 def default_context(num_threads: int = 1, platform: Optional[Platform] = None,
                     **kwargs) -> ExecutionContext:
@@ -116,9 +186,16 @@ def default_context(num_threads: int = 1, platform: Optional[Platform] = None,
     The sharded-execution backend defaults to the ``REPRO_BACKEND``
     environment variable when set (``emulated`` otherwise), which is how CI
     runs the whole sharded suite against the process backend without touching
-    any call site.
+    any call site.  When ``REPRO_BACKEND_FAULTS`` is set (the chaos job's
+    seeded fault plan; see :mod:`repro.parallel.faults`), resilience defaults
+    flip on — strip retries plus degraded fallback — so every injected
+    worker death is absorbed and the full suite still demands bit-identical
+    results under fire.
     """
     if platform is None:
         platform = EDISON
     kwargs.setdefault("backend", os.environ.get("REPRO_BACKEND") or "emulated")
+    if os.environ.get("REPRO_BACKEND_FAULTS"):
+        kwargs.setdefault("retry", RetryPolicy(max_attempts=3))
+        kwargs.setdefault("degraded_fallback", True)
     return ExecutionContext(num_threads=num_threads, platform=platform, **kwargs)

@@ -51,6 +51,11 @@ from repro.semiring import (
 
 from conftest import random_csc
 
+#: the CI chaos job runs this suite under a seeded fault plan (the "chaos"
+#: wrapper backend + resilience defaults absorb injected worker deaths), so
+#: tests asserting the *unprotected* death contract are skipped there
+FAULTS_ENV = bool(os.environ.get("REPRO_BACKEND_FAULTS"))
+
 KERNELS = ["bucket", "combblas_spa", "combblas_heap", "graphmat", "sort"]
 ALL_SEMIRINGS = [PLUS_TIMES, MIN_PLUS, MAX_TIMES, OR_AND, MIN_SELECT2ND,
                  MAX_SELECT2ND, MIN_SELECT1ST]
@@ -134,7 +139,11 @@ def test_backend_registry_exposes_both_backends():
     matrix = random_csc(10, 10, 0.3, seed=1)
     emu, proc = engine_pair(matrix, 2)
     assert isinstance(emu.backend, EmulatedBackend)
-    assert isinstance(proc.backend, ProcessBackend)
+    if FAULTS_ENV:  # "process" is rerouted to the chaos wrapper under faults
+        from repro.parallel.faults import ChaosBackend
+        assert isinstance(proc.backend, ChaosBackend)
+    else:
+        assert isinstance(proc.backend, ProcessBackend)
     proc.close()
 
 
@@ -424,6 +433,8 @@ def test_unregistered_semiring_is_rejected_with_clear_message():
         engine.close()
 
 
+@pytest.mark.skipif(FAULTS_ENV, reason="chaos resilience defaults absorb "
+                    "worker deaths instead of raising BackendError")
 def test_killed_worker_raises_backend_error_once_then_recovers():
     matrix = random_csc(40, 36, 0.2, seed=75)
     x = SparseVector.full_like_indices(36, np.arange(8), 1.0)
@@ -451,6 +462,8 @@ def test_killed_worker_raises_backend_error_once_then_recovers():
         proc.close()
 
 
+@pytest.mark.skipif(FAULTS_ENV, reason="chaos resilience defaults absorb "
+                    "worker deaths instead of raising BackendError")
 def test_killed_worker_mid_gather_clears_queue_and_recovers():
     matrix = random_csc(30, 30, 0.2, seed=76)
     x = SparseVector.full_like_indices(30, np.arange(6), 1.0)
@@ -594,8 +607,9 @@ def test_output_slab_overflow_regrows_and_stays_bit_identical(monkeypatch):
         before = proc.backend.comm_stats()["output_overflows"]
         assert_results_match(emu.multiply(x_sorted), proc.multiply(x_sorted),
                              "post-grow repeat")
-        # same frontier again: the adapted hint grants enough up front
-        assert proc.backend.comm_stats()["output_overflows"] == before
+        if not FAULTS_ENV:  # chaos overflow storms re-clamp the grant hints
+            # same frontier again: the adapted hint grants enough up front
+            assert proc.backend.comm_stats()["output_overflows"] == before
     finally:
         proc.close()
 

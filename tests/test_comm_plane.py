@@ -260,3 +260,103 @@ def test_vector_block_pack_arrays_round_trips_through_a_region():
         assert np.array_equal(src.indices, out.indices)
         assert np.array_equal(src.values, out.values)
         assert src.sorted == out.sorted
+
+
+# --------------------------------------------------------------------------- #
+# abandon() under in-flight faults: segment/region accounting
+# --------------------------------------------------------------------------- #
+def _process_backend(shards=4, workers=2, seed=3):
+    """A bare ProcessBackend (no chaos rerouting) plus a matching frontier."""
+    import signal  # noqa: F401  (used by the tests below)
+
+    from conftest import random_csc, random_sparse_vector
+    from repro.formats.partition import row_split
+    from repro.parallel.backends import ProcessBackend
+    from repro.parallel.context import default_context
+
+    matrix = random_csc(60, 55, 0.2, seed=seed)
+    x = random_sparse_vector(55, 14, seed=seed)
+    split = row_split(matrix, shards)
+    ctx = default_context(backend="process", backend_workers=workers)
+    backend = ProcessBackend(strips=split.strips, shard_ctx=ctx,
+                             dtype=np.float64, workers=workers)
+    return backend, x
+
+
+def _submit(backend, x):
+    from repro.semiring import PLUS_TIMES
+
+    return backend.submit_multiply(
+        "bucket", x, semiring=PLUS_TIMES, sorted_output=True,
+        mask_slices=[None] * backend.num_strips, mask_complement=False,
+        kwargs={})
+
+
+def _drain_until(backend, predicate, timeout=10.0):
+    import time
+
+    end = time.monotonic() + timeout
+    while time.monotonic() < end:
+        backend._drain_ready()
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return False
+
+
+def test_abandon_with_dead_worker_releases_all_regions():
+    """Abandoning a token whose worker was killed mid-call must release the
+    input region and every granted output region, including the dead
+    worker's — nothing can ever write them again."""
+    import signal
+
+    backend, x = _process_backend()
+    try:
+        token = _submit(backend, x)
+        os.kill(backend.worker_pids()[0], signal.SIGKILL)
+        assert _drain_until(
+            backend, lambda: token.lost or backend._workers[0] is None)
+        backend.abandon(token)
+        # surviving workers' late replies drain; all regions come home
+        assert _drain_until(
+            backend,
+            lambda: all(a.outstanding == 0 for a in backend._arenas))
+        assert token.finalized or token.abandoned
+    finally:
+        backend.close()
+    # close() unlinked every segment regardless of the mid-call death
+    for name in list(backend.segment_names()):
+        assert not os.path.exists("/dev/shm/" + name)
+
+
+def test_abandon_mid_overflow_flush_releases_all_regions():
+    """Abandoning while a strip is mid grow->flush round-trip must release
+    the re-granted regions once the flush reply drains."""
+    backend, x = _process_backend(seed=5)
+    try:
+        # clamp the grants so every strip overflows and takes the flush path
+        backend._grant_hint["multiply"] = [64] * backend.num_strips
+        token = _submit(backend, x)
+        # wait until at least one worker is mid-flush (or already done —
+        # on a fast box the flush may complete between drains; both orders
+        # must end with zero outstanding regions)
+        _drain_until(backend, lambda: token.flushing or token.complete)
+        backend.abandon(token)
+        assert _drain_until(
+            backend,
+            lambda: all(a.outstanding == 0 for a in backend._arenas))
+        assert backend.comm_stats()["output_overflows"] >= 1
+    finally:
+        backend.close()
+
+
+def test_abandon_then_close_with_unfinished_call_leaks_no_segment():
+    """Even if replies never drain (we close immediately after abandoning),
+    close() owns every segment and unlinks them all."""
+    backend, x = _process_backend(seed=7)
+    token = _submit(backend, x)
+    names = list(backend.segment_names())
+    backend.abandon(token)
+    backend.close()
+    for name in names:
+        assert not os.path.exists("/dev/shm/" + name)
