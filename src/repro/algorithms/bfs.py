@@ -187,7 +187,9 @@ def bfs_multi_source(graph: Graph | CSCMatrix, sources: List[int],
                      max_levels: Optional[int] = None,
                      block_mode: str = "auto",
                      shards: Optional[int] = None,
-                     backend: Optional[str] = None) -> MultiSourceBFSResult:
+                     backend: Optional[str] = None,
+                     engine: Optional[SpMSpVEngine | ShardedEngine] = None
+                     ) -> MultiSourceBFSResult:
     """Run independent BFS traversals from several sources as one batched job.
 
     Every level performs one :meth:`~repro.core.engine.SpMSpVEngine.multiply_many`
@@ -207,6 +209,10 @@ def bfs_multi_source(graph: Graph | CSCMatrix, sources: List[int],
     fused blocks shard too (the column-union pack is shared, the scatter is
     strip-local) and results stay bit-identical.  ``backend`` overrides the
     context's sharded execution backend (``"emulated"`` | ``"process"``).
+    ``engine`` supplies a *persistent* engine already holding this adjacency
+    matrix (the serving layer's reuse path: one warm workspace across many
+    traversals); when given, ``ctx``/``shards``/``backend``/``algorithm``
+    are ignored in favour of the engine's own configuration.
     """
     matrix = graph.matrix if isinstance(graph, Graph) else graph
     if matrix.nrows != matrix.ncols:
@@ -219,9 +225,14 @@ def bfs_multi_source(graph: Graph | CSCMatrix, sources: List[int],
     ctx = ctx if ctx is not None else default_context()
     if backend is not None:
         ctx = ctx.with_backend(backend)
-    engine = (ShardedEngine(matrix, shards, ctx, algorithm=algorithm)
-              if shards is not None
-              else SpMSpVEngine(matrix, ctx, algorithm=algorithm))
+    if engine is not None:
+        if engine.matrix.shape != matrix.shape:
+            raise ValueError(
+                f"engine holds a {engine.matrix.shape} matrix; graph is {matrix.shape}")
+    else:
+        engine = (ShardedEngine(matrix, shards, ctx, algorithm=algorithm)
+                  if shards is not None
+                  else SpMSpVEngine(matrix, ctx, algorithm=algorithm))
 
     k = len(sources)
     levels = np.full((k, n), -1, dtype=INDEX_DTYPE)

@@ -195,7 +195,9 @@ def pagerank_block(graph: Graph | CSCMatrix,
                    block_mode: str = "auto",
                    restrict: Optional[np.ndarray] = None,
                    shards: Optional[int] = None,
-                   backend: Optional[str] = None) -> BlockedPageRankResult:
+                   backend: Optional[str] = None,
+                   engine: Optional[SpMSpVEngine | ShardedEngine] = None
+                   ) -> BlockedPageRankResult:
     """Run k personalized PageRank computations as one blocked job.
 
     Every iteration multiplies the transition matrix by the **block** of the
@@ -214,7 +216,11 @@ def pagerank_block(graph: Graph | CSCMatrix,
     :class:`~repro.core.sharded.ShardedEngine` over that many row strips —
     the fused block packs once and executes per strip, bit-identically.
     ``backend`` overrides the context's sharded execution backend
-    (``"emulated"`` | ``"process"``).
+    (``"emulated"`` | ``"process"``).  ``engine`` supplies a *persistent*
+    engine already holding the column-stochastic transition operator
+    (``column_stochastic(adjacency)``) — the serving layer's reuse path: no
+    per-call normalization or engine construction, and ``ctx``/``shards``/
+    ``backend``/``algorithm`` are ignored in favour of the engine's own.
     """
     matrix = graph.matrix if isinstance(graph, Graph) else graph
     if matrix.nrows != matrix.ncols:
@@ -223,10 +229,16 @@ def pagerank_block(graph: Graph | CSCMatrix,
     ctx = ctx if ctx is not None else default_context()
     if backend is not None:
         ctx = ctx.with_backend(backend)
-    transition = column_stochastic(matrix)
-    engine = (ShardedEngine(transition, shards, ctx, algorithm=algorithm)
-              if shards is not None
-              else SpMSpVEngine(transition, ctx, algorithm=algorithm))
+    if engine is not None:
+        transition = engine.matrix
+        if transition.shape != matrix.shape:
+            raise ValueError(
+                f"engine holds a {transition.shape} matrix; graph is {matrix.shape}")
+    else:
+        transition = column_stochastic(matrix)
+        engine = (ShardedEngine(transition, shards, ctx, algorithm=algorithm)
+                  if shards is not None
+                  else SpMSpVEngine(transition, ctx, algorithm=algorithm))
     dangling = np.flatnonzero(np.diff(transition.indptr) == 0)
     mask = _restrict_mask(n, restrict)
 

@@ -422,6 +422,29 @@ class SpMSpVEngine:
             return "fused", False
         return "looped", False
 
+    def multiply_block(self, block: SparseVectorBlock, *,
+                       semiring: Semiring = PLUS_TIMES,
+                       sorted_output: Optional[bool] = None,
+                       masks: Optional[Sequence[Optional[SparseVector]]] = None,
+                       mask_complement: bool = False,
+                       algorithm: Optional[str] = None,
+                       block_mode: str = "auto",
+                       block_merge: str = "segmented") -> List[SpMSpVResult]:
+        """Blocked execution of an **already-packed** :class:`SparseVectorBlock`.
+
+        The batch entry point of the serving layer: a coalescer that packed
+        concurrent requests into one block (it needs the block anyway, to
+        demultiplex per-request results through the block's positions) hands
+        it straight to the engine — the fused path reuses the pack instead of
+        re-deriving the column union, and results come back one per member
+        vector, in pack order, bit-identical to :meth:`multiply_many` over
+        ``block.to_vectors()``.
+        """
+        return self.multiply_many(
+            block.to_vectors(), semiring=semiring, sorted_output=sorted_output,
+            masks=masks, mask_complement=mask_complement, algorithm=algorithm,
+            block_mode=block_mode, block_merge=block_merge, _block=block)
+
     def multiply_many(self, xs: Sequence[SparseVector], *,
                       semiring: Semiring = PLUS_TIMES,
                       sorted_output: Optional[bool] = None,
@@ -430,6 +453,7 @@ class SpMSpVEngine:
                       algorithm: Optional[str] = None,
                       block_mode: str = "auto",
                       block_merge: str = "segmented",
+                      _block: Optional[SparseVectorBlock] = None,
                       **kwargs) -> List[SpMSpVResult]:
         """Blocked execution of one matrix against many input vectors.
 
@@ -490,7 +514,8 @@ class SpMSpVEngine:
                 xs, phi, batch=batch,
                 semiring=semiring, sorted_output=sorted_output, masks=masks,
                 mask_complement=mask_complement, requested=requested,
-                explored=explored or block_explored, block_merge=block_merge)
+                explored=explored or block_explored, block_merge=block_merge,
+                block=_block)
 
         # observed window spans the same per-call pricing/bookkeeping the
         # fused window spans, so the two wall-time fits stay comparable
@@ -514,7 +539,9 @@ class SpMSpVEngine:
                         masks: Optional[Sequence[Optional[SparseVector]]],
                         mask_complement: bool, requested: str,
                         explored: bool,
-                        block_merge: str = "segmented") -> List[SpMSpVResult]:
+                        block_merge: str = "segmented",
+                        block: Optional[SparseVectorBlock] = None
+                        ) -> List[SpMSpVResult]:
         """Run one batch through the fused block kernel, observing its cost."""
         from .spmspv_block import spmspv_bucket_block  # late: avoids import cycle
 
@@ -524,7 +551,8 @@ class SpMSpVEngine:
             # per-result pricing/bookkeeping below — so the fused and looped
             # wall-time fits stay comparable
             t0 = time.perf_counter()
-            block = SparseVectorBlock.from_vectors(xs)
+            if block is None:
+                block = SparseVectorBlock.from_vectors(xs)
             if phi is None:
                 phi = self._block_phi(block.k, block.total_nnz, block.union_nnz,
                                       self._mask_keep_fraction(

@@ -406,6 +406,26 @@ class ShardedEngine:
             return "fused", False
         return "looped", False
 
+    def multiply_block(self, block: SparseVectorBlock, *,
+                       semiring: Semiring = PLUS_TIMES,
+                       sorted_output: Optional[bool] = None,
+                       masks: Optional[Sequence[Optional[SparseVector]]] = None,
+                       mask_complement: bool = False,
+                       algorithm: Optional[str] = None,
+                       block_mode: str = "auto",
+                       block_merge: str = "segmented") -> List[SpMSpVResult]:
+        """Sharded execution of an already-packed block (serving entry point).
+
+        Mirrors :meth:`SpMSpVEngine.multiply_block`: the caller's pack is
+        reused by the fused path (one shared block for every strip) instead
+        of being re-derived; results are bit-identical to
+        :meth:`multiply_many` over ``block.to_vectors()``.
+        """
+        return self.multiply_many(
+            block.to_vectors(), semiring=semiring, sorted_output=sorted_output,
+            masks=masks, mask_complement=mask_complement, algorithm=algorithm,
+            block_mode=block_mode, block_merge=block_merge, _block=block)
+
     def multiply_many(self, xs: Sequence[SparseVector], *,
                       semiring: Semiring = PLUS_TIMES,
                       sorted_output: Optional[bool] = None,
@@ -414,6 +434,7 @@ class ShardedEngine:
                       algorithm: Optional[str] = None,
                       block_mode: str = "auto",
                       block_merge: str = "segmented",
+                      _block: Optional[SparseVectorBlock] = None,
                       **kwargs) -> List[SpMSpVResult]:
         """Sharded blocked execution of one matrix against many input vectors.
 
@@ -466,7 +487,7 @@ class ShardedEngine:
                     sorted_output=sorted_output, masks=masks,
                     mask_complement=mask_complement, requested=requested,
                     explored=explored or block_explored,
-                    block_merge=block_merge)
+                    block_merge=block_merge, block=_block)
 
             t0 = time.perf_counter()
             results = []
@@ -487,14 +508,17 @@ class ShardedEngine:
                              masks: Optional[Sequence[Optional[SparseVector]]],
                              mask_complement: bool, requested: str,
                              explored: bool,
-                             block_merge: str) -> List[SpMSpVResult]:
+                             block_merge: str,
+                             block: Optional[SparseVectorBlock] = None
+                             ) -> List[SpMSpVResult]:
         """Fused block execution across strips: one shared block, P fused calls."""
         if masks is not None:
             for mask in masks:
                 check_mask(mask, self.matrix.nrows)
         t0 = time.perf_counter()
         k = len(xs)
-        block = SparseVectorBlock.from_vectors(xs)
+        if block is None:
+            block = SparseVectorBlock.from_vectors(xs)
         if phi is None:
             phi = block_features(
                 k, block.total_nnz, block.union_nnz,
@@ -776,6 +800,19 @@ class EngineGroup:
     def multiply(self, key, x: SparseVector, **kwargs) -> SpMSpVResult:
         """Immediate (non-queued) multiplication against one member."""
         return self._engines[key].multiply(x, **kwargs)
+
+    def multiply_many(self, key, xs: Sequence[SparseVector],
+                      **kwargs) -> List[SpMSpVResult]:
+        """Immediate blocked multiplication against one member (the serving
+        layer's coalesced entry point); see
+        :meth:`SpMSpVEngine.multiply_many`."""
+        return self._engines[key].multiply_many(xs, **kwargs)
+
+    def multiply_block(self, key, block: SparseVectorBlock,
+                       **kwargs) -> List[SpMSpVResult]:
+        """Blocked multiplication of an already-packed block against one
+        member; see :meth:`SpMSpVEngine.multiply_block`."""
+        return self._engines[key].multiply_block(block, **kwargs)
 
     def submit(self, key, x: SparseVector, **kwargs) -> int:
         """Queue one multiplication against member ``key``; returns its ticket."""

@@ -50,5 +50,19 @@ class DeadlineError(ReproError, TimeoutError):
     """
 
 
+class ServerOverloadedError(ReproError, RuntimeError):
+    """A serving queue rejected a request because it is at capacity.
+
+    Raised by :meth:`repro.serve.QueryServer.submit` in ``overload="reject"``
+    mode when the bounded request queue is full — the configurable
+    alternative to blocking the caller until space frees.  The request never
+    reaches an engine; callers are expected to back off and retry.
+    """
+
+
+class ServerClosedError(ReproError, RuntimeError):
+    """A request was submitted to (or was still pending in) a closed server."""
+
+
 class ConvergenceError(ReproError, RuntimeError):
     """An iterative algorithm failed to converge within its iteration budget."""

@@ -165,8 +165,22 @@ class ExecutionContext:
             return replace(self, backend=backend)
         return replace(self, backend=backend, backend_workers=workers)
 
-    def with_deadline(self, deadline: Optional[float]) -> "ExecutionContext":
-        """Return a copy with a per-call wall-clock budget (``None`` disables)."""
+    def with_deadline(self, deadline: Optional[float], *,
+                      tighten: bool = False) -> "ExecutionContext":
+        """Return a copy with a per-call wall-clock budget (``None`` disables).
+
+        With ``tighten=True`` the new budget *composes* with the existing one
+        instead of replacing it: the effective deadline is the tighter of the
+        two (``None`` counts as unbounded), so a looser per-request budget can
+        never widen a stricter context default and vice versa.  This is how
+        serving layers map per-request deadlines onto the context: the
+        request's budget only ever shrinks the window the engine already had.
+        """
+        if tighten:
+            if deadline is None:
+                return self
+            if self.deadline is not None:
+                deadline = min(self.deadline, deadline)
         return replace(self, deadline=deadline)
 
     def with_retry(self, retry: RetryPolicy, *,

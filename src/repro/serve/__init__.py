@@ -1,0 +1,36 @@
+"""Async query-serving layer: coalesce concurrent queries into fused batches.
+
+The paper's block kernel pays its fixed costs once per batch; this package
+turns that into a serving-throughput win by coalescing independent client
+queries (multiply / personalized PageRank / multi-source BFS) against named
+graphs into fused :class:`~repro.formats.vector_block.SparseVectorBlock`
+executions.  See :class:`QueryServer` for the request lifecycle.
+"""
+
+from .clock import VirtualClock, WallClock
+from .coalescer import Batch, Coalescer
+from .loadgen import (ScheduledRequest, SubmitOutcome, generate_schedule,
+                      random_query, replay, run_closed_loop)
+from .requests import (BFSAnswer, BFSQuery, MultiplyQuery, PageRankQuery,
+                       Request, ServeFuture)
+from .server import QueryServer
+
+__all__ = [
+    "Batch",
+    "BFSAnswer",
+    "BFSQuery",
+    "Coalescer",
+    "MultiplyQuery",
+    "PageRankQuery",
+    "QueryServer",
+    "Request",
+    "ScheduledRequest",
+    "ServeFuture",
+    "SubmitOutcome",
+    "VirtualClock",
+    "WallClock",
+    "generate_schedule",
+    "random_query",
+    "replay",
+    "run_closed_loop",
+]

@@ -1,0 +1,58 @@
+"""Clocks for the serving layer: wall time for production, virtual for tests.
+
+Every time-dependent decision the server makes — when a coalescing window
+expires, whether a request's deadline has passed, what latency to record —
+goes through a :class:`Clock`.  In production that is :class:`WallClock`
+(monotonic seconds).  Tests swap in a :class:`VirtualClock`, which only
+moves when the test calls :meth:`~VirtualClock.advance`; with it the server
+runs single-threaded and every coalescing decision becomes a pure function
+of (arrival schedule, ``max_wait_s``, ``max_batch``) — replayable bit for
+bit, which is what the determinism suite asserts.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class WallClock:
+    """Monotonic wall time (``time.monotonic``); the production clock."""
+
+    #: virtual clocks flip this; the server uses it to pick its pump strategy
+    virtual = False
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class VirtualClock:
+    """A clock that only moves when told to (deterministic tests).
+
+    ``now()`` returns the current virtual time; :meth:`advance` moves it
+    forward.  The serving layer never sleeps against a virtual clock — time
+    passes only through explicit ``advance`` calls, so two runs with the
+    same arrival schedule make identical batching decisions.
+    """
+
+    virtual = True
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward by ``seconds`` (must be >= 0); returns the new now."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance a clock backwards ({seconds})")
+        self._now += float(seconds)
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        """Sleeping *is* advancing for a virtual clock."""
+        self.advance(seconds)

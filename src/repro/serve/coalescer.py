@@ -1,0 +1,121 @@
+"""The coalescer: a pure, deterministic batching state machine.
+
+Requests with the same :meth:`~repro.serve.requests.MultiplyQuery.coalesce_key`
+accumulate in an open *group*.  A group flushes into an executable batch
+when either
+
+* it reaches ``max_batch`` members (flushed immediately by :meth:`add`), or
+* its oldest member has waited ``max_wait_s`` (flushed by :meth:`due`).
+
+The coalescer holds no clock and no thread — callers feed it ``now`` — so
+batch composition is a pure function of the arrival schedule and the two
+knobs.  Groups flush in the order they were opened and members stay in
+arrival order, which is what makes serving runs replayable.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from .requests import Request
+
+
+@dataclass
+class Batch:
+    """An executable batch: same-key requests, in arrival order."""
+
+    key: Tuple
+    requests: List[Request]
+    #: clock time the group was opened (first member's enqueue)
+    opened: float
+
+    @property
+    def kind(self) -> str:
+        return self.key[0]
+
+    @property
+    def graph(self) -> str:
+        return self.key[1]
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+
+@dataclass
+class _Group:
+    key: Tuple
+    opened: float
+    requests: List[Request] = field(default_factory=list)
+
+
+class Coalescer:
+    """Groups same-key requests into batches under a window and a size cap."""
+
+    def __init__(self, max_wait_s: float, max_batch: int):
+        if max_wait_s < 0:
+            raise ValueError(f"max_wait_s must be >= 0, got {max_wait_s}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.max_wait_s = float(max_wait_s)
+        self.max_batch = int(max_batch)
+        self._groups: "OrderedDict[Tuple, _Group]" = OrderedDict()
+        self._depth = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def depth(self) -> int:
+        """Number of requests currently queued across all open groups."""
+        return self._depth
+
+    def add(self, request: Request, now: float) -> Optional[Batch]:
+        """Enqueue one request; returns the full batch if the size cap hit.
+
+        With ``max_batch == 1`` (coalescing disabled) every add returns a
+        singleton batch immediately.
+        """
+        key = request.query.coalesce_key()
+        group = self._groups.get(key)
+        if group is None:
+            group = _Group(key=key, opened=now)
+            self._groups[key] = group
+        group.requests.append(request)
+        self._depth += 1
+        if len(group.requests) >= self.max_batch:
+            return self._close(group)
+        return None
+
+    def due(self, now: float) -> List[Batch]:
+        """Flush every group whose window (``opened + max_wait_s``) has
+        expired, in group-open order."""
+        flushed = []
+        for key in list(self._groups):
+            group = self._groups[key]
+            if now - group.opened >= self.max_wait_s:
+                flushed.append(self._close(group))
+        return flushed
+
+    def next_due(self) -> Optional[float]:
+        """Clock time the earliest open group's window expires (None if idle)."""
+        if not self._groups:
+            return None
+        opened = min(g.opened for g in self._groups.values())
+        return opened + self.max_wait_s
+
+    def flush_oldest(self) -> Optional[Batch]:
+        """Force-flush the earliest-opened group (backpressure relief)."""
+        if not self._groups:
+            return None
+        key = next(iter(self._groups))
+        return self._close(self._groups[key])
+
+    def flush_all(self) -> List[Batch]:
+        """Force-flush every open group, in group-open order (drain path)."""
+        return [self._close(self._groups[key]) for key in list(self._groups)]
+
+    # ------------------------------------------------------------------ #
+    def _close(self, group: _Group) -> Batch:
+        del self._groups[group.key]
+        self._depth -= len(group.requests)
+        return Batch(key=group.key, requests=group.requests, opened=group.opened)

@@ -1,0 +1,153 @@
+"""Seeded load generation for the serving layer.
+
+Two halves:
+
+* :func:`generate_schedule` — a deterministic open-loop arrival schedule
+  (exponential inter-arrival gaps, seeded query mix).  Replayed against a
+  virtual-clock server with :func:`replay`, the schedule fully determines
+  every batching decision — the property the determinism tests check.
+* :func:`run_closed_loop` — wall-clock closed-loop clients (each thread
+  waits for its response before sending the next request), the shape the
+  throughput benchmark drives at N concurrent clients.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .._typing import INDEX_DTYPE
+from ..errors import ReproError
+from ..formats.csc import CSCMatrix
+from ..formats.sparse_vector import SparseVector
+from .requests import BFSQuery, MultiplyQuery, PageRankQuery, ServeFuture
+from .server import QueryServer
+
+
+@dataclass(frozen=True)
+class ScheduledRequest:
+    """One arrival in an open-loop schedule."""
+
+    at: float
+    query: object
+    timeout_s: Optional[float] = None
+
+
+@dataclass
+class SubmitOutcome:
+    """What happened to one scheduled submission."""
+
+    item: ScheduledRequest
+    future: Optional[ServeFuture] = None
+    #: submission-time rejection (overload), if any
+    error: Optional[BaseException] = None
+
+
+def random_query(rng: np.random.Generator, graphs: Mapping[str, CSCMatrix],
+                 kinds: Sequence[str] = ("multiply",), *,
+                 nnz: Tuple[int, int] = (4, 32),
+                 semirings: Sequence[str] = ("plus_times",)):
+    """One random query drawn from the given mix (pure function of ``rng``)."""
+    names = sorted(graphs)
+    graph = names[int(rng.integers(len(names)))]
+    matrix = graphs[graph]
+    n = matrix.ncols
+    kind = kinds[int(rng.integers(len(kinds)))]
+    if kind == "multiply":
+        k = int(rng.integers(nnz[0], min(nnz[1], n) + 1))
+        idx = np.sort(rng.choice(n, size=k, replace=False)).astype(INDEX_DTYPE)
+        x = SparseVector(n, idx, rng.random(k) + 0.1, sorted=True, check=False)
+        semiring = semirings[int(rng.integers(len(semirings)))]
+        return MultiplyQuery(graph=graph, x=x, semiring=semiring)
+    if kind == "pagerank":
+        k = int(rng.integers(1, 4))
+        verts = rng.choice(n, size=k, replace=False)
+        return PageRankQuery(graph=graph, personalization=tuple(int(v) for v in verts))
+    if kind == "bfs":
+        return BFSQuery(graph=graph, source=int(rng.integers(n)))
+    raise ValueError(f"unknown query kind {kind!r}")
+
+
+def generate_schedule(graphs: Mapping[str, CSCMatrix], *,
+                      seed: int,
+                      num_requests: int,
+                      mean_gap_s: float = 0.001,
+                      kinds: Sequence[str] = ("multiply",),
+                      nnz: Tuple[int, int] = (4, 32),
+                      semirings: Sequence[str] = ("plus_times",),
+                      timeout_s: Optional[float] = None
+                      ) -> List[ScheduledRequest]:
+    """A seeded open-loop arrival schedule (Poisson process, mixed queries)."""
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(mean_gap_s, size=num_requests)
+    arrivals = np.cumsum(gaps)
+    return [ScheduledRequest(at=float(arrivals[i]),
+                             query=random_query(rng, graphs, kinds, nnz=nnz,
+                                                semirings=semirings),
+                             timeout_s=timeout_s)
+            for i in range(num_requests)]
+
+
+def replay(server: QueryServer, schedule: Sequence[ScheduledRequest], *,
+           drain: bool = True) -> List[SubmitOutcome]:
+    """Replay a schedule against a virtual-clock server, deterministically.
+
+    Advances the clock to each arrival, submits, and (with ``drain=True``)
+    finally advances past the coalescing window so every request resolves.
+    Overload rejections are captured in the outcome, not raised.
+    """
+    if not getattr(server.clock, "virtual", False):
+        raise RuntimeError("replay() requires a server on a VirtualClock")
+    outcomes: List[SubmitOutcome] = []
+    for item in schedule:
+        if item.at > server.clock.now():
+            server.advance(item.at - server.clock.now())
+        try:
+            future = server.submit(item.query, timeout_s=item.timeout_s)
+            outcomes.append(SubmitOutcome(item=item, future=future))
+        except ReproError as exc:
+            outcomes.append(SubmitOutcome(item=item, error=exc))
+    if drain:
+        # an exact max_wait_s advance can leave the final window a hair
+        # short of expiry (now - opened < max_wait_s after float rounding
+        # of the arrival cumsum), so step until every group has flushed
+        step = server._coalescer.max_wait_s or 1e-9
+        for _ in range(64):
+            if not server._coalescer.depth:
+                break
+            server.advance(step)
+    return outcomes
+
+
+def run_closed_loop(server: QueryServer,
+                    client_queries: Sequence[Sequence[object]], *,
+                    timeout_s: Optional[float] = None,
+                    result_timeout_s: float = 60.0) -> Dict[str, object]:
+    """Drive N wall-clock closed-loop clients; returns ok/error counts.
+
+    ``client_queries[i]`` is client ``i``'s request sequence; each client
+    thread waits for a response before sending its next query.
+    """
+    ok = [0] * len(client_queries)
+    errors = [0] * len(client_queries)
+
+    def client(i: int) -> None:
+        for query in client_queries[i]:
+            try:
+                future = server.submit(query, timeout_s=timeout_s)
+                future.result(timeout=result_timeout_s)
+                ok[i] += 1
+            except (ReproError, TimeoutError):
+                errors[i] += 1
+
+    threads = [threading.Thread(target=client, args=(i,), daemon=True)
+               for i in range(len(client_queries))]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return {"ok": int(sum(ok)), "errors": int(sum(errors)),
+            "clients": len(client_queries)}

@@ -1,0 +1,182 @@
+"""Query types, requests, and futures for the serving layer.
+
+A *query* describes one unit of client work against a named graph: a single
+SpMSpV multiplication, a personalized-PageRank computation, or a multi-source
+BFS traversal.  Queries carry a :meth:`~Query.coalesce_key`: two queries with
+the same key can execute inside one fused batch (same graph, same semiring /
+iteration parameters), which is exactly what the coalescer groups on.
+
+A :class:`Request` wraps a query with its serving metadata (id, arrival
+time, absolute deadline) and the :class:`ServeFuture` the client waits on.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..formats.sparse_vector import SparseVector
+
+
+# --------------------------------------------------------------------------- #
+# queries
+# --------------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class MultiplyQuery:
+    """One SpMSpV multiplication ``y = A x`` against the named graph.
+
+    Coalesces with other multiplies on the same graph, semiring, and mask
+    polarity; per-request masks ride along inside the batch (``multiply_many``
+    takes one mask per member).
+    """
+
+    graph: str
+    x: SparseVector
+    semiring: str = "plus_times"
+    mask: Optional[SparseVector] = None
+    mask_complement: bool = False
+
+    kind = "multiply"
+
+    def coalesce_key(self) -> Tuple:
+        return ("multiply", self.graph, self.semiring, self.mask_complement)
+
+
+@dataclass(frozen=True)
+class PageRankQuery:
+    """One personalized-PageRank computation on the named graph.
+
+    ``personalization`` is the tuple of teleport vertices.  Queries coalesce
+    when every iteration parameter matches — a fused batch runs all members
+    through one blocked delta iteration (:func:`~repro.algorithms.pagerank.
+    pagerank_block`), bit-identical to solo runs.
+    """
+
+    graph: str
+    personalization: Tuple[int, ...]
+    damping: float = 0.85
+    tol: float = 1e-8
+    max_iterations: int = 200
+
+    kind = "pagerank"
+
+    def __post_init__(self):
+        object.__setattr__(self, "personalization",
+                           tuple(int(v) for v in self.personalization))
+        if not self.personalization:
+            raise ValueError("personalization needs at least one vertex")
+
+    def coalesce_key(self) -> Tuple:
+        return ("pagerank", self.graph, self.damping, self.tol,
+                self.max_iterations)
+
+
+@dataclass(frozen=True)
+class BFSQuery:
+    """One BFS traversal from ``source`` on the named graph.
+
+    Coalesces with other traversals of the same graph and level cap into one
+    multi-source batch (:func:`~repro.algorithms.bfs.bfs_multi_source`).
+    """
+
+    graph: str
+    source: int
+    max_levels: Optional[int] = None
+
+    kind = "bfs"
+
+    def coalesce_key(self) -> Tuple:
+        return ("bfs", self.graph, self.max_levels)
+
+
+Query = MultiplyQuery  # for isinstance docs only; any of the three is a query
+
+
+# --------------------------------------------------------------------------- #
+# responses
+# --------------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class BFSAnswer:
+    """Per-request slice of a batched multi-source BFS."""
+
+    source: int
+    levels: np.ndarray
+    parents: np.ndarray
+
+    @property
+    def num_reached(self) -> int:
+        return int(np.count_nonzero(self.levels >= 0))
+
+
+# --------------------------------------------------------------------------- #
+# futures and requests
+# --------------------------------------------------------------------------- #
+
+class ServeFuture:
+    """The client's handle on an in-flight request.
+
+    Resolution is one-shot: exactly one of :meth:`set_result` /
+    :meth:`set_exception` ever lands.  Under a virtual clock everything is
+    single-threaded and futures resolve during ``submit``/``advance``
+    calls, so ``result()`` never actually waits; under a wall clock it
+    blocks on an event.
+    """
+
+    __slots__ = ("_event", "_result", "_exception")
+
+    def __init__(self):
+        self._event = threading.Event()
+        self._result = None
+        self._exception: Optional[BaseException] = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def set_result(self, result) -> None:
+        if self._event.is_set():
+            raise RuntimeError("future already resolved")
+        self._result = result
+        self._event.set()
+
+    def set_exception(self, exc: BaseException) -> None:
+        if self._event.is_set():
+            raise RuntimeError("future already resolved")
+        self._exception = exc
+        self._event.set()
+
+    def exception(self, timeout: Optional[float] = None) -> Optional[BaseException]:
+        """The stored exception (None if the request succeeded)."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("request still pending")
+        return self._exception
+
+    def result(self, timeout: Optional[float] = None):
+        """The response, blocking up to ``timeout`` seconds; raises the
+        request's failure (e.g. :class:`~repro.errors.DeadlineError`) if it
+        failed."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("request still pending")
+        if self._exception is not None:
+            raise self._exception
+        return self._result
+
+
+@dataclass
+class Request:
+    """A query plus its serving metadata, as tracked by the coalescer."""
+
+    id: int
+    query: object
+    #: clock time the server accepted the request
+    arrival: float
+    #: absolute clock deadline (``arrival + timeout``); None = no deadline
+    deadline: Optional[float] = None
+    future: ServeFuture = field(default_factory=ServeFuture)
+
+    def expired(self, now: float) -> bool:
+        return self.deadline is not None and now >= self.deadline

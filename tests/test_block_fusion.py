@@ -122,6 +122,59 @@ def test_vector_block_rejects_mismatched_lengths():
         SparseVectorBlock.from_vectors([SparseVector.empty(4), SparseVector.empty(5)])
 
 
+def test_vector_block_round_trip_with_empty_members():
+    """Demux with empty members (ISSUE 8 satellite): the serving layer's
+    ``to_vectors`` unpack must slice zero-width members exactly — empty in
+    the middle, at the ends, and the all-empty block."""
+    n = 12
+    dense = SparseVector.from_dense(np.arange(1.0, n + 1.0))
+    sparse = random_sparse_vector(n, 3, seed=8)
+    for vecs in (
+        [SparseVector.empty(n), dense, sparse],
+        [dense, SparseVector.empty(n), sparse],
+        [dense, sparse, SparseVector.empty(n)],
+        [SparseVector.empty(n), SparseVector.empty(n)],
+        [SparseVector.empty(n)],
+    ):
+        block = SparseVectorBlock.from_vectors(vecs)
+        block.validate()
+        back = block.to_vectors()
+        assert len(back) == len(vecs)
+        for original, restored in zip(vecs, back):
+            assert restored.n == n
+            assert np.array_equal(original.indices, restored.indices)
+            assert np.array_equal(original.values, restored.values)
+        assert np.array_equal(block.nnz_per_vector(),
+                              [v.nnz for v in vecs])
+
+
+def test_fused_block_with_empty_input_and_empty_output_members():
+    """A batch member with no input nonzeros (or one fully masked to an
+    empty *output*) must demux to an empty result without disturbing its
+    batchmates — the serving layer hits this whenever a query's frontier
+    dies mid-batch."""
+    matrix = random_csc(30, 30, density=0.15, seed=3)
+    ctx = default_context()
+    engine = SpMSpVEngine(matrix, ctx, algorithm="bucket")
+    x_live = random_sparse_vector(30, 6, seed=1)
+    x_empty = SparseVector.empty(30)
+    # empty input member
+    results = engine.multiply_many([x_live, x_empty, x_live],
+                                   block_mode="fused")
+    ref = engine.multiply(x_live)
+    assert results[1].vector.nnz == 0
+    for r in (results[0], results[2]):
+        assert np.array_equal(r.vector.indices, ref.vector.indices)
+        assert np.array_equal(r.vector.values, ref.vector.values)
+    # empty output member: complement-mask away every row for one member
+    all_rows = SparseVector.from_dense(np.ones(30))
+    results = engine.multiply_many(
+        [x_live, x_live], masks=[None, all_rows], mask_complement=True,
+        block_mode="fused")
+    assert np.array_equal(results[0].vector.values, ref.vector.values)
+    assert results[1].vector.nnz == 0
+
+
 # --------------------------------------------------------------------------- #
 # fused kernel == per-vector kernel, across the whole combination matrix
 # --------------------------------------------------------------------------- #

@@ -117,6 +117,35 @@ def test_retry_policy_and_context_validation():
     assert ctx2.degraded_fallback
 
 
+@pytest.mark.parametrize("base,request_deadline,expected", [
+    # tighter per-request deadline wins over a looser context default
+    (5.0, 2.0, 2.0),
+    # looser per-request deadline cannot widen a stricter context default
+    (2.0, 5.0, 2.0),
+    (3.0, 3.0, 3.0),
+    # None composes as "unbounded": never loosens, never tightens
+    (2.0, None, 2.0),
+    (None, 3.0, 3.0),
+    (None, None, None),
+])
+def test_with_deadline_tighten_composition(base, request_deadline, expected):
+    """`with_deadline(..., tighten=True)` keeps the tighter of the two
+    budgets in both directions (the serving layer's per-request mapping)."""
+    ctx = default_context(deadline=base) if base is not None else default_context()
+    composed = ctx.with_deadline(request_deadline, tighten=True)
+    assert composed.deadline == expected
+    # the base context is immutable; composition returned a copy
+    assert ctx.deadline == base
+
+
+def test_with_deadline_replace_still_overwrites():
+    """Without tighten, with_deadline keeps its historical replace
+    semantics — including widening and clearing."""
+    ctx = default_context(deadline=1.0)
+    assert ctx.with_deadline(5.0).deadline == 5.0
+    assert ctx.with_deadline(None).deadline is None
+
+
 # --------------------------------------------------------------------------- #
 # retry: kills absorbed, results bit-identical
 # --------------------------------------------------------------------------- #
