@@ -14,6 +14,7 @@ from .bipartite_matching import (
     maximal_bipartite_matching,
 )
 from .connected_components import ConnectedComponentsResult, connected_components
+from .incremental import incremental_bfs, incremental_pagerank
 from .local_clustering import LocalClusterResult, conductance, local_cluster
 from .mis import (
     MISResult,
@@ -46,6 +47,8 @@ __all__ = [
     "column_stochastic",
     "conductance",
     "connected_components",
+    "incremental_bfs",
+    "incremental_pagerank",
     "is_independent_set",
     "is_maximal_independent_set",
     "is_maximal_matching",

@@ -1,0 +1,256 @@
+"""Incremental graph algorithms: restart from the previous result on updates.
+
+The delta layer (:mod:`repro.formats.delta`) makes *multiplies* cheap under
+edge updates; this module makes whole *algorithms* cheap by reusing their
+previous answers instead of recomputing from scratch:
+
+* :func:`incremental_bfs` — after edge **insertions**, distances can only
+  shrink, and every shrink originates at an inserted edge.  The previous
+  level array is repaired by level-synchronous relaxation seeded from the
+  inserted edges, expanding only the vertices whose level actually improved
+  — typically a vanishing fraction of the graph for small update batches.
+* :func:`incremental_pagerank` — the power iteration converges from any
+  starting vector, so it is warm-restarted from the previous scores: one
+  residual computation plus the few delta-form iterations the perturbation
+  needs, instead of the full cold-start trajectory.
+
+Caveats (documented, by design):
+
+* Incremental BFS handles **insertions only**.  A deletion can disconnect
+  the tree, which cannot be repaired locally — recompute with
+  :func:`~repro.algorithms.bfs.bfs` after deletions.  Levels are exact;
+  parents form *a* valid BFS tree (each parent is one level above its
+  child) but tie-breaks may differ from a cold run, because only improved
+  vertices re-expand.
+* Incremental PageRank is exact to the iteration tolerance (the fixed
+  point is unique), not bit-identical to a cold run.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+from .._typing import INDEX_DTYPE, as_index_array
+from ..core.engine import SpMSpVEngine
+from ..core.sharded import ShardedEngine
+from ..formats.csc import CSCMatrix
+from ..formats.sparse_vector import SparseVector
+from ..graphs.graph import Graph
+from ..parallel.context import ExecutionContext, default_context
+from ..parallel.metrics import ExecutionRecord
+from ..semiring import MIN_SELECT2ND, PLUS_TIMES
+from .bfs import BFSResult
+from .pagerank import PageRankResult, column_stochastic
+
+__all__ = ["incremental_bfs", "incremental_pagerank"]
+
+Engine = Union[SpMSpVEngine, ShardedEngine]
+
+
+def _resolve_engine(matrix: CSCMatrix, ctx: Optional[ExecutionContext],
+                    algorithm: str, engine: Optional[Engine]) -> Engine:
+    if engine is not None:
+        if engine.matrix.shape != matrix.shape:
+            raise ValueError(
+                f"engine holds a {engine.matrix.shape} matrix; "
+                f"graph is {matrix.shape}")
+        return engine
+    return SpMSpVEngine(matrix, ctx if ctx is not None else default_context(),
+                        algorithm=algorithm)
+
+
+def incremental_bfs(graph: Graph | CSCMatrix, previous: BFSResult,
+                    inserted_rows, inserted_cols,
+                    ctx: Optional[ExecutionContext] = None, *,
+                    algorithm: str = "bucket",
+                    engine: Optional[Engine] = None) -> BFSResult:
+    """Repair a BFS result after edge insertions.
+
+    ``graph`` is the **updated** adjacency (``A(i, j)`` = edge ``j -> i``;
+    an engine already holding it — deltas included — can be passed via
+    ``engine``, the serving layer's warm path).  ``previous`` is the result
+    of a BFS from the same source on the graph *before* the insertions, and
+    ``inserted_rows``/``inserted_cols`` list the inserted edges as
+    ``(target, source)`` coordinate pairs — reweights of existing edges are
+    harmless no-ops here (BFS ignores weights).
+
+    Distances only shrink under insertions, and every shrink starts at an
+    inserted edge, so the repair seeds a worklist from the edges whose
+    target improves and relaxes level-synchronously: at each step the
+    lowest-level improved vertices expand through one ``MIN_SELECT2ND``
+    SpMSpV, exactly like a cold BFS level, but over a frontier of improved
+    vertices only.  The returned levels equal a from-scratch BFS on the
+    updated graph.
+    """
+    matrix = graph.matrix if isinstance(graph, Graph) else graph
+    if matrix.nrows != matrix.ncols:
+        raise ValueError("BFS requires a square adjacency matrix")
+    n = matrix.ncols
+    if len(previous.levels) != n:
+        raise ValueError(
+            f"previous result covers {len(previous.levels)} vertices; "
+            f"graph has {n}")
+    engine = _resolve_engine(matrix, ctx, algorithm, engine)
+
+    levels = np.asarray(previous.levels).copy()
+    parents = np.asarray(previous.parents).copy()
+    rows = as_index_array(inserted_rows)
+    cols = as_index_array(inserted_cols)
+    if len(rows) != len(cols):
+        raise ValueError("inserted_rows and inserted_cols must match in length")
+
+    # seed: inserted edge (source=col, target=row) improves the target when
+    # the source is reached and the hop beats the target's current level;
+    # per target keep the lowest candidate level, breaking ties on the
+    # smallest source id (the cold run's MIN_SELECT2ND tie-break)
+    src_levels = levels[cols] if len(cols) else np.empty(0, dtype=levels.dtype)
+    usable = src_levels >= 0
+    cand = np.where(usable, src_levels + 1, np.iinfo(np.int64).max)
+    better = usable & ((levels[rows] < 0) | (cand < levels[rows]))
+    in_worklist = np.zeros(n, dtype=bool)
+    if better.any():
+        t_rows, t_cand, t_src = rows[better], cand[better], cols[better]
+        order = np.lexsort((t_src, t_cand, t_rows))
+        t_rows, t_cand, t_src = t_rows[order], t_cand[order], t_src[order]
+        first = np.empty(len(t_rows), dtype=bool)
+        first[0] = True
+        np.not_equal(t_rows[1:], t_rows[:-1], out=first[1:])
+        t_rows, t_cand, t_src = t_rows[first], t_cand[first], t_src[first]
+        levels[t_rows] = t_cand
+        parents[t_rows] = t_src
+        in_worklist[t_rows] = True
+
+    records: List[ExecutionRecord] = []
+    frontier_sizes: List[int] = []
+    iterations = 0
+    while in_worklist.any():
+        work = np.flatnonzero(in_worklist)
+        level = int(levels[work].min())
+        frontier_idx = work[levels[work] == level].astype(INDEX_DTYPE)
+        in_worklist[frontier_idx] = False
+        frontier = SparseVector(n, frontier_idx,
+                                frontier_idx.astype(np.float64),
+                                sorted=True, check=False)
+        frontier_sizes.append(frontier.nnz)
+        iterations += 1
+        result = engine.multiply(frontier, semiring=MIN_SELECT2ND)
+        records.append(result.record)
+        reached = result.vector
+        if reached.nnz == 0:
+            continue
+        improve = (levels[reached.indices] < 0) | \
+                  (level + 1 < levels[reached.indices])
+        targets = reached.indices[improve]
+        levels[targets] = level + 1
+        parents[targets] = reached.values[improve].astype(INDEX_DTYPE)
+        in_worklist[targets] = True
+
+    return BFSResult(source=previous.source, levels=levels, parents=parents,
+                     num_iterations=iterations, frontier_sizes=frontier_sizes,
+                     records=records, engine=engine)
+
+
+def incremental_pagerank(graph: Graph | CSCMatrix, previous_scores: np.ndarray,
+                         ctx: Optional[ExecutionContext] = None, *,
+                         damping: float = 0.85,
+                         tol: float = 1e-8,
+                         max_iterations: int = 200,
+                         personalization: Optional[np.ndarray] = None,
+                         algorithm: str = "bucket",
+                         engine: Optional[Engine] = None) -> PageRankResult:
+    """Warm-restart PageRank on the updated graph from the previous scores.
+
+    ``graph`` is the **updated** adjacency; ``engine``, when given, must
+    hold its column-stochastic transition (``column_stochastic(updated)``)
+    — the serving layer rebuilds that engine lazily after updates.  The
+    iteration runs in the same delta form as
+    :func:`~repro.algorithms.pagerank.pagerank`, but seeded with the
+    *residual* of the previous scores under the updated operator instead of
+    the full teleport vector: one dense residual multiply, then only the
+    vertices the update actually perturbed stay active.  The fixed point is
+    unique (``damping < 1``), so the result matches a cold run to within
+    the tolerance — after a small update batch, typically in a handful of
+    iterations instead of the cold run's dozens.
+    """
+    matrix = graph.matrix if isinstance(graph, Graph) else graph
+    if matrix.nrows != matrix.ncols:
+        raise ValueError("PageRank requires a square adjacency matrix")
+    if not 0.0 <= damping < 1.0:
+        raise ValueError(f"damping must be in [0, 1); got {damping}")
+    n = matrix.ncols
+    previous_scores = np.asarray(previous_scores, dtype=np.float64)
+    if previous_scores.shape != (n,):
+        raise ValueError(
+            f"previous_scores has shape {previous_scores.shape}; "
+            f"expected ({n},)")
+    total = previous_scores.sum()
+    if not total > 0:
+        raise ValueError("previous_scores must have positive total mass")
+    if engine is None:
+        transition = column_stochastic(matrix)
+        engine = SpMSpVEngine(transition,
+                              ctx if ctx is not None else default_context(),
+                              algorithm=algorithm)
+    else:
+        transition = engine.matrix
+        if transition.shape != matrix.shape:
+            raise ValueError(
+                f"engine holds a {transition.shape} matrix; "
+                f"graph is {matrix.shape}")
+    dangling = np.flatnonzero(np.diff(transition.indptr) == 0)
+
+    if personalization is None:
+        teleport = np.full(n, 1.0 / n)
+    else:
+        teleport = np.zeros(n)
+        teleport[np.asarray(personalization, dtype=INDEX_DTYPE)] = 1.0
+        teleport /= teleport.sum()
+
+    def spread_of(vec: SparseVector) -> tuple:
+        """One application of ``damping * M`` to a delta vector."""
+        result = engine.multiply(vec, semiring=PLUS_TIMES)
+        dense = np.zeros(n)
+        if result.vector.nnz:
+            dense[result.vector.indices] = damping * result.vector.values
+        mass = float(vec.values[np.isin(vec.indices, dangling,
+                                        assume_unique=True)].sum()) \
+            if len(dangling) and vec.nnz else 0.0
+        if mass:
+            dense += damping * mass * teleport
+        return dense, result.record
+
+    records: List[ExecutionRecord] = []
+    # the unnormalized fixed point solves p = damping*M p + teleport and has
+    # total mass 1/(1-damping) (the operator scales mass by damping and the
+    # teleport injects 1 per step); rescale the normalized previous scores to
+    # that mass so the warm guess sits near the fixed point, then run the
+    # standard delta loop seeded with the guess's residual r0:
+    # p = p0 + sum_k (damping*M)^k r0
+    scores = previous_scores * (1.0 / (1.0 - damping) / total)
+    guess = SparseVector.from_dense(scores)
+    applied, record = spread_of(guess)
+    records.append(record)
+    residual = teleport + applied - scores
+    scores = scores + residual
+    active = np.flatnonzero(np.abs(residual) > tol)
+    delta = SparseVector(n, active.astype(INDEX_DTYPE), residual[active],
+                         sorted=True, check=False)
+
+    active_sizes: List[int] = []
+    iterations = 0
+    while delta.nnz and iterations < max_iterations:
+        iterations += 1
+        active_sizes.append(delta.nnz)
+        dense, record = spread_of(delta)
+        records.append(record)
+        scores += dense
+        active = np.flatnonzero(np.abs(dense) > tol)
+        delta = SparseVector(n, active.astype(INDEX_DTYPE), dense[active],
+                             sorted=True, check=False)
+
+    scores /= scores.sum()
+    return PageRankResult(scores=scores, num_iterations=iterations,
+                          active_sizes=active_sizes, records=records,
+                          engine=engine)

@@ -43,10 +43,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..formats.csc import CSCMatrix
+from ..formats.delta import DeltaLog, apply_delta, build_patch, splice_overlay
 from ..formats.sparse_vector import SparseVector
 from ..formats.vector_block import SparseVectorBlock
 from ..machine.cost_model import block_features, cost_model_for, dispatch_features
 from ..parallel.context import ExecutionContext, default_context
+from ..parallel.metrics import ExecutionRecord, PhaseRecord
 from ..semiring import PLUS_TIMES, Semiring
 from .result import SpMSpVResult
 from .workspace import SpMSpVWorkspace
@@ -57,6 +59,35 @@ DEFAULT_CANDIDATES: Tuple[str, ...] = ("bucket", "graphmat")
 
 #: algorithms whose work is driven by the matrix structure, not nnz(x)
 MATRIX_DRIVEN = frozenset({"graphmat"})
+
+#: default compaction break-even: rebuild a matrix (or strip) once the
+#: delta-touched rows carry more than this fraction of its nonzeros.  The
+#: overlay pays ~c1·patch_nnz extra kernel work per multiply while a rebuild
+#: pays ~c2·nnz·log(nnz) once, so over an expected query horizon H the
+#: break-even is patch_nnz > (c2·log(nnz)/(H·c1))·nnz — a constant fraction
+#: for the steady-state serving workloads this repo targets.
+COMPACT_FRACTION = 0.25
+
+
+def merge_overlay_record(base: ExecutionRecord,
+                         patch: ExecutionRecord) -> ExecutionRecord:
+    """One record for a base ⊕ delta overlay execution.
+
+    The patch kernel's phases are appended under ``delta:``-prefixed names so
+    the cost model prices the overlay's extra work (and reporting can see
+    it), without colliding with the base phases that per-strip record merging
+    matches by name.
+    """
+    phases = list(base.phases)
+    phases.extend(PhaseRecord(name="delta:" + p.name, parallel=p.parallel,
+                              thread_metrics=p.thread_metrics,
+                              serial_metrics=p.serial_metrics,
+                              barriers=p.barriers)
+                  for p in patch.phases)
+    return ExecutionRecord(algorithm=base.algorithm,
+                           num_threads=base.num_threads, phases=phases,
+                           info=dict(base.info),
+                           wall_time_s=base.wall_time_s + patch.wall_time_s)
 
 
 @lru_cache(maxsize=None)
@@ -256,6 +287,12 @@ class SpMSpVEngine:
         self._modeled_blocks = 0
         self._batches = 0
         self._fused_batches = 0
+        #: pending edge updates overlaid on self.matrix (see formats.delta)
+        self.delta = DeltaLog(matrix.shape)
+        self.compact_fraction = COMPACT_FRACTION
+        self.compactions = 0
+        self._patch: Optional[Tuple[CSCMatrix, np.ndarray]] = None
+        self._row_nnz: Optional[np.ndarray] = None
         # one multiplication at a time per engine: concurrent callers of the
         # spmspv shim share this engine's workspace, which is not reentrant
         self._lock = threading.Lock()
@@ -300,6 +337,94 @@ class SpMSpVEngine:
         return self._seed_choice(density), False
 
     # ------------------------------------------------------------------ #
+    # dynamic updates (delta overlay)
+    # ------------------------------------------------------------------ #
+    def apply_updates(self, rows, cols, values=None) -> Dict[str, object]:
+        """Record edge updates against this engine's matrix.
+
+        ``values=None`` deletes the listed edges; otherwise each ``(row,
+        col)`` is inserted (or reweighted if present).  Updates take effect
+        on the very next multiply via the delta overlay — the base matrix,
+        its workspace and the learned cost models all stay warm.  Once the
+        delta-touched rows carry more than ``compact_fraction`` of the base
+        nonzeros the engine compacts: the effective matrix is rebuilt once
+        and the delta resets.
+        """
+        with self._lock:
+            if values is None:
+                applied = self.delta.delete_edges(rows, cols)
+            else:
+                applied = self.delta.set_edges(rows, cols, values)
+            self._patch = None
+            compacted = self._maybe_compact_locked()
+            return {"applied": applied, "delta_entries": self.delta.entries,
+                    "compacted": compacted}
+
+    def _overlay_nnz_locked(self) -> int:
+        """Upper bound on the patch nnz the overlay pays per multiply."""
+        if self._row_nnz is None:
+            self._row_nnz = self.matrix.row_counts()
+        return int(self._row_nnz[self.delta.touched_rows()].sum()) + self.delta.entries
+
+    def _maybe_compact_locked(self) -> bool:
+        if self.delta.is_empty:
+            return False
+        if self._overlay_nnz_locked() <= self.compact_fraction * max(self.matrix.nnz, 1):
+            return False
+        return self._compact_locked()
+
+    def _compact_locked(self) -> bool:
+        if self.delta.is_empty:
+            return False
+        self.matrix = apply_delta(self.matrix, self.delta)
+        self.delta = DeltaLog(self.matrix.shape)
+        self._patch = None
+        self._row_nnz = None
+        self.compactions += 1
+        return True
+
+    def compact(self) -> bool:
+        """Fold the pending delta into the base matrix now; True if it ran."""
+        with self._lock:
+            return self._compact_locked()
+
+    def effective_matrix(self) -> CSCMatrix:
+        """The matrix this engine currently computes with (base ⊕ delta)."""
+        with self._lock:
+            if self.delta.is_empty:
+                return self.matrix
+            return apply_delta(self.matrix, self.delta)
+
+    def delta_stats(self) -> Dict[str, object]:
+        with self._lock:
+            stats = self.delta.stats()
+            stats["compactions"] = self.compactions
+            return stats
+
+    def _patch_pair_locked(self) -> Optional[Tuple[CSCMatrix, np.ndarray]]:
+        if self.delta.is_empty:
+            return None
+        if self._patch is None:
+            self._patch = build_patch(self.matrix, self.delta)
+        return self._patch
+
+    def _overlay_locked(self, fn, base: SpMSpVResult, x: SparseVector, *,
+                        semiring: Semiring, sorted_output: Optional[bool],
+                        mask: Optional[SparseVector], mask_complement: bool,
+                        kwargs: Dict) -> SpMSpVResult:
+        """Patch-correct one base result (same kernel, same inputs, same mask)."""
+        patch, touched = self._patch
+        pres = fn(patch, x, self.ctx, semiring=semiring,
+                  sorted_output=sorted_output, mask=mask,
+                  mask_complement=mask_complement, **kwargs)
+        vector = splice_overlay(base.vector, pres.vector, touched)
+        info = dict(base.info)
+        info["delta_patch_nnz"] = patch.nnz
+        return SpMSpVResult(vector=vector,
+                            record=merge_overlay_record(base.record, pres.record),
+                            info=info)
+
+    # ------------------------------------------------------------------ #
     # execution
     # ------------------------------------------------------------------ #
     def multiply(self, x: SparseVector, *,
@@ -333,6 +458,11 @@ class SpMSpVEngine:
             result = fn(self.matrix, x, self.ctx, semiring=semiring,
                         sorted_output=sorted_output, mask=mask,
                         mask_complement=mask_complement, **kwargs)
+            if self._patch_pair_locked() is not None:
+                result = self._overlay_locked(
+                    fn, result, x, semiring=semiring,
+                    sorted_output=sorted_output, mask=mask,
+                    mask_complement=mask_complement, kwargs=kwargs)
 
             cost_ms = self._price.record_time_ms(result.record)
             if name in self._models:
@@ -562,6 +692,20 @@ class SpMSpVEngine:
                 sorted_output=sorted_output, masks=masks,
                 mask_complement=mask_complement, merge=block_merge,
                 workspace=self.workspace)
+            pair = self._patch_pair_locked()
+            if pair is not None:
+                patch, touched = pair
+                presults = spmspv_bucket_block(
+                    patch, block, self.ctx, semiring=semiring,
+                    sorted_output=sorted_output, masks=masks,
+                    mask_complement=mask_complement, merge=block_merge,
+                    workspace=self.workspace)
+                results = [
+                    SpMSpVResult(
+                        vector=splice_overlay(r.vector, p.vector, touched),
+                        record=merge_overlay_record(r.record, p.record),
+                        info=dict(r.info, delta_patch_nnz=patch.nnz))
+                    for r, p in zip(results, presults)]
             self._fused_batches += 1
             nnzs = block.nnz_per_vector()
             # block-aware exploration of the per-call models: each fused
@@ -651,6 +795,8 @@ class SpMSpVEngine:
             "explored_calls": self.total_explored,
             "total_cost_ms": self.total_cost_ms,
             "workspace": self.workspace.stats(),
+            "delta_entries": self.delta.entries,
+            "compactions": self.compactions,
         }
 
     def __repr__(self) -> str:  # pragma: no cover

@@ -60,8 +60,11 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from .._typing import INDEX_DTYPE
+from .._typing import INDEX_DTYPE, as_index_array
+from ..errors import BackendError, DimensionMismatchError
+from ..formats.coo import COOMatrix
 from ..formats.csc import CSCMatrix
+from ..formats.delta import DeltaLog, apply_delta, build_patch, splice_overlay
 from ..formats.partition import RowSplit, row_split
 from ..formats.sparse_vector import SparseVector
 from ..formats.vector_block import SparseVectorBlock
@@ -72,18 +75,22 @@ from ..parallel.metrics import ExecutionRecord, PhaseRecord, WorkMetrics
 from ..parallel.scheduler import Assignment, schedule
 from ..semiring import PLUS_TIMES, Semiring
 from .engine import (
+    COMPACT_FRACTION,
     DEFAULT_CANDIDATES,
     CostFit,
     EngineCall,
     SpMSpVEngine,
+    _accepts_workspace,
     _density_seed_choice,
     _mask_keep_fraction,
     _ranked_selection,
+    merge_overlay_record,
     pin_engine,
     unpin_engine,
 )
 from .result import SpMSpVResult
 from .vector_ops import check_mask, check_operands
+from .workspace import SpMSpVWorkspace
 
 
 class ShardedEngine:
@@ -160,6 +167,19 @@ class ShardedEngine:
         self._modeled_blocks = 0
         self._batches = 0
         self._fused_batches = 0
+        #: per-strip pending edge updates, routed by the row partition; each
+        #: strip compacts independently once its delta crosses break-even
+        self.deltas: List[DeltaLog] = [
+            DeltaLog(strip.shape) for strip in self.split.strips]
+        self.compact_fraction = COMPACT_FRACTION
+        self.compactions = 0
+        self._patches: List[Optional[Tuple[CSCMatrix, np.ndarray]]] = \
+            [None] * self.split.num_parts
+        #: parent-side workspaces for the (tiny) strip patch corrections —
+        #: the workers keep serving the immutable base strips
+        self._patch_ws: Dict[int, SpMSpVWorkspace] = {}
+        self._strip_row_nnz: List[Optional[np.ndarray]] = \
+            [None] * self.split.num_parts
         #: queued async calls: (ticket, vector, kwargs), drained by gather()
         self._pending: List[Tuple[int, SparseVector, Dict]] = []
         self._ticket = 0
@@ -286,6 +306,164 @@ class ShardedEngine:
             kwargs=kwargs)
 
     # ------------------------------------------------------------------ #
+    # dynamic updates (per-strip delta overlay + compaction)
+    # ------------------------------------------------------------------ #
+    def apply_updates(self, rows, cols, values=None) -> Dict[str, object]:
+        """Record edge updates, routed to the owning strips' delta logs.
+
+        ``values=None`` deletes the listed edges.  Updates are visible on the
+        next multiply: the workers keep serving the immutable base strips
+        while the parent splices in tiny strip-local patch corrections.  A
+        strip whose delta-touched rows cross ``compact_fraction`` of its
+        nonzeros is rebuilt **alone** — the other strips' workspaces and
+        shared-memory slabs stay untouched.  Raises :class:`BackendError`
+        while async calls are queued (``submit`` without ``gather``): a
+        queued call must run against the matrix it was submitted to.
+        """
+        with self._lock:
+            if self._pending:
+                raise BackendError(
+                    f"apply_updates with {len(self._pending)} async call(s) "
+                    "queued; gather() them first")
+            rows = as_index_array(rows)
+            cols = as_index_array(cols)
+            m, n = self.matrix.shape
+            if len(rows) and (rows.min() < 0 or rows.max() >= m):
+                raise DimensionMismatchError(f"update row out of range for {m} rows")
+            if len(cols) and (cols.min() < 0 or cols.max() >= n):
+                raise DimensionMismatchError(f"update col out of range for {n} cols")
+            if values is not None:
+                values = np.asarray(values, dtype=np.float64)
+                if values.ndim == 0:
+                    values = np.broadcast_to(values, rows.shape).copy()
+            lows = np.array([lo for lo, _hi in self.split.row_ranges])
+            strip_of = np.searchsorted(lows, rows, side="right") - 1
+            compacted: List[int] = []
+            for s in np.unique(strip_of).tolist():
+                sel = strip_of == s
+                lo = self.split.row_ranges[s][0]
+                if values is None:
+                    self.deltas[s].delete_edges(rows[sel] - lo, cols[sel])
+                else:
+                    self.deltas[s].set_edges(rows[sel] - lo, cols[sel], values[sel])
+                self._patches[s] = None
+                if self._maybe_compact_strip_locked(s):
+                    compacted.append(s)
+            return {"applied": int(len(rows)),
+                    "delta_entries": sum(d.entries for d in self.deltas),
+                    "compacted": bool(compacted),
+                    "compacted_strips": compacted}
+
+    def _overlay_nnz_strip_locked(self, s: int) -> int:
+        """Upper bound on strip ``s``'s patch nnz (the per-multiply overlay tax)."""
+        if self._strip_row_nnz[s] is None:
+            self._strip_row_nnz[s] = self.split.strips[s].row_counts()
+        return (int(self._strip_row_nnz[s][self.deltas[s].touched_rows()].sum())
+                + self.deltas[s].entries)
+
+    def _maybe_compact_strip_locked(self, s: int) -> bool:
+        if self.deltas[s].is_empty:
+            return False
+        threshold = self.compact_fraction * max(self.split.strips[s].nnz, 1)
+        if self._overlay_nnz_strip_locked(s) <= threshold:
+            return False
+        return self._compact_strip_locked(s)
+
+    def _compact_strip_locked(self, s: int) -> bool:
+        if self.deltas[s].is_empty:
+            return False
+        new_strip = apply_delta(self.split.strips[s], self.deltas[s])
+        self.split.strips[s] = new_strip
+        self.backend.update_strip(s, new_strip)
+        self.deltas[s] = DeltaLog(new_strip.shape)
+        self._patches[s] = None
+        self._strip_row_nnz[s] = None
+        self.compactions += 1
+        return True
+
+    def compact(self, strip: Optional[int] = None) -> bool:
+        """Fold pending deltas into their base strips now; True if any ran."""
+        with self._lock:
+            if self._pending:
+                raise BackendError("compact with async calls queued; gather() first")
+            if strip is not None:
+                return self._compact_strip_locked(strip)
+            return any([self._compact_strip_locked(s)
+                        for s in range(self.num_shards)])
+
+    def effective_matrix(self) -> CSCMatrix:
+        """The full-row-space matrix this engine currently computes with."""
+        with self._lock:
+            rows_parts, cols_parts, vals_parts = [], [], []
+            for (lo, _hi), strip, delta in zip(self.split.row_ranges,
+                                               self.split.strips, self.deltas):
+                eff = strip if delta.is_empty else apply_delta(strip, delta)
+                coo = eff.to_coo()
+                rows_parts.append(coo.rows + lo)
+                cols_parts.append(coo.cols)
+                vals_parts.append(coo.vals)
+            return CSCMatrix.from_coo(
+                COOMatrix(self.matrix.shape,
+                          np.concatenate(rows_parts) if rows_parts else [],
+                          np.concatenate(cols_parts) if cols_parts else [],
+                          np.concatenate(vals_parts) if vals_parts else [],
+                          check=False),
+                sum_duplicates=False)
+
+    def delta_stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "events": sum(len(d) for d in self.deltas),
+                "entries": sum(d.entries for d in self.deltas),
+                "per_strip_entries": [d.entries for d in self.deltas],
+                "compactions": self.compactions,
+            }
+
+    def _patch_pair_strip_locked(self, s: int
+                                 ) -> Optional[Tuple[CSCMatrix, np.ndarray]]:
+        if self.deltas[s].is_empty:
+            return None
+        if self._patches[s] is None:
+            self._patches[s] = build_patch(self.split.strips[s], self.deltas[s])
+        return self._patches[s]
+
+    def _patch_workspace_locked(self, s: int) -> SpMSpVWorkspace:
+        ws = self._patch_ws.get(s)
+        if ws is None:
+            strip = self.split.strips[s]
+            ws = SpMSpVWorkspace(strip.nrows, dtype=strip.dtype)
+            self._patch_ws[s] = ws
+        return ws
+
+    def _overlay_strip_outs_locked(self, outs: List[SpMSpVResult], name: str, x,
+                                   *, semiring: Semiring,
+                                   sorted_output: Optional[bool],
+                                   mask_slices: List[Optional[SparseVector]],
+                                   mask_complement: bool,
+                                   kwargs: Dict) -> List[SpMSpVResult]:
+        """Splice parent-side patch corrections into the strips' base outputs."""
+        from .dispatch import get_algorithm  # late: avoids import cycle
+
+        outs = list(outs)
+        for s in range(self.num_shards):
+            pair = self._patch_pair_strip_locked(s)
+            if pair is None:
+                continue
+            patch, touched = pair
+            fn = get_algorithm(name)
+            kw = dict(kwargs)
+            if _accepts_workspace(fn):
+                kw["workspace"] = self._patch_workspace_locked(s)
+            pres = fn(patch, x, self.shard_ctx, semiring=semiring,
+                      sorted_output=sorted_output, mask=mask_slices[s],
+                      mask_complement=mask_complement, **kw)
+            outs[s] = SpMSpVResult(
+                vector=splice_overlay(outs[s].vector, pres.vector, touched),
+                record=merge_overlay_record(outs[s].record, pres.record),
+                info=dict(outs[s].info, delta_patch_nnz=patch.nnz))
+        return outs
+
+    # ------------------------------------------------------------------ #
     # execution
     # ------------------------------------------------------------------ #
     def multiply(self, x: SparseVector, *,
@@ -361,6 +539,13 @@ class ShardedEngine:
         x = plan["x"]
         name = plan["name"]
         resolved_sorted = plan["resolved_sorted"]
+        if any(not d.is_empty for d in self.deltas):
+            outs = self._overlay_strip_outs_locked(
+                outs, name, x, semiring=plan["semiring"],
+                sorted_output=resolved_sorted,
+                mask_slices=plan["mask_slices"],
+                mask_complement=plan["mask_complement"],
+                kwargs=plan["kwargs"])
         y = self._concatenate([o.vector for o in outs], resolved_sorted)
         dfs = [float(o.info.get("df", o.record.info.get("df", 0.0))) for o in outs]
         assignment = self._schedule_shards([df + 1.0 for df in dfs])
@@ -536,6 +721,26 @@ class ShardedEngine:
             block, semiring=semiring, sorted_output=sorted_output,
             strip_masks=strip_masks, mask_complement=mask_complement,
             block_merge=block_merge)
+        if any(not d.is_empty for d in self.deltas):
+            from .spmspv_block import spmspv_bucket_block  # late: import cycle
+
+            per_strip = [list(rs) for rs in per_strip]
+            for s in range(self.num_shards):
+                pair = self._patch_pair_strip_locked(s)
+                if pair is None:
+                    continue
+                patch, touched = pair
+                presults = spmspv_bucket_block(
+                    patch, block, self.shard_ctx, semiring=semiring,
+                    sorted_output=sorted_output, masks=strip_masks[s],
+                    mask_complement=mask_complement, merge=block_merge,
+                    workspace=self._patch_workspace_locked(s))
+                per_strip[s] = [
+                    SpMSpVResult(
+                        vector=splice_overlay(r.vector, p.vector, touched),
+                        record=merge_overlay_record(r.record, p.record),
+                        info=dict(r.info, delta_patch_nnz=patch.nnz))
+                    for r, p in zip(per_strip[s], presults)]
         # equal per-vector share of the batch wall time, frozen before the
         # bookkeeping below (as the fused kernel itself apportions)
         wall_share_s = (time.perf_counter() - t0) / max(k, 1)
@@ -736,6 +941,8 @@ class ShardedEngine:
             "workspace": self.workspace_stats(),
             "comm": self.backend.comm_stats(),
             "health": self.backend.health_stats(),
+            "delta_entries": sum(d.entries for d in self.deltas),
+            "compactions": self.compactions,
         }
 
     def __repr__(self) -> str:  # pragma: no cover
@@ -813,6 +1020,11 @@ class EngineGroup:
         """Blocked multiplication of an already-packed block against one
         member; see :meth:`SpMSpVEngine.multiply_block`."""
         return self._engines[key].multiply_block(block, **kwargs)
+
+    def apply_updates(self, key, rows, cols, values=None) -> Dict[str, object]:
+        """Record edge updates against member ``key`` (``values=None`` deletes);
+        see :meth:`SpMSpVEngine.apply_updates` / :meth:`ShardedEngine.apply_updates`."""
+        return self._engines[key].apply_updates(rows, cols, values)
 
     def submit(self, key, x: SparseVector, **kwargs) -> int:
         """Queue one multiplication against member ``key``; returns its ticket."""

@@ -26,6 +26,7 @@ from .conversions import (
 from .csc import CSCMatrix
 from .csr import CSRMatrix
 from .dcsc import DCSCMatrix
+from .delta import DeltaLog, apply_delta, build_patch, splice_overlay
 from .matrix_market import read_matrix_market, read_matrix_market_csc, write_matrix_market
 from .partition import (
     ColumnSplit,
@@ -47,10 +48,13 @@ __all__ = [
     "CSRMatrix",
     "ColumnSplit",
     "DCSCMatrix",
+    "DeltaLog",
     "GridPartition",
     "RowSplit",
     "SparseVector",
     "SparseVectorBlock",
+    "apply_delta",
+    "build_patch",
     "column_split",
     "convert",
     "from_scipy",
@@ -60,6 +64,7 @@ __all__ = [
     "read_matrix_market",
     "read_matrix_market_csc",
     "row_split",
+    "splice_overlay",
     "split_ranges",
     "to_bitvector",
     "to_coo",

@@ -198,6 +198,19 @@ class ExecutionBackend(ABC):
         """Comm-plane accounting (empty for in-process backends)."""
         return {}
 
+    def update_strip(self, strip: int, matrix: CSCMatrix) -> None:
+        """Replace one strip's matrix in place (delta-layer compaction).
+
+        The replacement must keep the strip's row count (sharded row ranges
+        are fixed at build time), so the strip's persistent workspace stays
+        valid and *must* be kept — per-strip compaction rebuilds only the
+        matrix, never the warm state around it.  Backends without mutable
+        strips reject the call.
+        """
+        raise NotSupportedError(
+            f"backend {self.name!r} cannot update strips in place; "
+            f"rebuild the engine instead")
+
     def health_stats(self) -> Dict[str, object]:
         """Resilience accounting: deaths, retries, fallbacks, deadline hits.
 
@@ -302,6 +315,15 @@ class EmulatedBackend(ExecutionBackend):
     def workspace_stats(self):
         return [ws.stats() for ws in self.workspaces]
 
+    def update_strip(self, strip, matrix):
+        if matrix.nrows != self.strips[strip].nrows:
+            raise BackendError(
+                f"strip {strip} replacement has {matrix.nrows} rows, "
+                f"expected {self.strips[strip].nrows} (row ranges are fixed "
+                f"at engine build)")
+        # swap the matrix only: the strip's workspace (same nrows) stays warm
+        self.strips[strip] = matrix
+
 
 # --------------------------------------------------------------------------- #
 # the process backend: shared-memory comm plane + a persistent worker pool
@@ -394,6 +416,7 @@ def _worker_loop(conn, spec, closers):  # pragma: no cover - worker process
         unpack_arrays,
     )
     from ..formats.vector_block import SparseVectorBlock
+    from .metrics import encode_record
 
     if spec.get("affinity") is not None and hasattr(os, "sched_setaffinity"):
         try:
@@ -403,7 +426,12 @@ def _worker_loop(conn, spec, closers):  # pragma: no cover - worker process
 
     strips: Dict[int, CSCMatrix] = {}
     workspaces: Dict[int, "SpMSpVWorkspace"] = {}
-    for st in spec["strips"]:
+    #: strip -> version of the shared-memory CSC currently attached; calls
+    #: carry the parent's expected versions, so a call racing a compaction
+    #: fails loudly instead of silently multiplying a stale strip
+    versions: Dict[int, int] = {}
+
+    def attach_strip(st) -> None:
         views = {}
         for name in ("indptr", "indices", "data"):
             seg, shape, dt = st["arrays"][name]
@@ -413,6 +441,10 @@ def _worker_loop(conn, spec, closers):  # pragma: no cover - worker process
         strips[st["strip"]] = CSCMatrix(
             st["shape"], views["indptr"], views["indices"], views["data"],
             sorted_within_columns=st["sorted"], check=False)
+        versions[st["strip"]] = int(st.get("version", 0))
+
+    for st in spec["strips"]:
+        attach_strip(st)
         workspaces[st["strip"]] = SpMSpVWorkspace(
             strips[st["strip"]].nrows, dtype=np.dtype(st["dtype"]))
     reader = SlabReader()
@@ -428,19 +460,31 @@ def _worker_loop(conn, spec, closers):  # pragma: no cover - worker process
         return SparseVector(n, idx, vals, sorted=sorted_flag, check=False)
 
     def write_results(out_ref, results):
-        """Pack result vectors into the granted region; None if they don't fit."""
+        """Pack result vectors + metric matrices into the granted region.
+
+        Returns ``(payload, needed_bytes)``; ``payload`` is ``None`` when
+        the region is too small (the parent re-grants ``needed_bytes``).
+        Execution records travel as dense int64 metric matrices *inside the
+        slab* — only their small structural meta rides the pipe — so the
+        per-call pipe traffic stays fixed-shape (PR 6 follow-up).
+        """
         arrays = []
+        metas = []
         for r in results:
             arrays.append(np.ascontiguousarray(r.vector.indices))
             arrays.append(np.ascontiguousarray(r.vector.values))
+            rec_meta, metric_matrix = encode_record(r.record)
+            arrays.append(metric_matrix)
+            metas.append(rec_meta)
         region = reader.region(out_ref)
-        if packed_nbytes(arrays) > region.nbytes:
-            return None
+        needed = packed_nbytes(arrays)
+        if needed > region.nbytes:
+            return None, needed
         descs = pack_arrays(region, arrays)
-        payload = [((descs[2 * i], descs[2 * i + 1]), r.vector.n,
-                    r.vector.sorted, r.record, r.info)
+        payload = [((descs[3 * i], descs[3 * i + 1], descs[3 * i + 2]),
+                    r.vector.n, r.vector.sorted, metas[i], r.info)
                    for i, r in enumerate(results)]
-        return payload
+        return payload, needed
 
     while True:
         try:
@@ -460,7 +504,7 @@ def _worker_loop(conn, spec, closers):  # pragma: no cover - worker process
                 results = retained.pop((call_id, strip), None)
                 if results is None:
                     continue  # pragma: no cover - flush for an unknown call
-                payload = write_results(ref, results)
+                payload, _ = write_results(ref, results)
                 if payload is None:  # pragma: no cover - parent granted too little
                     flushed[strip] = ("err", _dump_exception(BackendError(
                         f"strip {strip}: re-granted output region still too "
@@ -472,18 +516,28 @@ def _worker_loop(conn, spec, closers):  # pragma: no cover - worker process
             except (BrokenPipeError, OSError):
                 return
             continue
+        if op == "update_strip":
+            # swap one strip's CSC view for a freshly-compacted shared copy;
+            # the row count is unchanged, so the persistent workspace stays
+            st = msg[1]
+            attach_strip(st)
+            try:
+                _send_obj(conn, ("strip_updated", st["strip"], versions[st["strip"]]))
+            except (BrokenPipeError, OSError):
+                return
+            continue
 
         call_id, strip_ids = msg[1], msg[2]
         if op == "multiply":
-            (_, _, _, algorithm, sr, so, comp, kwargs, in_ref, x_spec,
-             mask_specs, out_refs) = msg
+            (_, _, _, expected_versions, algorithm, sr, so, comp, kwargs,
+             in_ref, x_spec, mask_specs, out_refs) = msg
             in_region = reader.region(in_ref)
             x = read_vector(in_region, x_spec)
             fn = get_algorithm(algorithm)
             takes_ws = _accepts_workspace(fn)
         else:  # block
-            (_, _, _, sr, so, comp, merge, in_ref, block_spec,
-             mask_specs, out_refs) = msg
+            (_, _, _, expected_versions, sr, so, comp, merge, in_ref,
+             block_spec, mask_specs, out_refs) = msg
             in_region = reader.region(in_ref)
             block_descs, block_meta = block_spec
             block = SparseVectorBlock.from_arrays(
@@ -492,6 +546,12 @@ def _worker_loop(conn, spec, closers):  # pragma: no cover - worker process
         outs = []
         for strip in strip_ids:
             try:
+                if expected_versions.get(strip, 0) != versions.get(strip, 0):
+                    raise BackendError(
+                        f"strip {strip} version mismatch: call expects "
+                        f"v{expected_versions.get(strip, 0)}, worker holds "
+                        f"v{versions.get(strip, 0)} — a compaction raced "
+                        f"this call")
                 if op == "multiply":
                     mspec = mask_specs[strip]
                     mask = (None if mspec is None
@@ -516,12 +576,9 @@ def _worker_loop(conn, spec, closers):  # pragma: no cover - worker process
                         workspace=workspaces[strip])
                 else:
                     raise BackendError(f"unknown backend op {op!r}")
-                payload = write_results(out_refs[strip], results)
+                payload, needed = write_results(out_refs[strip], results)
                 if payload is None:
                     retained[(call_id, strip)] = results
-                    needed = packed_nbytes(
-                        [a for r in results
-                         for a in (r.vector.indices, r.vector.values)])
                     outs.append((strip, "grow", needed))
                 else:
                     outs.append((strip, "ok", payload))
@@ -717,18 +774,29 @@ class ProcessBackend(ExecutionBackend):
             "fork" if "fork" in get_all_start_methods() else "spawn")
         self._mp = get_context(start)
 
+        #: flat slab list shared by identity with the weakref finalizer —
+        #: mutated in place (never rebound) when strips are updated
         self._slabs: List = []
+        #: strip -> the three slabs currently backing it (retired on update)
+        self._strip_slabs: List[List] = []
         self._strip_specs = []
+        #: monotonically increasing per-strip version (bumped by update_strip)
+        self._strip_versions: List[int] = [0] * self.num_strips
+        #: (strip, version) update acks routed out of the reply stream
+        self._strip_acks: Set[Tuple[int, int]] = set()
         for s, strip in enumerate(strips):
             arrays = {}
+            slabs = []
             for name in ("indptr", "indices", "data"):
                 slab = SharedSlab.create(getattr(strip, name))
                 self._slabs.append(slab)
+                slabs.append(slab)
                 arrays[name] = slab.meta
+            self._strip_slabs.append(slabs)
             self._strip_specs.append({
                 "strip": s, "shape": strip.shape,
                 "sorted": strip.sorted_within_columns, "arrays": arrays,
-                "dtype": np.dtype(dtype).str,
+                "dtype": np.dtype(dtype).str, "version": 0,
             })
         self._spa_rows = [strip.nrows for strip in strips]
         #: strip -> worker assignment (round-robin; fixed for the pool's life)
@@ -887,6 +955,82 @@ class ProcessBackend(ExecutionBackend):
         """Live worker pids (fault-injection tests kill these)."""
         return [proc.pid for proc in self._workers if proc is not None]
 
+    def update_strip(self, strip: int, matrix: CSCMatrix) -> None:
+        """Swap one strip for a freshly-compacted matrix, versioned.
+
+        Copies ``matrix`` into new shared-memory slabs, sends the owning
+        worker an ``update_strip`` record, waits for its ack, and only then
+        unlinks the old slabs (attach-after-unlink is a race; ack-first is
+        not).  The strip's version is bumped and every subsequent call
+        message carries the expected versions, so a worker that somehow
+        still holds the stale strip fails that call with a clear
+        :class:`BackendError` instead of returning stale results.  Requires
+        no calls in flight — the sharded engine enforces this at
+        ``apply_updates``/``compact`` time.  A worker that dies mid-update
+        is simply left dead: its respawn (from ``_ensure_workers`` on the
+        next call, which also reports the death once) attaches the already-
+        updated strip specs.
+        """
+        from ..core.workspace import SharedSlab  # late: avoids import cycle
+
+        if self._closed:
+            raise BackendError("process backend is closed")
+        if self._tokens:
+            raise BackendError(
+                f"update_strip({strip}) with {len(self._tokens)} call(s) "
+                f"in flight; gather or abandon them first")
+        if matrix.nrows != self._strips[strip].nrows:
+            raise BackendError(
+                f"strip {strip} replacement has {matrix.nrows} rows, "
+                f"expected {self._strips[strip].nrows} (row ranges are "
+                f"fixed at engine build)")
+        old_slabs = list(self._strip_slabs[strip])
+        arrays = {}
+        new_slabs = []
+        for name in ("indptr", "indices", "data"):
+            slab = SharedSlab.create(getattr(matrix, name))
+            self._slabs.append(slab)
+            new_slabs.append(slab)
+            arrays[name] = slab.meta
+        version = self._strip_versions[strip] + 1
+        spec = {"strip": strip, "shape": matrix.shape,
+                "sorted": matrix.sorted_within_columns, "arrays": arrays,
+                "dtype": self._dtype.str, "version": version}
+        # commit parent-side state first: even if the worker dies below, its
+        # respawn and the degraded-fallback path both see the new strip
+        self._strip_specs[strip] = spec
+        self._strip_slabs[strip] = new_slabs
+        self._strip_versions[strip] = version
+        self._strips[strip] = matrix
+        w = strip % self.num_workers
+        key = (strip, version)
+        if self._workers[w] is not None and self._send(w, ("update_strip", spec)):
+            while key not in self._strip_acks:
+                conn = self._conns[w]
+                if conn is None:
+                    break  # died mid-update; respawn reads the new specs
+                try:
+                    ready = conn.poll(0.2)
+                except (EOFError, OSError):  # pragma: no cover - pipe torn down
+                    self._mark_dead(w)
+                    break
+                if ready:
+                    if not self._pump_worker(w):
+                        break
+                elif self._workers[w] is not None and \
+                        not self._workers[w].is_alive():
+                    self._mark_dead(w)
+                    break
+        self._strip_acks.discard(key)
+        # nothing references the old segments anymore (worker swapped or died)
+        for slab in old_slabs:
+            try:
+                self._slabs.remove(slab)
+            except ValueError:  # pragma: no cover - already shut down
+                continue
+            slab.close()
+            slab.unlink()
+
     @staticmethod
     def _semiring_name(semiring: Semiring) -> str:
         """Encode a semiring for transport (registered semirings only).
@@ -990,6 +1134,9 @@ class ProcessBackend(ExecutionBackend):
 
     def _route(self, w: int, reply) -> None:
         kind, call_id = reply[0], reply[1]
+        if kind == "strip_updated":
+            self._strip_acks.add((reply[1], reply[2]))
+            return
         token = self._tokens.get(call_id)
         if token is None:
             return  # reply for a call that was already finalized
@@ -1107,7 +1254,8 @@ class ProcessBackend(ExecutionBackend):
                 self._out_arenas[s].release(old)
             out_refs[s] = self._grant(token, s)
             token.attempts[s] = token.attempts.get(s, 0) + 1
-        msg = (token.op, token.call_id, strips, *token.proto,
+        msg = (token.op, token.call_id, strips,
+               {s: self._strip_versions[s] for s in strips}, *token.proto,
                {s: token.mask_specs[s] for s in strips}, out_refs)
         token.pending.add(w)
         token.outstanding.setdefault(w, set()).update(strips)
@@ -1226,26 +1374,33 @@ class ProcessBackend(ExecutionBackend):
         self._tokens.pop(token.call_id, None)
 
     def _read_results(self, token: _Inflight, strip: int) -> List:
-        """Copy a strip's packed result vectors out of its output region."""
+        """Copy a strip's packed result vectors out of its output region.
+
+        Each payload entry carries three region descriptors — output
+        indices, output values, and the dense int64 metric matrix of the
+        execution record (decoded here via
+        :func:`~repro.parallel.metrics.decode_record`).
+        """
         from ..core.result import SpMSpVResult
         from ..core.workspace import unpack_arrays
+        from .metrics import decode_record
 
         region = self._out_arenas[strip].view(token.out_regions[strip])
         results = []
-        used = 0
-        for (idx_desc, val_desc), n, sorted_flag, record, info in \
+        for (idx_desc, val_desc, met_desc), n, sorted_flag, rec_meta, info in \
                 token.payloads[strip]:
-            idx, vals = unpack_arrays(region, [idx_desc, val_desc])
-            self._comm["slab_bytes_out"] += idx.nbytes + vals.nbytes
-            used = max(used, _payload_nbytes([idx_desc, val_desc]))
+            idx, vals, metric_matrix = unpack_arrays(
+                region, [idx_desc, val_desc, met_desc])
+            self._comm["slab_bytes_out"] += \
+                idx.nbytes + vals.nbytes + metric_matrix.nbytes
             results.append(SpMSpVResult(
                 vector=SparseVector(n, idx.copy(), vals.copy(),
                                     sorted=sorted_flag, check=False),
-                record=record, info=info))
+                record=decode_record(rec_meta, metric_matrix), info=info))
         hint = self._grant_hint[token.op]
         if token.payloads[strip]:
             total = _payload_nbytes(
-                [d for pair, *_rest in token.payloads[strip] for d in pair])
+                [d for descs, *_rest in token.payloads[strip] for d in descs])
             hint[strip] = max(hint[strip], total + total // 4)
         return results
 

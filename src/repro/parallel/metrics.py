@@ -20,7 +20,9 @@ elementary operations it performed.  These counts are
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
 
 
 @dataclass
@@ -202,3 +204,65 @@ class ExecutionRecord:
         return ExecutionRecord(algorithm=self.algorithm, num_threads=self.num_threads,
                                phases=[p.compact() for p in self.phases],
                                info=dict(self.info), wall_time_s=self.wall_time_s)
+
+
+# --------------------------------------------------------------------------- #
+# slab transport codec
+# --------------------------------------------------------------------------- #
+# Every metric counter is an int (``scale`` rounds), so a whole record
+# flattens losslessly into one dense ``(rows, len(METRIC_FIELDS))`` int64
+# matrix — one row per thread-metric plus one serial row per phase — that the
+# process backend ships through the shared-memory output slab instead of
+# pickling the record over the pipe.  Only a small structural tuple (phase
+# names/flags, algorithm, info) still travels as a control record.
+
+def encode_record(record: ExecutionRecord) -> Tuple[tuple, np.ndarray]:
+    """Flatten ``record`` into ``(meta, matrix)`` for slab transport.
+
+    ``matrix`` is an int64 array of shape ``(rows, len(METRIC_FIELDS))``;
+    ``meta`` is a picklable tuple holding everything else.  The inverse is
+    :func:`decode_record`, and ``decode(encode(r))`` reproduces ``r``
+    exactly (metric counters are integers by construction).
+    """
+    rows: List[List[int]] = []
+    phase_meta = []
+    for p in record.phases:
+        for tm in p.thread_metrics:
+            td = tm.__dict__
+            rows.append([td[name] for name in METRIC_FIELDS])
+        sd = p.serial_metrics.__dict__
+        rows.append([sd[name] for name in METRIC_FIELDS])
+        phase_meta.append((p.name, p.parallel, p.barriers,
+                           len(p.thread_metrics)))
+    matrix = (np.asarray(rows, dtype=np.int64) if rows
+              else np.empty((0, len(METRIC_FIELDS)), dtype=np.int64))
+    meta = (record.algorithm, record.num_threads, record.wall_time_s,
+            tuple(record.info.items()), tuple(phase_meta))
+    return meta, matrix
+
+
+def decode_record(meta, matrix: np.ndarray) -> ExecutionRecord:
+    """Rebuild an :class:`ExecutionRecord` from :func:`encode_record` output.
+
+    Copies every counter out of ``matrix`` (which may be a view into a
+    shared-memory region about to be released)."""
+    algorithm, num_threads, wall_time_s, info_items, phase_meta = meta
+
+    def make_metrics(row) -> WorkMetrics:
+        wm = WorkMetrics()
+        wd = wm.__dict__
+        for name, value in zip(METRIC_FIELDS, row):
+            wd[name] = int(value)
+        return wm
+
+    record = ExecutionRecord(algorithm=algorithm, num_threads=num_threads,
+                             info=dict(info_items), wall_time_s=wall_time_s)
+    at = 0
+    for name, parallel, barriers, n_threads in phase_meta:
+        thread_metrics = [make_metrics(matrix[at + i]) for i in range(n_threads)]
+        serial = make_metrics(matrix[at + n_threads])
+        at += n_threads + 1
+        record.add_phase(PhaseRecord(
+            name=name, parallel=parallel, thread_metrics=thread_metrics,
+            serial_metrics=serial, barriers=barriers))
+    return record

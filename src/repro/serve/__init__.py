@@ -12,7 +12,7 @@ from .coalescer import Batch, Coalescer
 from .loadgen import (ScheduledRequest, SubmitOutcome, generate_schedule,
                       random_query, replay, run_closed_loop)
 from .requests import (BFSAnswer, BFSQuery, MultiplyQuery, PageRankQuery,
-                       Request, ServeFuture)
+                       Request, ServeFuture, UpdateAck, UpdateQuery)
 from .server import QueryServer
 
 __all__ = [
@@ -27,6 +27,8 @@ __all__ = [
     "ScheduledRequest",
     "ServeFuture",
     "SubmitOutcome",
+    "UpdateAck",
+    "UpdateQuery",
     "VirtualClock",
     "WallClock",
     "generate_schedule",

@@ -93,7 +93,47 @@ class BFSQuery:
         return ("bfs", self.graph, self.max_levels)
 
 
-Query = MultiplyQuery  # for isinstance docs only; any of the three is a query
+@dataclass(frozen=True)
+class UpdateQuery:
+    """A batch of edge updates against the named graph.
+
+    ``values=None`` deletes the listed edges; otherwise each ``(row, col)``
+    is inserted (or reweighted — inserting an existing edge is a reweight,
+    matching :class:`~repro.formats.delta.DeltaLog` semantics).  Updates
+    coalesce per graph and flow through the same
+    :class:`~repro.serve.server.QueryServer` pump as reads, so a client's
+    updates and queries interleave in one totally-ordered batch schedule;
+    within a batch, updates apply in arrival order.
+    """
+
+    graph: str
+    rows: Tuple[int, ...]
+    cols: Tuple[int, ...]
+    values: Optional[Tuple[float, ...]] = None
+
+    kind = "update"
+
+    def __post_init__(self):
+        object.__setattr__(self, "rows", tuple(int(r) for r in self.rows))
+        object.__setattr__(self, "cols", tuple(int(c) for c in self.cols))
+        if self.values is not None:
+            object.__setattr__(self, "values",
+                               tuple(float(v) for v in self.values))
+            if len(self.values) != len(self.rows):
+                raise ValueError(
+                    f"values length {len(self.values)} != rows length "
+                    f"{len(self.rows)}")
+        if len(self.rows) != len(self.cols):
+            raise ValueError(
+                f"rows length {len(self.rows)} != cols length {len(self.cols)}")
+        if not self.rows:
+            raise ValueError("update needs at least one edge")
+
+    def coalesce_key(self) -> Tuple:
+        return ("update", self.graph)
+
+
+Query = MultiplyQuery  # for isinstance docs only; any of the four is a query
 
 
 # --------------------------------------------------------------------------- #
@@ -111,6 +151,18 @@ class BFSAnswer:
     @property
     def num_reached(self) -> int:
         return int(np.count_nonzero(self.levels >= 0))
+
+
+@dataclass(frozen=True)
+class UpdateAck:
+    """Response to an :class:`UpdateQuery`: what the delta layer recorded."""
+
+    #: update events applied (the request's edge count)
+    applied: int
+    #: distinct edges pending in the graph's delta log after this update
+    delta_entries: int
+    #: whether applying this update triggered a (per-strip) compaction
+    compacted: bool
 
 
 # --------------------------------------------------------------------------- #

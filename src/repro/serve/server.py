@@ -30,7 +30,8 @@ and flushes expired windows, making every batching decision replayable.
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from collections import deque
+from typing import Deque, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -48,7 +49,7 @@ from ..semiring import get_semiring
 from .clock import WallClock
 from .coalescer import Batch, Coalescer
 from .requests import (BFSAnswer, BFSQuery, MultiplyQuery, PageRankQuery,
-                       Request, ServeFuture)
+                       Request, ServeFuture, UpdateAck, UpdateQuery)
 
 
 class QueryServer:
@@ -86,6 +87,16 @@ class QueryServer:
     clock:
         A :class:`WallClock` (default; spawns the pump thread) or a
         :class:`VirtualClock` (single-threaded deterministic mode).
+    latency_samples:
+        Size of the bounded latency reservoir behind the percentile stats.
+        A server targeting millions of requests must not grow per-request
+        state, so latencies are reservoir-sampled (Algorithm R, seeded):
+        every served request is equally likely to be in the sample, which
+        keeps p50/p99 statistically honest at O(latency_samples) memory.
+    batch_log_cap:
+        Bound on the executed-batch composition log (a ring: the oldest
+        entries fall off).  The determinism suite replays short schedules,
+        so a few thousand retained batches is plenty.
     """
 
     def __init__(self, graphs: Mapping[str, Union[Graph, CSCMatrix]],
@@ -98,7 +109,9 @@ class QueryServer:
                  block_mode: str = "fused",
                  algorithm: str = "bucket",
                  shards: Optional[int] = None,
-                 clock=None):
+                 clock=None,
+                 latency_samples: int = 65536,
+                 batch_log_cap: int = 65536):
         if overload not in ("reject", "block"):
             raise ValueError(f"overload must be 'reject' or 'block', got {overload!r}")
         if max_queue < 1:
@@ -128,15 +141,27 @@ class QueryServer:
         self._cond = threading.Condition(self._lock)
         self._closed = False
         self._next_id = 0
+        if int(latency_samples) < 1:
+            raise ValueError(f"latency_samples must be >= 1, got {latency_samples}")
+        if int(batch_log_cap) < 1:
+            raise ValueError(f"batch_log_cap must be >= 1, got {batch_log_cap}")
         #: executed batch compositions, ``(key, (request ids...))`` — the
-        #: determinism suite replays schedules and compares these logs
-        self.batch_log: List[Tuple[Tuple, Tuple[int, ...]]] = []
+        #: determinism suite replays schedules and compares these logs; a
+        #: bounded ring, so a long-lived server never grows it past the cap
+        self.batch_log: Deque[Tuple[Tuple, Tuple[int, ...]]] = \
+            deque(maxlen=int(batch_log_cap))
         self._stats = {
             "submitted": 0, "served": 0, "rejected": 0, "failed": 0,
             "expired_queued": 0, "expired_mid_batch": 0, "batches": 0,
         }
         self._batch_sizes: Dict[int, int] = {}
-        self._latencies: List[float] = []
+        #: bounded latency reservoir (Algorithm R): ``_latencies[:k]`` is a
+        #: uniform sample of all ``_latency_count`` observations, where
+        #: ``k = min(_latency_count, latency_samples)``
+        self._latency_cap = int(latency_samples)
+        self._latencies = np.empty(self._latency_cap, dtype=np.float64)
+        self._latency_count = 0
+        self._latency_rng = np.random.default_rng(0x5EED)
         self._peak_depth = 0
 
         self._pump: Optional[threading.Thread] = None
@@ -154,7 +179,8 @@ class QueryServer:
         Raises :class:`ServerOverloadedError` when the queue is full in
         ``"reject"`` mode and :class:`ServerClosedError` after :meth:`close`.
         """
-        if not isinstance(query, (MultiplyQuery, PageRankQuery, BFSQuery)):
+        if not isinstance(query, (MultiplyQuery, PageRankQuery, BFSQuery,
+                                  UpdateQuery)):
             raise TypeError(f"not a query: {query!r}")
         if query.graph not in self._matrices:
             raise KeyError(f"unknown graph {query.graph!r}; "
@@ -219,25 +245,37 @@ class QueryServer:
     # stats / lifecycle
     # ------------------------------------------------------------------ #
     def serve_stats(self) -> Dict[str, object]:
-        """Serving-level health: queue, batching, latency, engine health."""
+        """Serving-level health: queue, batching, latency, engine health.
+
+        Lock discipline: only an O(latency_samples) snapshot happens under
+        ``self._lock`` — the percentile sort and the per-engine
+        ``health_stats()`` calls (which reach into backend state) run
+        *outside* it, so stats polling never stalls concurrent ``submit``
+        callers for more than the copy.  Engines are pinned for the
+        server's lifetime, so reading their health without the serving lock
+        is safe.
+        """
         with self._lock:
-            latencies = sorted(self._latencies)
+            count = min(self._latency_count, self._latency_cap)
+            latencies = self._latencies[:count].copy()
             stats: Dict[str, object] = dict(self._stats)
             stats["queue_depth"] = self._coalescer.depth
             stats["peak_queue_depth"] = self._peak_depth
             stats["batch_size_histogram"] = dict(sorted(self._batch_sizes.items()))
-            stats["coalesce_ratio"] = (
-                self._stats["served"] / self._stats["batches"]
-                if self._stats["batches"] else 0.0)
-            stats["latency_p50_s"] = _percentile(latencies, 0.50)
-            stats["latency_p99_s"] = _percentile(latencies, 0.99)
-            health = {}
-            for key in self.group.keys():
-                engine = self.group.engine(key)
-                if hasattr(engine, "health_stats"):
-                    health[str(key)] = engine.health_stats()
-            stats["health"] = health
-            return stats
+            stats["latency_observed"] = self._latency_count
+            served = self._stats["served"]
+            batches = self._stats["batches"]
+            engines = [(str(key), self.group.engine(key))
+                       for key in self.group.keys()]
+        latencies.sort()
+        stats["coalesce_ratio"] = served / batches if batches else 0.0
+        stats["latency_samples"] = int(len(latencies))
+        stats["latency_p50_s"] = _percentile(latencies, 0.50)
+        stats["latency_p99_s"] = _percentile(latencies, 0.99)
+        stats["health"] = {name: engine.health_stats()
+                           for name, engine in engines
+                           if hasattr(engine, "health_stats")}
+        return stats
 
     def close(self, *, drain: bool = True) -> None:
         """Stop serving.  ``drain=True`` executes every queued request
@@ -332,8 +370,19 @@ class QueryServer:
             else:
                 with self._lock:
                     self._stats["served"] += 1
-                    self._latencies.append(done - request.arrival)
+                    self._record_latency_locked(done - request.arrival)
                 request.future.set_result(result)
+
+    def _record_latency_locked(self, latency: float) -> None:
+        """Reservoir-sample one latency (Algorithm R; caller holds the lock)."""
+        i = self._latency_count
+        self._latency_count += 1
+        if i < self._latency_cap:
+            self._latencies[i] = latency
+        else:
+            j = int(self._latency_rng.integers(0, i + 1))
+            if j < self._latency_cap:
+                self._latencies[j] = latency
 
     def _run_batch(self, key: Tuple, queries: Sequence) -> List[object]:
         kind = key[0]
@@ -343,6 +392,8 @@ class QueryServer:
             return self._run_pagerank(key, queries)
         if kind == "bfs":
             return self._run_bfs(key, queries)
+        if kind == "update":
+            return self._run_update(key, queries)
         raise ValueError(f"unknown batch kind {kind!r}")  # pragma: no cover
 
     def _run_multiply(self, key: Tuple, queries: Sequence[MultiplyQuery]
@@ -386,11 +437,42 @@ class QueryServer:
                           parents=result.parents[i])
                 for i, q in enumerate(queries)]
 
+    def _run_update(self, key: Tuple, queries: Sequence[UpdateQuery]
+                    ) -> List[UpdateAck]:
+        """Apply a batch of edge updates in arrival order.
+
+        Mutations route through the graph's delta layer
+        (:meth:`~repro.core.sharded.EngineGroup.apply_updates`), so reads
+        keep their warm workspaces and shared-memory strips; the derived
+        column-stochastic PageRank engine cannot be patched (normalization
+        is global per column) and is invalidated instead — the next
+        PageRank batch lazily rebuilds it from the effective matrix.
+        """
+        _, graph = key
+        acks = []
+        for q in queries:
+            values = None if q.values is None else np.asarray(q.values)
+            info = self.group.apply_updates(
+                graph, np.asarray(q.rows, dtype=np.int64),
+                np.asarray(q.cols, dtype=np.int64), values)
+            acks.append(UpdateAck(applied=int(info["applied"]),
+                                  delta_entries=int(info["delta_entries"]),
+                                  compacted=bool(info["compacted"])))
+        with self._lock:
+            stale = self._pagerank_engines.pop(graph, None)
+        if stale is not None and hasattr(stale, "close"):
+            stale.close()
+        return acks
+
     def _pagerank_engine(self, graph: str) -> Union[SpMSpVEngine, ShardedEngine]:
         with self._lock:
             engine = self._pagerank_engines.get(graph)
             if engine is None:
-                transition = column_stochastic(self._matrices[graph])
+                source = self.group.engine(graph)
+                base = (source.effective_matrix()
+                        if hasattr(source, "effective_matrix")
+                        else self._matrices[graph])
+                transition = column_stochastic(base)
                 engine = (ShardedEngine(transition, self._shards, self.ctx,
                                         algorithm=self.algorithm)
                           if self._shards is not None
@@ -400,9 +482,9 @@ class QueryServer:
             return engine
 
 
-def _percentile(sorted_values: List[float], q: float) -> Optional[float]:
-    """Nearest-rank percentile of an already-sorted list (None when empty)."""
-    if not sorted_values:
+def _percentile(sorted_values, q: float) -> Optional[float]:
+    """Nearest-rank percentile of an already-sorted sequence (None when empty)."""
+    if len(sorted_values) == 0:
         return None
     rank = max(0, min(len(sorted_values) - 1,
                       int(np.ceil(q * len(sorted_values))) - 1))

@@ -1,0 +1,227 @@
+"""Incremental BFS / PageRank: repaired answers match recomputed ones.
+
+Incremental BFS must produce **exactly** the levels of a from-scratch BFS on
+the updated graph (and a valid BFS tree — parents may tie-break differently,
+which :func:`~repro.algorithms.bfs.validate_bfs_tree` is agnostic to).
+Incremental PageRank converges to the same unique fixed point as a cold run
+(compared with ``allclose`` at the iteration tolerance) and must get there
+in fewer iterations when the update batch is small — that is its entire
+reason to exist.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (bfs, incremental_bfs, incremental_pagerank,
+                              pagerank, validate_bfs_tree)
+from repro.algorithms.pagerank import column_stochastic
+from repro.core.engine import SpMSpVEngine
+from repro.formats import CSCMatrix, DeltaLog, SparseVector, apply_delta
+from repro.graphs.generators import rmat
+from repro.parallel import default_context
+
+from conftest import random_csc
+
+
+def updated_graph(matrix, rows, cols, vals=None):
+    delta = DeltaLog(matrix.shape)
+    if vals is None:
+        vals = np.ones(len(rows))
+    delta.set_edges(rows, cols, vals)
+    return apply_delta(matrix, delta)
+
+
+@pytest.fixture(scope="module")
+def rmat_graph():
+    return rmat(scale=8, edge_factor=8, seed=5)
+
+
+# --------------------------------------------------------------------------- #
+# incremental BFS
+# --------------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_incremental_bfs_levels_exact(rmat_graph, seed):
+    rng = np.random.default_rng(seed)
+    n = rmat_graph.nrows
+    prev = bfs(rmat_graph, source=0)
+    rows = rng.integers(0, n, size=40)
+    cols = rng.integers(0, n, size=40)
+    updated = updated_graph(rmat_graph, rows, cols)
+    inc = incremental_bfs(updated, prev, rows, cols)
+    full = bfs(updated, source=0)
+    assert np.array_equal(inc.levels, full.levels)
+    assert validate_bfs_tree(updated, inc)
+    assert inc.num_reached == full.num_reached
+
+
+def test_incremental_bfs_shortcut_edge_repairs_subtree():
+    # a path 0 -> 1 -> 2 -> 3 -> 4 (edge j->i stored as A[i, j]); inserting
+    # 0 -> 4 must pull vertex 4 (and anything under it) up to level 1
+    n = 6
+    dense = np.zeros((n, n))
+    for v in range(4):
+        dense[v + 1, v] = 1.0
+    dense[5, 4] = 1.0   # 4 -> 5 rides along
+    matrix = CSCMatrix.from_dense(dense)
+    prev = bfs(matrix, source=0)
+    assert prev.levels.tolist() == [0, 1, 2, 3, 4, 5]
+    updated = updated_graph(matrix, [4], [0])
+    inc = incremental_bfs(updated, prev, [4], [0])
+    assert inc.levels.tolist() == [0, 1, 2, 3, 1, 2]
+    assert inc.parents[4] == 0 and inc.parents[5] == 4
+    assert validate_bfs_tree(updated, inc)
+    # the repair only expanded the improved subtree, not the whole graph
+    assert sum(inc.frontier_sizes) <= 2
+
+
+def test_incremental_bfs_newly_reachable_vertices(rmat_graph):
+    n = rmat_graph.nrows
+    prev = bfs(rmat_graph, source=0)
+    unreached = np.flatnonzero(prev.levels < 0)
+    if unreached.size == 0:
+        pytest.skip("smoke graph fully reachable from 0")
+    # connect the first unreached vertex directly to the source
+    target = int(unreached[0])
+    updated = updated_graph(rmat_graph, [target], [0])
+    inc = incremental_bfs(updated, prev, [target], [0])
+    full = bfs(updated, source=0)
+    assert inc.levels[target] == 1
+    assert np.array_equal(inc.levels, full.levels)
+
+
+def test_incremental_bfs_noop_and_unreachable_source_edges(rmat_graph):
+    prev = bfs(rmat_graph, source=0)
+    # empty update: nothing to do
+    inc = incremental_bfs(rmat_graph, prev,
+                          np.empty(0, np.int64), np.empty(0, np.int64))
+    assert inc.num_iterations == 0
+    assert np.array_equal(inc.levels, prev.levels)
+    # an edge out of an unreached vertex cannot improve anyone
+    unreached = np.flatnonzero(prev.levels < 0)
+    if unreached.size:
+        src = int(unreached[0])
+        updated = updated_graph(rmat_graph, [0], [src])
+        inc = incremental_bfs(updated, prev, [0], [src])
+        assert inc.num_iterations == 0
+        assert np.array_equal(inc.levels, prev.levels)
+
+
+def test_incremental_bfs_duplicate_seeds_pick_min_parent():
+    # two inserted edges offer vertex 3 the same level from sources 2 and 1:
+    # the smaller source id must win, matching the cold MIN_SELECT2ND rule
+    n = 5
+    dense = np.zeros((n, n))
+    dense[1, 0] = 1.0
+    dense[2, 0] = 1.0
+    matrix = CSCMatrix.from_dense(dense)
+    prev = bfs(matrix, source=0)
+    updated = updated_graph(matrix, [3, 3], [2, 1])
+    inc = incremental_bfs(updated, prev, [3, 3], [2, 1])
+    assert inc.levels[3] == 2
+    assert inc.parents[3] == 1
+    assert validate_bfs_tree(updated, inc)
+
+
+def test_incremental_bfs_validation_errors(rmat_graph):
+    prev = bfs(rmat_graph, source=0)
+    with pytest.raises(ValueError, match="square"):
+        incremental_bfs(random_csc(4, 5, 0.5), prev, [0], [0])
+    with pytest.raises(ValueError, match="covers"):
+        incremental_bfs(random_csc(4, 4, 0.5), prev, [0], [0])
+    with pytest.raises(ValueError, match="length"):
+        incremental_bfs(rmat_graph, prev, [0, 1], [0])
+    small = random_csc(4, 4, 0.5)
+    eng = SpMSpVEngine(random_csc(5, 5, 0.5), default_context())
+    with pytest.raises(ValueError, match="engine holds"):
+        incremental_bfs(small, bfs(small, source=0), [0], [0], engine=eng)
+
+
+def test_incremental_bfs_through_delta_engine(rmat_graph):
+    """The serving path: the engine carries the delta, no rebuilt matrix."""
+    rng = np.random.default_rng(9)
+    n = rmat_graph.nrows
+    prev = bfs(rmat_graph, source=0)
+    rows = rng.integers(0, n, size=30)
+    cols = rng.integers(0, n, size=30)
+    engine = SpMSpVEngine(rmat_graph, default_context(), algorithm="bucket")
+    engine.compact_fraction = 1e9
+    engine.apply_updates(rows, cols, np.ones(30))
+    updated = engine.effective_matrix()
+    inc = incremental_bfs(updated, prev, rows, cols, engine=engine)
+    full = bfs(updated, source=0)
+    assert np.array_equal(inc.levels, full.levels)
+
+
+# --------------------------------------------------------------------------- #
+# incremental PageRank
+# --------------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("seed", [0, 3])
+def test_incremental_pagerank_matches_cold_run(rmat_graph, seed):
+    rng = np.random.default_rng(seed)
+    n = rmat_graph.nrows
+    cold_prev = pagerank(rmat_graph, tol=1e-10)
+    rows = rng.integers(0, n, size=25)
+    cols = rng.integers(0, n, size=25)
+    updated = updated_graph(rmat_graph, rows, cols,
+                            rng.random(25) + 0.5)
+    warm = incremental_pagerank(updated, cold_prev.scores, tol=1e-10)
+    cold = pagerank(updated, tol=1e-10)
+    assert np.allclose(warm.scores, cold.scores, atol=1e-7)
+    assert abs(warm.scores.sum() - 1.0) < 1e-9
+    # the warm restart is the point: fewer iterations than a cold start
+    assert warm.num_iterations < cold.num_iterations
+
+
+def test_incremental_pagerank_noop_update_converges_immediately(rmat_graph):
+    prev = pagerank(rmat_graph, tol=1e-10)
+    warm = incremental_pagerank(rmat_graph, prev.scores, tol=1e-10)
+    cold = pagerank(rmat_graph, tol=1e-10)
+    assert np.allclose(warm.scores, prev.scores, atol=1e-7)
+    assert warm.num_iterations <= cold.num_iterations // 2
+
+
+def test_incremental_pagerank_personalized(rmat_graph):
+    rng = np.random.default_rng(13)
+    n = rmat_graph.nrows
+    seeds = np.array([1, 7, 19])
+    prev = pagerank(rmat_graph, personalization=seeds, tol=1e-10)
+    rows = rng.integers(0, n, size=15)
+    cols = rng.integers(0, n, size=15)
+    updated = updated_graph(rmat_graph, rows, cols)
+    warm = incremental_pagerank(updated, prev.scores,
+                                personalization=seeds, tol=1e-10)
+    cold = pagerank(updated, personalization=seeds, tol=1e-10)
+    assert np.allclose(warm.scores, cold.scores, atol=1e-7)
+
+
+def test_incremental_pagerank_accepts_prebuilt_engine(rmat_graph):
+    rng = np.random.default_rng(17)
+    n = rmat_graph.nrows
+    prev = pagerank(rmat_graph, tol=1e-10)
+    rows = rng.integers(0, n, size=10)
+    cols = rng.integers(0, n, size=10)
+    updated = updated_graph(rmat_graph, rows, cols)
+    engine = SpMSpVEngine(column_stochastic(updated), default_context())
+    warm = incremental_pagerank(updated, prev.scores, engine=engine, tol=1e-10)
+    assert warm.engine is engine
+    cold = pagerank(updated, tol=1e-10)
+    assert np.allclose(warm.scores, cold.scores, atol=1e-7)
+
+
+def test_incremental_pagerank_validation_errors(rmat_graph):
+    prev = pagerank(rmat_graph, tol=1e-8)
+    with pytest.raises(ValueError, match="square"):
+        incremental_pagerank(random_csc(4, 5, 0.5), prev.scores)
+    with pytest.raises(ValueError, match="shape"):
+        incremental_pagerank(random_csc(4, 4, 0.5), prev.scores)
+    with pytest.raises(ValueError, match="damping"):
+        incremental_pagerank(rmat_graph, prev.scores, damping=1.0)
+    with pytest.raises(ValueError, match="mass"):
+        incremental_pagerank(rmat_graph, np.zeros(rmat_graph.nrows))
+    small = random_csc(4, 4, 0.5)
+    eng = SpMSpVEngine(column_stochastic(random_csc(5, 5, 0.5)),
+                       default_context())
+    with pytest.raises(ValueError, match="engine holds"):
+        incremental_pagerank(small, np.full(4, 0.25), engine=eng)

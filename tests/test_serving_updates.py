@@ -1,0 +1,269 @@
+"""Serving-layer dynamic updates and the stats-memory / lock-hold fixes.
+
+Three concerns share this file:
+
+* **UpdateQuery end-to-end** — updates flow through the same pump as reads,
+  apply in arrival order, answer with honest :class:`UpdateAck` fields, and
+  change what every later read computes (multiply sees the delta overlay
+  immediately; PageRank's derived column-stochastic engine is invalidated
+  and rebuilt from the effective matrix).
+* **Bounded stats memory** — the latency reservoir and the batch log hold at
+  most their configured caps no matter how many requests are served, while
+  ``latency_observed`` keeps counting everything; reservoir percentiles stay
+  statistically honest.
+* **Lock-hold O(latency_samples)** — ``serve_stats()`` computes percentiles
+  and engine health *outside* the server lock, so a slow ``health_stats``
+  cannot block concurrent submits.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from conftest import random_csc
+from repro.algorithms.pagerank import column_stochastic, pagerank
+from repro.core.engine import SpMSpVEngine
+from repro.formats import DeltaLog, SparseVector, apply_delta
+from repro.parallel.context import default_context
+from repro.serve import (MultiplyQuery, PageRankQuery, QueryServer, UpdateAck,
+                         UpdateQuery, VirtualClock)
+
+N = 80
+
+
+@pytest.fixture()
+def graphs():
+    return {"a": random_csc(N, N, density=0.06, seed=31),
+            "b": random_csc(N, N, density=0.04, seed=32)}
+
+
+def make_server(graphs, **kwargs):
+    kwargs.setdefault("clock", VirtualClock())
+    kwargs.setdefault("max_wait_s", 0.002)
+    kwargs.setdefault("max_batch", 8)
+    return QueryServer(graphs, default_context(), **kwargs)
+
+
+def some_vector(seed=0, nnz=12):
+    rng = np.random.default_rng(seed)
+    idx = np.sort(rng.choice(N, size=nnz, replace=False))
+    return SparseVector(N, idx, rng.random(nnz) + 0.1)
+
+
+# --------------------------------------------------------------------------- #
+# UpdateQuery validation and end-to-end flow
+# --------------------------------------------------------------------------- #
+
+def test_update_query_validation():
+    with pytest.raises(ValueError, match="at least one edge"):
+        UpdateQuery("a", rows=(), cols=())
+    with pytest.raises(ValueError, match="cols length"):
+        UpdateQuery("a", rows=(1, 2), cols=(1,))
+    with pytest.raises(ValueError, match="values length"):
+        UpdateQuery("a", rows=(1, 2), cols=(1, 2), values=(1.0,))
+    q = UpdateQuery("a", rows=(1, np.int64(2)), cols=(3, 4), values=(1, 2))
+    assert q.rows == (1, 2) and q.values == (1.0, 2.0)
+    assert q.kind == "update" and q.coalesce_key() == ("update", "a")
+
+
+def test_update_changes_subsequent_multiplies(graphs):
+    x = some_vector(seed=41)
+    rng = np.random.default_rng(41)
+    rows = rng.integers(0, N, size=10)
+    cols = rng.integers(0, N, size=10)
+    vals = rng.random(10) + 0.5
+    with make_server(graphs) as server:
+        before = server.submit(MultiplyQuery("a", x))
+        server.advance(0.01)
+        ack = server.submit(UpdateQuery("a", rows=tuple(rows),
+                                        cols=tuple(cols), values=tuple(vals)))
+        server.advance(0.01)
+        ack = ack.result()
+        assert isinstance(ack, UpdateAck) and ack.applied == 10
+        after = server.submit(MultiplyQuery("a", x))
+        server.advance(0.01)
+        # reference: the same multiply on the rebuilt matrix
+        delta = DeltaLog(graphs["a"].shape)
+        delta.set_edges(rows, cols, vals)
+        rebuilt = apply_delta(graphs["a"], delta)
+        ref = SpMSpVEngine(rebuilt, default_context(),
+                           algorithm="bucket").multiply(x)
+        got = after.result()
+        assert np.array_equal(
+            np.sort(got.vector.indices), np.sort(ref.vector.indices))
+        bo = np.argsort(got.vector.indices, kind="stable")
+        ro = np.argsort(ref.vector.indices, kind="stable")
+        assert np.array_equal(got.vector.values[bo], ref.vector.values[ro])
+        # and the update really was a delta, not a rebuild of graph "b"
+        assert not np.array_equal(
+            before.result().vector.values, got.vector.values)
+
+
+def test_update_deletes_edges(graphs):
+    from repro.formats import to_coo
+    coo = to_coo(graphs["a"])
+    rows, cols = coo.rows[:5], coo.cols[:5]
+    with make_server(graphs) as server:
+        fut = server.submit(UpdateQuery("a", rows=tuple(rows),
+                                        cols=tuple(cols)))   # values=None
+        server.advance(0.01)
+        assert fut.result().applied == 5
+        eff = server.group.engine("a").effective_matrix()
+        assert eff.nnz == graphs["a"].nnz - len(np.unique(
+            rows.astype(np.int64) * N + cols))
+
+
+def test_update_invalidates_pagerank_engine(graphs):
+    seeds = (3, 9)
+    with make_server(graphs) as server:
+        p_before = server.submit(PageRankQuery("a", personalization=seeds))
+        server.advance(0.05)
+        scores_before = p_before.result()
+        rng = np.random.default_rng(47)
+        rows = rng.integers(0, N, size=60)
+        cols = rng.integers(0, N, size=60)
+        vals = rng.random(60) + 0.5
+        ack = server.submit(UpdateQuery("a", rows=tuple(rows),
+                                        cols=tuple(cols), values=tuple(vals)))
+        server.advance(0.05)
+        ack.result()
+        p_after = server.submit(PageRankQuery("a", personalization=seeds))
+        server.advance(0.05)
+        scores_after = p_after.result()
+        # the rebuilt engine computes on the effective matrix
+        ref = pagerank(server.group.engine("a").effective_matrix(),
+                       personalization=np.asarray(seeds))
+        assert np.allclose(scores_after, ref.scores, atol=1e-8)
+        assert not np.allclose(scores_after, scores_before, atol=1e-8)
+
+
+def test_updates_and_reads_coalesce_separately(graphs):
+    with make_server(graphs, max_batch=16) as server:
+        futs = []
+        for k in range(4):
+            futs.append(server.submit(UpdateQuery(
+                "a", rows=(k,), cols=(k,), values=(float(k + 1),))))
+            futs.append(server.submit(MultiplyQuery("a", some_vector(k))))
+        server.advance(0.05)
+        for fut in futs:
+            fut.result()
+        # update batches appear in the batch log under their own key
+        update_keys = [key for key, _ids in server.batch_log
+                       if key[0] == "update"]
+        assert update_keys and all(key == ("update", "a")
+                                   for key in update_keys)
+        # latest-wins applied in arrival order: all four edges present
+        eff = server.group.engine("a").effective_matrix().to_dense()
+        for k in range(4):
+            assert eff[k, k] == float(k + 1)
+
+
+# --------------------------------------------------------------------------- #
+# bounded stats memory
+# --------------------------------------------------------------------------- #
+
+def test_latency_reservoir_and_batch_log_bounded(graphs):
+    cap = 16
+    with make_server(graphs, latency_samples=cap, batch_log_cap=cap,
+                     max_batch=1) as server:
+        futs = [server.submit(MultiplyQuery("a", some_vector(j)))
+                for j in range(3 * cap)]
+        server.advance(1.0)
+        for fut in futs:
+            fut.result()
+        stats = server.serve_stats()
+        assert server._latencies.shape == (cap,)        # never reallocated
+        assert len(server.batch_log) <= cap
+        assert stats["latency_observed"] == 3 * cap     # all counted...
+        assert stats["latency_samples"] == cap          # ...cap retained
+        assert stats["served"] == 3 * cap
+        assert stats["latency_p50_s"] is not None
+        assert stats["latency_p99_s"] is not None
+
+
+def test_latency_reservoir_percentiles_honest():
+    """Algorithm R over a known distribution: quantiles land near truth."""
+    graphs = {"g": random_csc(10, 10, density=0.3, seed=1)}
+    with make_server(graphs, latency_samples=256) as server:
+        rng = np.random.default_rng(0)
+        draws = rng.random(5000)        # uniform latencies in [0, 1)
+        with server._lock:
+            for d in draws:
+                server._record_latency_locked(float(d))
+        stats = server.serve_stats()
+    assert stats["latency_observed"] == 5000
+    assert stats["latency_samples"] == 256
+    assert abs(stats["latency_p50_s"] - 0.5) < 0.15
+    assert stats["latency_p99_s"] > 0.9
+
+
+def test_invalid_caps_rejected(graphs):
+    with pytest.raises(ValueError, match="latency_samples"):
+        make_server(graphs, latency_samples=0)
+    with pytest.raises(ValueError, match="batch_log_cap"):
+        make_server(graphs, batch_log_cap=0)
+
+
+# --------------------------------------------------------------------------- #
+# serve_stats lock discipline
+# --------------------------------------------------------------------------- #
+
+def test_serve_stats_does_not_block_submits(graphs):
+    """A slow health_stats() must not stall the submit path: stats snapshot
+    under the lock, then compute (sorting, health) outside it."""
+    with QueryServer(graphs, default_context(), max_wait_s=0.001,
+                     max_batch=8, max_queue=4096) as server:
+        # serve something first so percentiles have data
+        fut = server.submit(MultiplyQuery("a", some_vector(1)))
+        fut.result(timeout=5.0)
+
+        release = threading.Event()
+        entered = threading.Event()
+        engine = server.group.engine("a")
+        original = engine.health_stats
+
+        def slow_health_stats():
+            entered.set()
+            release.wait(timeout=10.0)
+            return original()
+
+        engine.health_stats = slow_health_stats
+        try:
+            stats_box = {}
+            t = threading.Thread(
+                target=lambda: stats_box.update(stats=server.serve_stats()))
+            t.start()
+            assert entered.wait(timeout=5.0)
+            # serve_stats is now parked inside health_stats WITHOUT the lock:
+            # submits must complete promptly
+            t0 = time.monotonic()
+            fut = server.submit(MultiplyQuery("a", some_vector(2)))
+            fut.result(timeout=5.0)
+            elapsed = time.monotonic() - t0
+            assert elapsed < 2.0, f"submit blocked {elapsed:.3f}s behind serve_stats"
+        finally:
+            release.set()
+            engine.health_stats = original
+        t.join(timeout=10.0)
+        assert not t.is_alive()
+        assert "health" in stats_box["stats"]
+        assert stats_box["stats"]["served"] >= 1
+
+
+def test_serve_stats_values_consistent_after_updates(graphs):
+    with make_server(graphs) as server:
+        futs = [server.submit(UpdateQuery("a", rows=(j,), cols=(j,),
+                                          values=(1.0,)))
+                for j in range(3)]
+        futs += [server.submit(MultiplyQuery("b", some_vector(7)))]
+        server.advance(0.1)
+        for fut in futs:
+            fut.result()
+        stats = server.serve_stats()
+        assert stats["served"] == 4
+        assert stats["latency_observed"] == 4
+        assert set(stats["health"]) == {"a", "b"}
