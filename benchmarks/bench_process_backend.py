@@ -5,7 +5,7 @@ kernel calls on the real ``multiprocessing`` worker pool
 (:class:`~repro.parallel.backends.ProcessBackend` — strips in shared memory,
 one persistent worker per strip slot) instead of the deterministic
 in-process emulation (:class:`~repro.parallel.backends.EmulatedBackend`),
-across the RMAT suite graphs.  Three timed workloads per graph, all at P=4
+across the RMAT suite graphs.  Four timed workloads per graph, all at P=4
 strips and 4 workers:
 
 * ``multiply`` — a dense BFS-shaped frontier through the sharded engine on
@@ -15,6 +15,11 @@ strips and 4 workers:
   caveat — sharded fusion pays P x block-expansion overhead that only real
   cores can win back — so the gate is that the process backend is **no
   longer slower than monolithic** (>= 1.0x);
+* ``column_scheme`` — the row-split vs the work-efficient column-split
+  sharded engine, both process-backed, at a sparse frontier (n/64
+  nonzeros).  Gated at column >= 1.0x row: the paper's §II-F regime where
+  column-split's per-strip frontier slicing must pay for its reduction
+  phase;
 * ``resilience`` — the happy-path price of the resilience layer: the same
   process-backed engine run plain vs. with retries, degraded fallback and a
   generous deadline enabled, under **zero injected faults**
@@ -58,7 +63,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core import ShardedEngine, SpMSpVEngine
+from repro.core import ColumnShardedEngine, ShardedEngine, SpMSpVEngine
 from repro.formats import SparseVector
 from repro.graphs import build_problem
 from repro.parallel import RetryPolicy, default_context
@@ -89,6 +94,13 @@ GATE_MANY_SPEEDUP = 1.0
 #: (instead of pickled over the pipe) the measured reduction is 175-189x,
 #: so the gate holds a ~3x margin
 GATE_COMM_REDUCTION = 60.0
+#: row-split vs column-split sharded engines, both on the process backend,
+#: at a sparse frontier (n/64): the work-efficient scheme must at least
+#: match row-split where the paper says it wins (core-gated like the other
+#: speedup gates — on one core the strips serialise either way)
+GATE_COLUMN_SCHEME = 1.0
+#: frontier divisor for the column-scheme phase (nnz(x) = n/64, sparse)
+COLUMN_SCHEME_DIVISOR = 64
 #: off-the-fault-path cost of the resilience machinery (deadline stamping,
 #: retry bookkeeping, fallback plumbing) with ZERO injected faults: the
 #: resilient engine must stay within 5% of the plain one
@@ -156,6 +168,32 @@ def bench_multiply_many(matrix, ctx, rounds: int) -> dict:
         return time_best_interleaved(runs, rounds)
     finally:
         process.close()
+
+def bench_column_scheme(matrix, ctx, rounds: int) -> dict:
+    """Row-split vs column-split sharded engine, both process-backed.
+
+    The frontier is sparse (``n / COLUMN_SCHEME_DIVISOR`` nonzeros) — the
+    regime where §II-F says column-split's per-strip frontier slicing beats
+    row-split's whole-frontier broadcast.  The column engine's strips live
+    in shared memory as DCSC (jc/cp/ir/num slabs) and its per-strip partial
+    streams are merged parent-side in the reduction phase.
+    """
+    x = dense_frontier(matrix.ncols, COLUMN_SCHEME_DIVISOR, seed=53)
+    base = ctx.with_backend("process", workers=WORKERS)
+    row_eng = ShardedEngine(matrix, SHARDS, base, algorithm="bucket")
+    col_eng = ColumnShardedEngine(matrix, SHARDS, base, algorithm="bucket")
+    try:
+        runs = {
+            "row": lambda: row_eng.multiply(x),
+            "column": lambda: col_eng.multiply(x),
+        }
+        for fn in runs.values():
+            fn()  # warm workspaces and both pools
+        return time_best_interleaved(runs, rounds)
+    finally:
+        row_eng.close()
+        col_eng.close()
+
 
 def bench_resilience(matrix, ctx, rounds: int) -> dict:
     """Happy-path cost of the resilience layer: plain vs. hardened engine.
@@ -260,6 +298,7 @@ def run(quick: bool, threads: int, rounds: int,
         "require_cores": require_cores or None,
         "gate": {"multiply_min_speedup": GATE_MULTIPLY_SPEEDUP,
                  "multiply_many_min_speedup": GATE_MANY_SPEEDUP,
+                 "column_scheme_min_speedup": GATE_COLUMN_SCHEME,
                  "resilience_min_speedup": GATE_RESILIENCE_MIN,
                  "comm_min_reduction": GATE_COMM_REDUCTION,
                  "min_cores": GATE_MIN_CORES},
@@ -291,6 +330,15 @@ def run(quick: bool, threads: int, rounds: int,
             "speedup": round(many["monolithic"] / many["process"], 4)
             if many["process"] > 0 else float("inf"),
         })
+        col = bench_column_scheme(matrix, ctx, max(1, rounds // 2))
+        report["results"].append({
+            "graph": name, "workload": "column_scheme", "shards": SHARDS,
+            "frontier_nnz": max(64, matrix.ncols // COLUMN_SCHEME_DIVISOR),
+            "row_ms": round(col["row"], 4),
+            "column_ms": round(col["column"], 4),
+            "speedup": round(col["row"] / col["column"], 4)
+            if col["column"] > 0 else float("inf"),
+        })
         res = bench_resilience(matrix, ctx, max(1, rounds // 2))
         health = res["health"]
         report["results"].append({
@@ -315,6 +363,7 @@ def run(quick: bool, threads: int, rounds: int,
         require_cores and cores < require_cores)  # shortfall fails below
     for workload, floor in (("multiply", GATE_MULTIPLY_SPEEDUP),
                             ("multiply_many", GATE_MANY_SPEEDUP),
+                            ("column_scheme", GATE_COLUMN_SCHEME),
                             ("resilience", GATE_RESILIENCE_MIN)):
         speedups = [r["speedup"] for r in report["results"]
                     if r["workload"] == workload]
@@ -355,6 +404,7 @@ def print_table(report: dict) -> None:
              f"{'baseline ms':>12} {'process ms':>11} {'speedup':>8}"
     columns = {"multiply": ("emulated", "process_ms"),
                "multiply_many": ("monolithic", "process_ms"),
+               "column_scheme": ("row", "column_ms"),
                "resilience": ("plain", "resilient_ms")}
     print(header)
     print("-" * len(header))
@@ -423,9 +473,10 @@ def main(argv=None) -> int:
         print(f"FAIL: process-backend regression gate not met "
               f"(multiply >= {GATE_MULTIPLY_SPEEDUP}x emulated, fused "
               f"multiply_many >= {GATE_MANY_SPEEDUP}x monolithic at "
-              f"P={SHARDS}, resilience-on >= {GATE_RESILIENCE_MIN}x plain "
-              f"with zero faults, comm reduction >= {GATE_COMM_REDUCTION}x)",
-              file=sys.stderr)
+              f"P={SHARDS}, column scheme >= {GATE_COLUMN_SCHEME}x row at "
+              f"a sparse frontier, resilience-on >= {GATE_RESILIENCE_MIN}x "
+              f"plain with zero faults, comm reduction >= "
+              f"{GATE_COMM_REDUCTION}x)", file=sys.stderr)
         return 1
     return 0
 

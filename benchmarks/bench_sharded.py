@@ -19,6 +19,14 @@ one gather, one stable row sort.  Three workloads per (graph, P):
 * ``bfs`` — a full traversal via ``bfs(..., shards=P)`` (the end-to-end
   algorithm).
 
+A fourth workload, ``scheme_sweep``, compares the two sharding *schemes*
+against each other: the row-split :class:`ShardedEngine` vs the
+work-efficient column-split :class:`ColumnShardedEngine` at P=4 over a
+sweep of frontier densities.  The paper's §II-F analysis predicts the
+crossover: row-split scans the whole frontier in every strip (t·nnz(x)
+work), column-split only touches the strip-local slice, so the sparser
+the frontier the better column-split should look.
+
 Results are printed as a table and written to ``BENCH_sharded.json``.  Exit
 status is the regression gate used by CI:
 
@@ -26,13 +34,18 @@ status is the regression gate used by CI:
 
 fails (exit 1) unless, on every smoke graph, the sharded ``multiply`` is
 >= 0.95x the monolithic engine at P=1 (the wrapper must be ~free) and
->= 1.2x at P=4 (sharding must genuinely pay).
+>= 1.2x at P=4 (sharding must genuinely pay), and — on machines with at
+least 4 cores — the column scheme is >= 1.0x the row scheme at the
+sparsest frontier of the sweep.  On fewer cores the scheme gate is
+reported but skipped: a single-core host serialises the strip calls, so
+the schemes' synchronization/work trade-off is not observable.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -40,7 +53,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.algorithms import bfs
-from repro.core import ShardedEngine, SpMSpVEngine
+from repro.core import ColumnShardedEngine, ShardedEngine, SpMSpVEngine
 from repro.formats import SparseVector
 from repro.graphs import build_problem
 from repro.parallel import default_context
@@ -55,6 +68,16 @@ SHARD_COUNTS = [1, 4]
 
 #: gate thresholds: sharded multiply vs monolithic at each shard count
 GATE_MIN_SPEEDUP = {1: 0.95, 4: 1.2}
+
+#: frontier densities (nnz(x)/n) for the row-vs-column scheme sweep,
+#: sparsest first — the sparsest point is the gated one
+SCHEME_SWEEP_DENSITIES = [1 / 1024, 1 / 128, 1 / 16, 1 / 4]
+SCHEME_SWEEP_SHARDS = 4
+
+#: column must at least match row at the sparsest frontier (paper §II-F:
+#: column-split is the work-efficient scheme precisely when x is sparse)
+SCHEME_GATE_MIN_RATIO = 1.0
+SCHEME_GATE_MIN_CORES = 4
 
 
 def random_frontier(n: int, nnz: int, seed: int) -> SparseVector:
@@ -109,6 +132,31 @@ def bench_multiply_many(matrix, ctx, shards: int, k: int, nnz: int,
     for fn in runs.values():
         fn()
     return time_best_interleaved(runs, rounds)
+
+
+def bench_scheme_sweep(matrix, ctx, shards: int, rounds: int) -> list:
+    """Row-split vs column-split engine over a frontier-density sweep."""
+    row_eng = ShardedEngine(matrix, shards, ctx, algorithm="bucket")
+    col_eng = ColumnShardedEngine(matrix, shards, ctx, algorithm="bucket")
+    sweep = []
+    for density in SCHEME_SWEEP_DENSITIES:
+        nnz = max(8, int(matrix.ncols * density))
+        x = random_frontier(matrix.ncols, nnz, seed=29 + nnz)
+        runs = {
+            "row": lambda: row_eng.multiply(x),
+            "column": lambda: col_eng.multiply(x),
+        }
+        for fn in runs.values():
+            fn()  # warm workspaces / backend
+        best = time_best_interleaved(runs, rounds)
+        sweep.append({
+            "density": density, "frontier_nnz": nnz,
+            "row_ms": round(best["row"], 4),
+            "column_ms": round(best["column"], 4),
+            "column_over_row": round(best["row"] / best["column"], 4)
+            if best["column"] > 0 else float("inf"),
+        })
+    return sweep
 
 
 def bench_bfs(matrix, ctx, shards: int, rounds: int) -> dict:
@@ -168,6 +216,12 @@ def run(quick: bool, threads: int, rounds: int) -> dict:
                 "speedup": round(bfs_times["monolithic"] / bfs_times["sharded"], 4)
                 if bfs_times["sharded"] > 0 else float("inf"),
             })
+        for point in bench_scheme_sweep(matrix, ctx, SCHEME_SWEEP_SHARDS,
+                                        rounds):
+            report["results"].append({
+                "graph": name, "workload": "scheme_sweep",
+                "shards": SCHEME_SWEEP_SHARDS, **point,
+            })
 
     gate_results = {}
     for shards, floor in GATE_MIN_SPEEDUP.items():
@@ -178,9 +232,26 @@ def run(quick: bool, threads: int, rounds: int) -> dict:
             "floor": floor,
             "passed": bool(speedups and min(speedups) >= floor),
         }
+    sparsest = min(SCHEME_SWEEP_DENSITIES)
+    sparse_ratios = [r["column_over_row"] for r in report["results"]
+                     if r["workload"] == "scheme_sweep"
+                     and r["density"] == sparsest]
+    cores = os.cpu_count() or 1
+    scheme_gate = {
+        "density": sparsest,
+        "min_column_over_row": min(sparse_ratios) if sparse_ratios else None,
+        "floor": SCHEME_GATE_MIN_RATIO,
+        "cores": cores,
+        "skipped": cores < SCHEME_GATE_MIN_CORES,
+        "passed": bool(cores < SCHEME_GATE_MIN_CORES
+                       or (sparse_ratios
+                           and min(sparse_ratios) >= SCHEME_GATE_MIN_RATIO)),
+    }
     report["summary"] = {
         "gates": gate_results,
-        "check_passed": all(g["passed"] for g in gate_results.values()),
+        "scheme_gate": scheme_gate,
+        "check_passed": all(g["passed"] for g in gate_results.values())
+        and scheme_gate["passed"],
     }
     return report
 
@@ -191,12 +262,35 @@ def print_table(report: dict) -> None:
     print(header)
     print("-" * len(header))
     for r in report["results"]:
+        if r["workload"] == "scheme_sweep":
+            continue
         print(f"{r['graph']:<16} {r['workload']:<15} {r['shards']:>3} "
               f"{r['monolithic_ms']:>14.3f} {r['sharded_ms']:>11.3f} "
               f"{r['speedup']:>7.2f}x")
+    sweep = [r for r in report["results"] if r["workload"] == "scheme_sweep"]
+    if sweep:
+        header = f"{'graph':<16} {'nnz(x)/n':>10} {'row ms':>10} " \
+                 f"{'column ms':>10} {'col/row':>8}"
+        print("\nrow-split vs column-split "
+              f"(P={SCHEME_SWEEP_SHARDS}, sparsest first)")
+        print(header)
+        print("-" * len(header))
+        for r in sweep:
+            print(f"{r['graph']:<16} {r['density']:>10.5f} "
+                  f"{r['row_ms']:>10.3f} {r['column_ms']:>10.3f} "
+                  f"{r['column_over_row']:>7.2f}x")
     for shards, gate in report["summary"]["gates"].items():
         print(f"min multiply speedup at P={shards}: {gate['min_speedup']} "
               f"(floor {gate['floor']}x, passed: {gate['passed']})")
+    sg = report["summary"]["scheme_gate"]
+    if sg["skipped"]:
+        print(f"scheme gate skipped: {sg['cores']} core(s) < "
+              f"{SCHEME_GATE_MIN_CORES} (strip calls serialise; the schemes' "
+              f"trade-off is not observable)")
+    else:
+        print(f"min column/row at density {sg['density']:.5f}: "
+              f"{sg['min_column_over_row']} (floor {sg['floor']}x, "
+              f"passed: {sg['passed']})")
     print(f"regression check passed: {report['summary']['check_passed']}")
 
 
@@ -228,7 +322,8 @@ def main(argv=None) -> int:
     print(f"\nwrote {args.out}")
     if args.check and not report["summary"]["check_passed"]:
         print("FAIL: sharded regression gate (multiply >= 0.95x at P=1, "
-              ">= 1.2x at P=4) not met", file=sys.stderr)
+              ">= 1.2x at P=4, column >= 1.0x row at the sparsest frontier "
+              "on >= 4 cores) not met", file=sys.stderr)
         return 1
     return 0
 

@@ -19,9 +19,13 @@ from typing import List, Optional
 import numpy as np
 
 from .._typing import INDEX_DTYPE
+from ..core.column_sharded import ColumnShardedEngine, make_sharded_engine
 from ..core.engine import SpMSpVEngine
 from ..core.result import DetachableResult, SpMSpVResult
 from ..core.sharded import ShardedEngine
+
+#: any engine the traversals can run on
+AnyEngine = SpMSpVEngine | ShardedEngine | ColumnShardedEngine
 from ..formats.csc import CSCMatrix
 from ..formats.sparse_vector import SparseVector
 from ..graphs.graph import Graph
@@ -46,7 +50,10 @@ class BFSResult(DetachableResult):
     #: execution record of every SpMSpV call, in order
     records: List[ExecutionRecord] = field(default_factory=list)
     #: the engine that ran the traversal (workspace stats, per-call choices)
-    engine: Optional[SpMSpVEngine | ShardedEngine] = None
+    engine: Optional[AnyEngine] = None
+    #: True when this result was produced by a full recomputation that an
+    #: incremental entry point fell back to (deletions invalidate reuse)
+    recomputed: bool = False
 
     @property
     def num_reached(self) -> int:
@@ -65,7 +72,8 @@ def bfs(graph: Graph | CSCMatrix, source: int,
         max_levels: Optional[int] = None,
         collect_frontiers: bool = False,
         shards: Optional[int] = None,
-        backend: Optional[str] = None) -> BFSResult:
+        backend: Optional[str] = None,
+        shard_scheme: Optional[str] = None) -> BFSResult:
     """Run a frontier-expansion BFS from ``source``.
 
     Parameters
@@ -94,6 +102,10 @@ def bfs(graph: Graph | CSCMatrix, source: int,
     backend:
         Overrides the context's sharded execution backend (``"emulated"`` |
         ``"process"``); only meaningful together with ``shards``.
+    shard_scheme:
+        Partitioning scheme for the sharded engine: ``"row"`` | ``"column"``
+        | ``"auto"`` (the paper's §II-F crossover).  ``None`` defers to
+        ``ctx.shard_scheme``; only meaningful together with ``shards``.
     """
     matrix = graph.matrix if isinstance(graph, Graph) else graph
     if matrix.nrows != matrix.ncols:
@@ -105,7 +117,8 @@ def bfs(graph: Graph | CSCMatrix, source: int,
     if backend is not None:
         ctx = ctx.with_backend(backend)
     # one engine per traversal: buckets/SPA are allocated once, reused per level
-    engine = (ShardedEngine(matrix, shards, ctx, algorithm=algorithm)
+    engine = (make_sharded_engine(matrix, shards, ctx, algorithm=algorithm,
+                                  scheme=shard_scheme)
               if shards is not None
               else SpMSpVEngine(matrix, ctx, algorithm=algorithm))
 
@@ -167,7 +180,7 @@ class MultiSourceBFSResult(DetachableResult):
     iterations_per_source: List[int] = field(default_factory=list)
     #: per-level total frontier nnz summed over the still-active searches
     frontier_sizes: List[int] = field(default_factory=list)
-    engine: Optional[SpMSpVEngine | ShardedEngine] = None
+    engine: Optional[AnyEngine] = None
 
     @property
     def num_sources(self) -> int:
@@ -188,7 +201,8 @@ def bfs_multi_source(graph: Graph | CSCMatrix, sources: List[int],
                      block_mode: str = "auto",
                      shards: Optional[int] = None,
                      backend: Optional[str] = None,
-                     engine: Optional[SpMSpVEngine | ShardedEngine] = None
+                     shard_scheme: Optional[str] = None,
+                     engine: Optional[AnyEngine] = None
                      ) -> MultiSourceBFSResult:
     """Run independent BFS traversals from several sources as one batched job.
 
@@ -208,7 +222,9 @@ def bfs_multi_source(graph: Graph | CSCMatrix, sources: List[int],
     :class:`~repro.core.sharded.ShardedEngine` over that many row strips —
     fused blocks shard too (the column-union pack is shared, the scatter is
     strip-local) and results stay bit-identical.  ``backend`` overrides the
-    context's sharded execution backend (``"emulated"`` | ``"process"``).
+    context's sharded execution backend (``"emulated"`` | ``"process"``) and
+    ``shard_scheme`` the partitioning scheme (``"row"`` | ``"column"`` |
+    ``"auto"``; the column scheme always runs the looped block path).
     ``engine`` supplies a *persistent* engine already holding this adjacency
     matrix (the serving layer's reuse path: one warm workspace across many
     traversals); when given, ``ctx``/``shards``/``backend``/``algorithm``
@@ -230,7 +246,8 @@ def bfs_multi_source(graph: Graph | CSCMatrix, sources: List[int],
             raise ValueError(
                 f"engine holds a {engine.matrix.shape} matrix; graph is {matrix.shape}")
     else:
-        engine = (ShardedEngine(matrix, shards, ctx, algorithm=algorithm)
+        engine = (make_sharded_engine(matrix, shards, ctx, algorithm=algorithm,
+                                      scheme=shard_scheme)
                   if shards is not None
                   else SpMSpVEngine(matrix, ctx, algorithm=algorithm))
 

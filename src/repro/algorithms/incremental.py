@@ -16,12 +16,19 @@ previous answers instead of recomputing from scratch:
 
 Caveats (documented, by design):
 
-* Incremental BFS handles **insertions only**.  A deletion can disconnect
-  the tree, which cannot be repaired locally — recompute with
-  :func:`~repro.algorithms.bfs.bfs` after deletions.  Levels are exact;
-  parents form *a* valid BFS tree (each parent is one level above its
-  child) but tie-breaks may differ from a cold run, because only improved
-  vertices re-expand.
+* Incremental BFS *repairs* **insertions only**.  A deletion can disconnect
+  the tree or lengthen shortest paths, which the insertion relaxation can
+  never express — monotone level shrinking cannot undo a removed edge — so
+  reusing the previous levels after deletions would silently return stale
+  (too-small) levels.  Deletions must therefore be declared via
+  ``deleted_rows``/``deleted_cols``: with ``on_delete="error"`` (the
+  default) the call raises :class:`~repro.errors.NotSupportedError`; with
+  ``on_delete="recompute"`` it transparently falls back to a cold
+  :func:`~repro.algorithms.bfs.bfs` on the updated graph and marks the
+  result ``recomputed=True``.  Either way, stale levels are impossible.
+  For pure insertions, levels are exact; parents form *a* valid BFS tree
+  (each parent is one level above its child) but tie-breaks may differ
+  from a cold run, because only improved vertices re-expand.
 * Incremental PageRank is exact to the iteration tolerance (the fixed
   point is unique), not bit-identical to a cold run.
 """
@@ -33,8 +40,10 @@ from typing import List, Optional, Union
 import numpy as np
 
 from .._typing import INDEX_DTYPE, as_index_array
+from ..core.column_sharded import ColumnShardedEngine
 from ..core.engine import SpMSpVEngine
 from ..core.sharded import ShardedEngine
+from ..errors import NotSupportedError
 from ..formats.csc import CSCMatrix
 from ..formats.sparse_vector import SparseVector
 from ..graphs.graph import Graph
@@ -46,7 +55,7 @@ from .pagerank import PageRankResult, column_stochastic
 
 __all__ = ["incremental_bfs", "incremental_pagerank"]
 
-Engine = Union[SpMSpVEngine, ShardedEngine]
+Engine = Union[SpMSpVEngine, ShardedEngine, ColumnShardedEngine]
 
 
 def _resolve_engine(matrix: CSCMatrix, ctx: Optional[ExecutionContext],
@@ -61,10 +70,52 @@ def _resolve_engine(matrix: CSCMatrix, ctx: Optional[ExecutionContext],
                         algorithm=algorithm)
 
 
+def _cold_bfs_on(engine: Engine, source: int) -> BFSResult:
+    """A from-scratch BFS through an existing engine (deltas honoured).
+
+    Mirrors :func:`~repro.algorithms.bfs.bfs` level for level, but reuses
+    the caller's engine instead of building a fresh one, so any edge
+    updates the engine already absorbed stay visible to the traversal.
+    """
+    n = engine.matrix.ncols
+    levels = np.full(n, -1, dtype=INDEX_DTYPE)
+    parents = np.full(n, -1, dtype=INDEX_DTYPE)
+    levels[source] = 0
+    parents[source] = source
+    frontier = SparseVector(n, np.array([source], dtype=INDEX_DTYPE),
+                            np.array([float(source)]), sorted=True, check=False)
+    visited_indices = [np.array([source], dtype=INDEX_DTYPE)]
+    records: List[ExecutionRecord] = []
+    frontier_sizes: List[int] = [frontier.nnz]
+    level = 0
+    while frontier.nnz:
+        level += 1
+        visited = SparseVector.full_like_indices(
+            n, np.concatenate(visited_indices), 1.0)
+        result = engine.multiply(frontier, semiring=MIN_SELECT2ND,
+                                 mask=visited, mask_complement=True)
+        records.append(result.record)
+        reached = result.vector
+        if reached.nnz == 0:
+            break
+        levels[reached.indices] = level
+        parents[reached.indices] = reached.values.astype(INDEX_DTYPE)
+        visited_indices.append(reached.indices.copy())
+        frontier = SparseVector(n, reached.indices.copy(),
+                                reached.indices.astype(np.float64),
+                                sorted=reached.sorted, check=False)
+        frontier_sizes.append(frontier.nnz)
+    return BFSResult(source=source, levels=levels, parents=parents,
+                     num_iterations=level, frontier_sizes=frontier_sizes,
+                     records=records, engine=engine)
+
+
 def incremental_bfs(graph: Graph | CSCMatrix, previous: BFSResult,
                     inserted_rows, inserted_cols,
                     ctx: Optional[ExecutionContext] = None, *,
                     algorithm: str = "bucket",
+                    deleted_rows=None, deleted_cols=None,
+                    on_delete: str = "error",
                     engine: Optional[Engine] = None) -> BFSResult:
     """Repair a BFS result after edge insertions.
 
@@ -83,6 +134,17 @@ def incremental_bfs(graph: Graph | CSCMatrix, previous: BFSResult,
     SpMSpV, exactly like a cold BFS level, but over a frontier of improved
     vertices only.  The returned levels equal a from-scratch BFS on the
     updated graph.
+
+    **Deletions cannot be repaired** — they lengthen paths, which the
+    monotone shrink relaxation cannot express — and silently reusing the
+    previous levels would return stale answers.  Any update batch that
+    removed edges must declare them via ``deleted_rows``/``deleted_cols``:
+    with ``on_delete="error"`` (the default) the call raises
+    :class:`~repro.errors.NotSupportedError`; with
+    ``on_delete="recompute"`` it runs a cold
+    :func:`~repro.algorithms.bfs.bfs` from the same source on the updated
+    graph (through ``engine`` when given, so engine-side deltas are
+    honoured) and returns that result with ``recomputed=True``.
     """
     matrix = graph.matrix if isinstance(graph, Graph) else graph
     if matrix.nrows != matrix.ncols:
@@ -92,7 +154,28 @@ def incremental_bfs(graph: Graph | CSCMatrix, previous: BFSResult,
         raise ValueError(
             f"previous result covers {len(previous.levels)} vertices; "
             f"graph has {n}")
+    if on_delete not in ("error", "recompute"):
+        raise ValueError(
+            f"on_delete must be 'error' or 'recompute', got {on_delete!r}")
+    del_rows = as_index_array(deleted_rows) if deleted_rows is not None \
+        else np.empty(0, dtype=INDEX_DTYPE)
+    del_cols = as_index_array(deleted_cols) if deleted_cols is not None \
+        else np.empty(0, dtype=INDEX_DTYPE)
+    if len(del_rows) != len(del_cols):
+        raise ValueError("deleted_rows and deleted_cols must match in length")
     engine = _resolve_engine(matrix, ctx, algorithm, engine)
+    if len(del_rows):
+        if on_delete == "error":
+            raise NotSupportedError(
+                f"incremental_bfs cannot repair {len(del_rows)} edge "
+                f"deletion(s): deletions lengthen shortest paths, which the "
+                f"insertion relaxation cannot express, and reusing the "
+                f"previous levels would be stale.  Pass "
+                f"on_delete='recompute' to fall back to a cold BFS, or run "
+                f"repro.algorithms.bfs.bfs on the updated graph directly")
+        result = _cold_bfs_on(engine, previous.source)
+        result.recomputed = True
+        return result
 
     levels = np.asarray(previous.levels).copy()
     parents = np.asarray(previous.parents).copy()

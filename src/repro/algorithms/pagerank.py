@@ -20,9 +20,13 @@ from typing import List, Optional
 import numpy as np
 
 from .._typing import INDEX_DTYPE
+from ..core.column_sharded import ColumnShardedEngine, make_sharded_engine
 from ..core.engine import SpMSpVEngine
 from ..core.result import DetachableResult
 from ..core.sharded import ShardedEngine
+
+#: any engine the iterations can run on
+AnyEngine = SpMSpVEngine | ShardedEngine | ColumnShardedEngine
 from ..formats.coo import COOMatrix
 from ..formats.csc import CSCMatrix
 from ..formats.sparse_vector import SparseVector
@@ -60,7 +64,7 @@ class PageRankResult(DetachableResult):
     #: number of active (still-changing) vertices per iteration
     active_sizes: List[int] = field(default_factory=list)
     records: List[ExecutionRecord] = field(default_factory=list)
-    engine: Optional[SpMSpVEngine | ShardedEngine] = None
+    engine: Optional[AnyEngine] = None
 
     def top(self, k: int = 10) -> List[tuple]:
         """The k highest-ranked vertices as (vertex, score) pairs."""
@@ -93,7 +97,8 @@ def pagerank(graph: Graph | CSCMatrix,
              personalization: Optional[np.ndarray] = None,
              restrict: Optional[np.ndarray] = None,
              shards: Optional[int] = None,
-             backend: Optional[str] = None) -> PageRankResult:
+             backend: Optional[str] = None,
+             shard_scheme: Optional[str] = None) -> PageRankResult:
     """Compute PageRank scores with the sparse delta (data-driven) iteration.
 
     The returned scores sum to 1.  ``personalization`` restricts the teleport
@@ -105,7 +110,9 @@ def pagerank(graph: Graph | CSCMatrix,
     inside the subset for a fully confined walk.  ``shards`` routes the
     iteration through a :class:`~repro.core.sharded.ShardedEngine` over that
     many row strips (bit-identical scores); ``backend`` overrides the
-    context's sharded execution backend (``"emulated"`` | ``"process"``).
+    context's sharded execution backend (``"emulated"`` | ``"process"``) and
+    ``shard_scheme`` the partitioning scheme (``"row"`` | ``"column"`` |
+    ``"auto"``, defaulting to ``ctx.shard_scheme``).
     """
     matrix = graph.matrix if isinstance(graph, Graph) else graph
     if matrix.nrows != matrix.ncols:
@@ -115,7 +122,8 @@ def pagerank(graph: Graph | CSCMatrix,
     if backend is not None:
         ctx = ctx.with_backend(backend)
     transition = column_stochastic(matrix)
-    engine = (ShardedEngine(transition, shards, ctx, algorithm=algorithm)
+    engine = (make_sharded_engine(transition, shards, ctx, algorithm=algorithm,
+                                  scheme=shard_scheme)
               if shards is not None
               else SpMSpVEngine(transition, ctx, algorithm=algorithm))
     dangling = np.flatnonzero(np.diff(transition.indptr) == 0)
@@ -173,7 +181,7 @@ class BlockedPageRankResult(DetachableResult):
     iterations_per_source: List[int] = field(default_factory=list)
     #: total active (still-changing) vertices per iteration, over the block
     active_sizes: List[int] = field(default_factory=list)
-    engine: Optional[SpMSpVEngine | ShardedEngine] = None
+    engine: Optional[AnyEngine] = None
 
     @property
     def num_sources(self) -> int:
@@ -196,7 +204,8 @@ def pagerank_block(graph: Graph | CSCMatrix,
                    restrict: Optional[np.ndarray] = None,
                    shards: Optional[int] = None,
                    backend: Optional[str] = None,
-                   engine: Optional[SpMSpVEngine | ShardedEngine] = None
+                   shard_scheme: Optional[str] = None,
+                   engine: Optional[AnyEngine] = None
                    ) -> BlockedPageRankResult:
     """Run k personalized PageRank computations as one blocked job.
 
@@ -216,7 +225,9 @@ def pagerank_block(graph: Graph | CSCMatrix,
     :class:`~repro.core.sharded.ShardedEngine` over that many row strips —
     the fused block packs once and executes per strip, bit-identically.
     ``backend`` overrides the context's sharded execution backend
-    (``"emulated"`` | ``"process"``).  ``engine`` supplies a *persistent*
+    (``"emulated"`` | ``"process"``) and ``shard_scheme`` the partitioning
+    scheme (``"row"`` | ``"column"`` | ``"auto"``; the column scheme always
+    runs the looped block path).  ``engine`` supplies a *persistent*
     engine already holding the column-stochastic transition operator
     (``column_stochastic(adjacency)``) — the serving layer's reuse path: no
     per-call normalization or engine construction, and ``ctx``/``shards``/
@@ -236,7 +247,8 @@ def pagerank_block(graph: Graph | CSCMatrix,
                 f"engine holds a {transition.shape} matrix; graph is {matrix.shape}")
     else:
         transition = column_stochastic(matrix)
-        engine = (ShardedEngine(transition, shards, ctx, algorithm=algorithm)
+        engine = (make_sharded_engine(transition, shards, ctx,
+                                      algorithm=algorithm, scheme=shard_scheme)
                   if shards is not None
                   else SpMSpVEngine(transition, ctx, algorithm=algorithm))
     dangling = np.flatnonzero(np.diff(transition.indptr) == 0)

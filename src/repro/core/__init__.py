@@ -18,12 +18,20 @@ from .engine import (
     pin_engine,
     unpin_engine,
 )
+from .column_sharded import ColumnShardedEngine, make_sharded_engine
 from .left_multiply import spmspv_left, transpose_for_left_multiply
 from .result import SpMSpVResult
 from .sharded import EngineGroup, ShardedEngine
 from .spa import SparseAccumulator
 from .spmspv_block import spmspv_bucket_block
 from .spmspv_bucket import spmspv_bucket, spmspv_bucket_reference
+from .spmspv_column import (
+    ColumnPartial,
+    column_partial,
+    merge_partial_records,
+    reduce_partials,
+    slice_frontier,
+)
 from .vector_ops import (
     assign_scalar,
     ewise_add,
@@ -41,6 +49,8 @@ __all__ = [
     "SharedSlab",
     "BucketOffsets",
     "BucketStore",
+    "ColumnPartial",
+    "ColumnShardedEngine",
     "CostFit",
     "DenseScratch",
     "EngineCall",
@@ -55,8 +65,13 @@ __all__ = [
     "bucket_of_rows",
     "bucket_row_ranges",
     "clear_engine_cache",
+    "column_partial",
     "compute_offsets",
     "engine_for",
+    "make_sharded_engine",
+    "merge_partial_records",
+    "reduce_partials",
+    "slice_frontier",
     "pin_engine",
     "unpin_engine",
     "ewise_add",

@@ -1,0 +1,249 @@
+"""Column-split SpMSpV: per-strip partial products plus a reduction phase.
+
+The paper's work-efficiency argument (§II-F, Table II) is that row-split
+SpMSpV forces every thread to scan the whole input vector, while
+**column-split** is work-efficient: the matrix is cut into ``t`` vertical
+strips, each thread reads only its private slice of ``x``, and the partial
+outputs are merged in a synchronized reduction phase.  This module provides
+the two halves of that scheme as pure functions:
+
+* :func:`column_partial` — everything a strip can do privately: gather the
+  DCSC columns selected by its frontier slice, early-mask the scattered
+  rows, scale under the semiring, and row-sort the stream.  The result is an
+  **unreduced** ``(rows, values, gpos)`` stream — ``gpos`` is each addend's
+  position in the *global* frontier's storage order.
+* :func:`reduce_partials` — the reduction phase: concatenate the strip
+  streams, order them exactly as the monolithic kernel's single gather
+  stream would be ordered, and run one ``semiring.reduceat`` per row run.
+
+Shipping unreduced streams is what makes the scheme bit-identical to the
+monolithic engine: the monolithic kernels reduce each row's addends with a
+sequential left fold in frontier-storage order, and floating-point addition
+does not associate.  Had each strip pre-reduced its own addends, the parent
+would have to re-reduce partial sums — a different association, and a
+different answer in the last ulp.  Instead every row's addends are folded
+once, parent-side, in the same order as the monolithic stream.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .._typing import INDEX_DTYPE
+from ..formats.bitvector import BitVector
+from ..formats.dcsc import DCSCMatrix
+from ..formats.sparse_vector import SparseVector
+from ..parallel.context import ExecutionContext
+from ..parallel.metrics import ExecutionRecord, PhaseRecord, WorkMetrics
+from ..semiring import Semiring
+from .buckets import stable_row_argsort
+from .vector_ops import finalize_output, mask_keep
+
+__all__ = ["ColumnPartial", "column_partial", "reduce_partials",
+           "slice_frontier", "merge_partial_records"]
+
+
+@dataclass
+class ColumnPartial:
+    """One strip's unreduced contribution to a column-split SpMSpV.
+
+    ``rows``/``vals``/``gpos`` are parallel arrays sorted by ``rows``
+    (stably, so equal rows keep their gather order); ``gpos[k]`` is the
+    position of addend ``k``'s frontier entry in the **global** input
+    vector's storage, which is what lets the reduction phase restore the
+    monolithic addend order even for unsorted frontiers.
+    """
+
+    nrows: int
+    rows: np.ndarray
+    vals: np.ndarray
+    gpos: np.ndarray
+    record: ExecutionRecord
+    info: Dict = field(default_factory=dict)
+
+
+def slice_frontier(x: SparseVector, col_ranges: Sequence[Tuple[int, int]]
+                   ) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Slice a frontier by column range: ``(local_idx, values, gpos)`` per strip.
+
+    Each strip sees only the frontier entries that fall inside its column
+    range — the private ``x`` slice of the paper's column-split scheme —
+    with indices rebased to the strip's local column space and ``gpos``
+    recording each entry's position in the global storage order.
+    """
+    slices = []
+    for lo, hi in col_ranges:
+        if x.nnz == 0 or lo >= hi:
+            slices.append((np.empty(0, dtype=INDEX_DTYPE),
+                           np.empty(0, dtype=x.dtype),
+                           np.empty(0, dtype=INDEX_DTYPE)))
+            continue
+        sel = (x.indices >= lo) & (x.indices < hi)
+        gpos = np.flatnonzero(sel).astype(INDEX_DTYPE)
+        slices.append(((x.indices[gpos] - lo).astype(INDEX_DTYPE),
+                       x.values[gpos], gpos))
+    return slices
+
+
+def column_partial(strip: DCSCMatrix,
+                   xs_idx: np.ndarray, xs_vals: np.ndarray, xs_gpos: np.ndarray,
+                   ctx: ExecutionContext, *,
+                   semiring: Semiring,
+                   out_dtype,
+                   algorithm: str = "bucket",
+                   bitmap: Optional[BitVector] = None,
+                   mask_complement: bool = False) -> ColumnPartial:
+    """The private (pre-reduction) half of one column strip's SpMSpV.
+
+    Gathers the strip's DCSC columns selected by the frontier slice,
+    early-masks the scattered rows (whole rows drop, so surviving addend
+    streams are untouched — the same argument that keeps early masking
+    bit-identical in the monolithic kernels), scales under the semiring
+    through ``out_dtype`` (the *global* ``result_type(A, x)``, fixed by the
+    caller so every strip casts exactly like the monolithic stream), and
+    stably row-sorts.  ``algorithm`` names the kernel family driving the
+    dispatch decision and labels; the gather/mask/scale/sort core here is
+    the part all five kernels share — their differences (SPA vs heap vs
+    bucket merge) live entirely in the merge, which column-split moves into
+    the parent's reduction phase.
+    """
+    t_start = time.perf_counter()
+    m = strip.nrows
+    f = int(len(xs_idx))
+    record = ExecutionRecord(algorithm=f"column_partial:{algorithm}", num_threads=1,
+                             info={"m": m, "n": strip.ncols,
+                                   "nnz_A": strip.nnz, "f": f})
+
+    gather_phase = PhaseRecord(name="gather", parallel=True)
+    g = WorkMetrics()
+    if f and strip.nnz:
+        rows, vals, src = strip.gather_columns(xs_idx)
+        g.vector_reads = f
+        g.colptr_reads = f
+        g.matrix_nnz_reads = len(rows)
+        if bitmap is not None:
+            g.bitmap_probes = len(rows)
+            keep = mask_keep(bitmap, rows, complement=mask_complement)
+            rows, vals, src = rows[keep], vals[keep], src[keep]
+    else:
+        rows = np.empty(0, dtype=INDEX_DTYPE)
+        vals = np.empty(0, dtype=strip.dtype)
+        src = np.empty(0, dtype=INDEX_DTYPE)
+    gather_phase.thread_metrics = [g]
+    record.add_phase(gather_phase)
+
+    total = len(rows)
+    record.info["df"] = total
+
+    scale_phase = PhaseRecord(name="scale", parallel=True)
+    s = WorkMetrics()
+    if total:
+        scaled = np.asarray(semiring.multiply(vals, xs_vals[src])) \
+            .astype(out_dtype, copy=False)
+        gpos = xs_gpos[src].astype(INDEX_DTYPE, copy=False)
+        s.multiplications = total
+        s.buffer_writes = total
+    else:
+        scaled = np.empty(0, dtype=out_dtype)
+        gpos = np.empty(0, dtype=INDEX_DTYPE)
+    scale_phase.thread_metrics = [s]
+    record.add_phase(scale_phase)
+
+    sort_phase = PhaseRecord(name="strip_sort", parallel=True)
+    so = WorkMetrics()
+    if total:
+        order = stable_row_argsort(rows, m)
+        rows, scaled, gpos = rows[order], scaled[order], gpos[order]
+        so.sort_elements = total
+        so.output_writes = total
+    sort_phase.thread_metrics = [so]
+    record.add_phase(sort_phase)
+
+    record.wall_time_s = time.perf_counter() - t_start
+    return ColumnPartial(nrows=m, rows=rows, vals=scaled, gpos=gpos,
+                         record=record, info={"df": total})
+
+
+def reduce_partials(partials: Sequence[ColumnPartial], *,
+                    semiring: Semiring, nrows: int, x_sorted: bool,
+                    out_dtype) -> Tuple[SparseVector, WorkMetrics]:
+    """The reduction phase: merge strip streams into the output vector.
+
+    The concatenated streams are reordered to exactly the monolithic
+    kernel's addend order — stably by row when the frontier is sorted (strip
+    streams then concatenate in ascending global-position order, which a
+    stable sort preserves within rows), or by ``(row, gpos)`` lexsort when
+    it is not (the pairs are unique, so the order is deterministic and
+    matches the monolithic gather stream position for position).  One
+    ``semiring.reduceat`` per row run then folds every row's addends left to
+    right, exactly once — the fold the monolithic kernels perform.
+
+    Returns the finalized output (identities pruned; masking already
+    happened strip-side) and the reduction phase's work metrics:
+    ``sync_events`` charges the per-strip synchronization the paper's
+    Table II attributes to column-split.
+    """
+    metrics = WorkMetrics()
+    metrics.sync_events = len(partials)
+    streams = [p for p in partials if len(p.rows)]
+    if not streams:
+        empty = SparseVector(nrows, np.empty(0, dtype=INDEX_DTYPE),
+                             np.empty(0, dtype=out_dtype), sorted=True, check=False)
+        return finalize_output(empty, semiring), metrics
+    rows = np.concatenate([p.rows for p in streams])
+    vals = np.concatenate([p.vals for p in streams]).astype(out_dtype, copy=False)
+    gpos = np.concatenate([p.gpos for p in streams])
+    if x_sorted:
+        order = stable_row_argsort(rows, nrows)
+    else:
+        order = np.lexsort((gpos, rows))
+    sr, sv = rows[order], vals[order]
+    starts = np.concatenate(([0], np.flatnonzero(np.diff(sr)) + 1))
+    merged = np.asarray(semiring.reduceat(sv, starts)).astype(out_dtype, copy=False)
+    total = len(sr)
+    uniq = len(starts)
+    metrics.sort_elements = total
+    metrics.additions = total - uniq
+    metrics.output_writes = uniq
+    y = SparseVector(nrows, sr[starts].astype(INDEX_DTYPE), merged,
+                     sorted=True, check=False)
+    return finalize_output(y, semiring), metrics
+
+
+def merge_partial_records(records: Sequence[ExecutionRecord], *,
+                          algorithm: str, num_strips: int,
+                          reduce_metrics: WorkMetrics,
+                          wall_time_s: float = 0.0) -> ExecutionRecord:
+    """Combine per-strip partial records into one column-split record.
+
+    Per-strip phases of the same name become one parallel phase whose
+    ``thread_metrics`` hold each strip's contribution; the reduction phase
+    is appended as a serial phase behind one barrier (the synchronization
+    point the row-split scheme avoids and column-split pays for).
+    """
+    merged = ExecutionRecord(algorithm=f"column[{num_strips}]:{algorithm}",
+                             num_threads=max(num_strips, 1),
+                             wall_time_s=wall_time_s)
+    phase_names: List[str] = []
+    for rec in records:
+        for ph in rec.phases:
+            if ph.name not in phase_names:
+                phase_names.append(ph.name)
+    for name in phase_names:
+        phase = PhaseRecord(name=name, parallel=True, barriers=0)
+        for rec in records:
+            for ph in rec.phases:
+                if ph.name == name:
+                    phase.thread_metrics.append(
+                        WorkMetrics.sum(ph.thread_metrics + [ph.serial_metrics]))
+        merged.add_phase(phase)
+    merged.add_phase(PhaseRecord(name="reduce", parallel=False,
+                                 serial_metrics=reduce_metrics, barriers=1))
+    df = sum(rec.info.get("df", 0) for rec in records)
+    merged.info["df"] = df
+    merged.info["scheme"] = "column"
+    return merged

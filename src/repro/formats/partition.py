@@ -105,17 +105,33 @@ class GridPartition:
         return len(self.row_ranges), len(self.col_ranges)
 
 
-def grid_partition(matrix: CSCMatrix, parts: int) -> GridPartition:
-    """Partition ``matrix`` into a ``√parts × √parts`` grid of blocks.
+def grid_partition(matrix: CSCMatrix, parts) -> GridPartition:
+    """Partition ``matrix`` into a ``pr × pc`` grid of blocks.
 
-    ``parts`` must be a perfect square (the paper's 2-D scheme assumes a
-    square thread grid).
+    ``parts`` is either an int — which must be a perfect square, inferring a
+    ``√parts × √parts`` grid (the paper's 2-D scheme assumes a square thread
+    grid) — or an explicit ``(pr, pc)`` tuple for rectangular grids.
     """
-    root = int(round(math.sqrt(parts)))
-    if root * root != parts:
-        raise ReproError(f"2-D grid partitioning requires a square thread count, got {parts}")
-    row_ranges = split_ranges(matrix.nrows, root)
-    col_ranges = split_ranges(matrix.ncols, root)
+    if isinstance(parts, tuple):
+        if len(parts) != 2:
+            raise ReproError(
+                f"2-D grid partitioning takes a square thread count or an "
+                f"explicit (pr, pc) tuple, got a {len(parts)}-tuple {parts!r}")
+        pr, pc = int(parts[0]), int(parts[1])
+        if pr < 1 or pc < 1:
+            raise ReproError(
+                f"2-D grid dimensions must be >= 1, got (pr, pc)=({pr}, {pc})")
+    else:
+        parts = int(parts)
+        root = int(round(math.sqrt(parts)))
+        if root * root != parts:
+            raise ReproError(
+                f"2-D grid partitioning requires a square thread count "
+                f"(got {parts}); pass an explicit (pr, pc) tuple for a "
+                f"rectangular grid")
+        pr = pc = root
+    row_ranges = split_ranges(matrix.nrows, pr)
+    col_ranges = split_ranges(matrix.ncols, pc)
     blocks: List[List[CSCMatrix]] = []
     for rlo, rhi in row_ranges:
         row_strip = matrix.extract_rows(rlo, rhi, remap=True)

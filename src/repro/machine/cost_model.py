@@ -75,6 +75,35 @@ def block_features(k: int, total_nnz: int, union_nnz: int,
                      float(segments)])
 
 
+#: features of one column-split (scheme="column") multiply: bias, frontier
+#: size, frontier *density* d = f/n (the paper's §II-F crossover variable:
+#: row-split pays P·O(f) input scans while column-split pays one O(f) slice
+#: pass plus a reduction, so column wins when the shard count t exceeds d·n
+#: per strip — i.e. at sparse frontiers), the strip count P and the static
+#: nnz balance of the column partition.
+SCHEME_FEATURE_NAMES = ("bias", "nnz_x", "density", "shards", "nnz_balance")
+
+
+def scheme_features(nnz_x: int, n: int, shards: int,
+                    nnz_balance: float = 1.0) -> np.ndarray:
+    """Feature vector of one column-split multiply for the engine's cost fits."""
+    return np.array([1.0, float(nnz_x), nnz_x / max(n, 1), float(shards),
+                     float(nnz_balance)])
+
+
+def scheme_crossover(shards: int, avg_degree: float) -> str:
+    """The paper's §II-F row-vs-column bound as a static scheme choice.
+
+    Row-split makes every one of the ``t`` strips scan the whole frontier —
+    ``t·O(f)`` vector reads against ``O(d·f)`` useful flops — so it stops
+    being work-efficient once ``t`` exceeds the average degree ``d``;
+    column-split reads each frontier entry exactly once and pays one
+    synchronized reduction instead.  ``'auto'`` scheme resolution uses the
+    shard count as the thread proxy: column when ``t > d``, row otherwise.
+    """
+    return "column" if shards > avg_degree else "row"
+
+
 def shard_features(nnz_x: int, shards: int, nnz_balance: float = 1.0) -> np.ndarray:
     """Feature vector of one sharded multiply for the sharded engine's cost fits.
 

@@ -163,6 +163,23 @@ class ExecutionBackend(ABC):
                   mask_complement: bool, block_merge: str) -> List[List]:
         """One fused block call per strip; per-strip lists of k results."""
 
+    def run_partial(self, algorithm: str, slices: Sequence[tuple], *,
+                    semiring: Semiring, mask: Optional[SparseVector],
+                    mask_complement: bool, out_dtype) -> List:
+        """One column-strip partial per strip (column-split scheme).
+
+        ``slices`` holds one ``(local_idx, values, gpos)`` frontier slice
+        per strip (see :func:`repro.core.spmspv_column.slice_frontier`);
+        ``mask`` is the **full row-space** output mask (column strips all
+        span the full row space, so one mask serves every strip).  Returns
+        per-strip :class:`~repro.core.spmspv_column.ColumnPartial` streams
+        in strip order; the caller runs the reduction phase.  Only backends
+        built with ``scheme="column"`` support this operation.
+        """
+        raise NotSupportedError(
+            f"backend {self.name!r} was not built for the column-split "
+            f"scheme; construct it with scheme='column'")
+
     @abstractmethod
     def workspace_stats(self) -> List[Dict[str, float]]:
         """Latest known per-strip workspace reuse statistics."""
@@ -189,6 +206,20 @@ class ExecutionBackend(ABC):
 
     def gather_multiply(self, token) -> List:
         """Complete a submitted multiply; per-strip results in strip order."""
+        return token()
+
+    def submit_partial(self, algorithm: str, slices: Sequence[tuple], *,
+                       semiring: Semiring, mask: Optional[SparseVector],
+                       mask_complement: bool, out_dtype):
+        """Queue one column-partial fan-out; token for :meth:`gather_partial`."""
+        def run():
+            return self.run_partial(
+                algorithm, slices, semiring=semiring, mask=mask,
+                mask_complement=mask_complement, out_dtype=out_dtype)
+        return run
+
+    def gather_partial(self, token) -> List:
+        """Complete a submitted column-partial; per-strip streams in strip order."""
         return token()
 
     def abandon(self, token) -> None:
@@ -248,11 +279,13 @@ class EmulatedBackend(ExecutionBackend):
     name = "emulated"
 
     def __init__(self, *, strips: Sequence[CSCMatrix], shard_ctx: ExecutionContext,
-                 dtype, use_thread_pool: bool = False, workers: int = 0):
+                 dtype, use_thread_pool: bool = False, workers: int = 0,
+                 scheme: str = "row"):
         from ..core.workspace import SpMSpVWorkspace  # late: avoids import cycle
 
         self.strips = list(strips)
         self.shard_ctx = shard_ctx
+        self.scheme = scheme
         self.use_thread_pool = bool(use_thread_pool)
         self.workspaces = [SpMSpVWorkspace(s.nrows, dtype=dtype)
                            for s in self.strips]
@@ -306,6 +339,35 @@ class EmulatedBackend(ExecutionBackend):
                     sorted_output=sorted_output, masks=strip_masks[s],
                     mask_complement=mask_complement, merge=block_merge,
                     workspace=self.workspaces[s])
+            except Exception as exc:
+                raise _attach_strip_id(exc, s, self.name)
+
+        return run_chunks(call, len(self.strips),
+                          use_thread_pool=self.use_thread_pool)
+
+    def run_partial(self, algorithm, slices, *, semiring, mask,
+                    mask_complement, out_dtype):
+        from ..core.spmspv_column import column_partial
+        from ..core.vector_ops import mask_bitmap
+
+        if self.scheme != "column":
+            return super().run_partial(
+                algorithm, slices, semiring=semiring, mask=mask,
+                mask_complement=mask_complement, out_dtype=out_dtype)
+        t0 = time.monotonic()
+        # one bitmap for the whole fan-out: every column strip spans the
+        # full row space, so the mask is shared rather than sliced
+        bitmap = mask_bitmap(mask, self.strips[0].nrows) if self.strips else None
+
+        def call(s: int):
+            self._deadline_check(t0, s)
+            idx, vals, gpos = slices[s]
+            try:
+                return column_partial(
+                    self.strips[s], idx, vals, gpos, self.shard_ctx,
+                    semiring=semiring, out_dtype=out_dtype,
+                    algorithm=algorithm, bitmap=bitmap,
+                    mask_complement=mask_complement)
             except Exception as exc:
                 raise _attach_strip_id(exc, s, self.name)
 
@@ -407,6 +469,8 @@ def _worker_loop(conn, spec, closers):  # pragma: no cover - worker process
     from ..core.dispatch import get_algorithm
     from ..core.engine import _accepts_workspace
     from ..core.spmspv_block import spmspv_bucket_block
+    from ..core.spmspv_column import column_partial
+    from ..core.vector_ops import mask_bitmap
     from ..core.workspace import (
         SharedSlab,
         SlabReader,
@@ -415,6 +479,7 @@ def _worker_loop(conn, spec, closers):  # pragma: no cover - worker process
         packed_nbytes,
         unpack_arrays,
     )
+    from ..formats.dcsc import DCSCMatrix
     from ..formats.vector_block import SparseVectorBlock
     from .metrics import encode_record
 
@@ -433,14 +498,19 @@ def _worker_loop(conn, spec, closers):  # pragma: no cover - worker process
 
     def attach_strip(st) -> None:
         views = {}
-        for name in ("indptr", "indices", "data"):
+        for name in st["arrays"]:
             seg, shape, dt = st["arrays"][name]
             slab = SharedSlab.attach(seg, shape, dt)
             closers.append(slab)
             views[name] = slab.array
-        strips[st["strip"]] = CSCMatrix(
-            st["shape"], views["indptr"], views["indices"], views["data"],
-            sorted_within_columns=st["sorted"], check=False)
+        if st.get("format", "csc") == "dcsc":
+            strips[st["strip"]] = DCSCMatrix(
+                st["shape"], views["jc"], views["cp"], views["ir"],
+                views["num"], build_aux=True, check=False)
+        else:
+            strips[st["strip"]] = CSCMatrix(
+                st["shape"], views["indptr"], views["indices"], views["data"],
+                sorted_within_columns=st["sorted"], check=False)
         versions[st["strip"]] = int(st.get("version", 0))
 
     for st in spec["strips"]:
@@ -466,13 +536,22 @@ def _worker_loop(conn, spec, closers):  # pragma: no cover - worker process
         the region is too small (the parent re-grants ``needed_bytes``).
         Execution records travel as dense int64 metric matrices *inside the
         slab* — only their small structural meta rides the pipe — so the
-        per-call pipe traffic stays fixed-shape (PR 6 follow-up).
+        per-call pipe traffic stays fixed-shape (PR 6 follow-up).  A kernel
+        result packs three arrays (indices, values, metrics); a column
+        partial (``partial`` op) packs four (rows, values, gpos, metrics) —
+        the per-result payload entries carry their own descriptor tuples,
+        so both shapes ride the same grow/flush machinery.
         """
         arrays = []
         metas = []
         for r in results:
-            arrays.append(np.ascontiguousarray(r.vector.indices))
-            arrays.append(np.ascontiguousarray(r.vector.values))
+            if hasattr(r, "gpos"):  # ColumnPartial: unreduced strip stream
+                arrays.append(np.ascontiguousarray(r.rows))
+                arrays.append(np.ascontiguousarray(r.vals))
+                arrays.append(np.ascontiguousarray(r.gpos))
+            else:
+                arrays.append(np.ascontiguousarray(r.vector.indices))
+                arrays.append(np.ascontiguousarray(r.vector.values))
             rec_meta, metric_matrix = encode_record(r.record)
             arrays.append(metric_matrix)
             metas.append(rec_meta)
@@ -481,9 +560,17 @@ def _worker_loop(conn, spec, closers):  # pragma: no cover - worker process
         if needed > region.nbytes:
             return None, needed
         descs = pack_arrays(region, arrays)
-        payload = [((descs[3 * i], descs[3 * i + 1], descs[3 * i + 2]),
-                    r.vector.n, r.vector.sorted, metas[i], r.info)
-                   for i, r in enumerate(results)]
+        payload = []
+        at = 0
+        for i, r in enumerate(results):
+            if hasattr(r, "gpos"):
+                payload.append(((descs[at], descs[at + 1], descs[at + 2],
+                                 descs[at + 3]), r.nrows, metas[i], r.info))
+                at += 4
+            else:
+                payload.append(((descs[at], descs[at + 1], descs[at + 2]),
+                                r.vector.n, r.vector.sorted, metas[i], r.info))
+                at += 3
         return payload, needed
 
     while True:
@@ -535,6 +622,17 @@ def _worker_loop(conn, spec, closers):  # pragma: no cover - worker process
             x = read_vector(in_region, x_spec)
             fn = get_algorithm(algorithm)
             takes_ws = _accepts_workspace(fn)
+        elif op == "partial":
+            # column-split: one shared full-row mask, per-strip frontier
+            # slices riding the mask_specs slot of the generic message
+            (_, _, _, expected_versions, algorithm, sr, comp, out_dtype_str,
+             in_ref, mask_spec, x_specs, out_refs) = msg
+            in_region = reader.region(in_ref)
+            if mask_spec is None:
+                bitmap = None
+            else:
+                mvec = read_vector(in_region, mask_spec)
+                bitmap = mask_bitmap(mvec, mvec.n)
         else:  # block
             (_, _, _, expected_versions, sr, so, comp, merge, in_ref,
              block_spec, mask_specs, out_refs) = msg
@@ -563,6 +661,16 @@ def _worker_loop(conn, spec, closers):  # pragma: no cover - worker process
                                 semiring=get_semiring(sr), sorted_output=so,
                                 mask=mask, mask_complement=comp, **kw)
                     results = [result]
+                elif op == "partial":
+                    idx_desc, val_desc, gpos_desc = x_specs[strip]
+                    idx, vals, gpos = unpack_arrays(
+                        in_region, [idx_desc, val_desc, gpos_desc])
+                    results = [column_partial(
+                        strips[strip], idx, vals, gpos, ctx,
+                        semiring=get_semiring(sr),
+                        out_dtype=np.dtype(out_dtype_str),
+                        algorithm=algorithm, bitmap=bitmap,
+                        mask_complement=comp)]
                 elif op == "block":
                     mspecs = mask_specs[strip]
                     masks = (None if mspecs is None
@@ -748,10 +856,17 @@ class ProcessBackend(ExecutionBackend):
     name = "process"
 
     def __init__(self, *, strips: Sequence[CSCMatrix], shard_ctx: ExecutionContext,
-                 dtype, use_thread_pool: bool = False, workers: int = 0):
+                 dtype, use_thread_pool: bool = False, workers: int = 0,
+                 scheme: str = "row"):
         from ..core.workspace import SharedSlab, SlabArena  # late: avoids cycle
 
         self.shard_ctx = shard_ctx
+        self.scheme = scheme
+        #: shared-memory array set per strip: CSC triplets for row strips,
+        #: DCSC quadruplets for column strips
+        self._array_names = (("jc", "cp", "ir", "num") if scheme == "column"
+                             else ("indptr", "indices", "data"))
+        self._strip_format = "dcsc" if scheme == "column" else "csc"
         self.num_strips = len(strips)
         #: parent-side strip references (zero-copy: the engine's own split)
         #: — the degraded-fallback path recomputes a lost strip from these
@@ -787,7 +902,7 @@ class ProcessBackend(ExecutionBackend):
         for s, strip in enumerate(strips):
             arrays = {}
             slabs = []
-            for name in ("indptr", "indices", "data"):
+            for name in self._array_names:
                 slab = SharedSlab.create(getattr(strip, name))
                 self._slabs.append(slab)
                 slabs.append(slab)
@@ -795,7 +910,8 @@ class ProcessBackend(ExecutionBackend):
             self._strip_slabs.append(slabs)
             self._strip_specs.append({
                 "strip": s, "shape": strip.shape,
-                "sorted": strip.sorted_within_columns, "arrays": arrays,
+                "sorted": getattr(strip, "sorted_within_columns", True),
+                "arrays": arrays, "format": self._strip_format,
                 "dtype": np.dtype(dtype).str, "version": 0,
             })
         self._spa_rows = [strip.nrows for strip in strips]
@@ -824,6 +940,7 @@ class ProcessBackend(ExecutionBackend):
         self._grant_hint = {
             "multiply": [out_bytes] * self.num_strips,
             "block": [out_bytes] * self.num_strips,
+            "partial": [out_bytes] * self.num_strips,
         }
         self._audit = bool(os.environ.get(_COMM_AUDIT_ENV))
         self._comm: Dict[str, float] = {
@@ -987,14 +1104,15 @@ class ProcessBackend(ExecutionBackend):
         old_slabs = list(self._strip_slabs[strip])
         arrays = {}
         new_slabs = []
-        for name in ("indptr", "indices", "data"):
+        for name in self._array_names:
             slab = SharedSlab.create(getattr(matrix, name))
             self._slabs.append(slab)
             new_slabs.append(slab)
             arrays[name] = slab.meta
         version = self._strip_versions[strip] + 1
         spec = {"strip": strip, "shape": matrix.shape,
-                "sorted": matrix.sorted_within_columns, "arrays": arrays,
+                "sorted": getattr(matrix, "sorted_within_columns", True),
+                "arrays": arrays, "format": self._strip_format,
                 "dtype": self._dtype.str, "version": version}
         # commit parent-side state first: even if the worker dies below, its
         # respawn and the degraded-fallback path both see the new strip
@@ -1333,7 +1451,19 @@ class ProcessBackend(ExecutionBackend):
             self._fallback_ws[strip] = ws
         args = token.call_args
         try:
-            if token.op == "multiply":
+            if token.op == "partial":
+                from ..core.spmspv_column import column_partial
+                from ..core.vector_ops import mask_bitmap
+
+                idx, vals, gpos = args["slices"][strip]
+                bitmap = mask_bitmap(args["mask"],
+                                     self._strips[strip].nrows)
+                token.local_results[strip] = [column_partial(
+                    self._strips[strip], idx, vals, gpos, self.shard_ctx,
+                    semiring=args["semiring"], out_dtype=args["out_dtype"],
+                    algorithm=args["algorithm"], bitmap=bitmap,
+                    mask_complement=args["mask_complement"])]
+            elif token.op == "multiply":
                 fn = get_algorithm(args["algorithm"])
                 kw = dict(args["kwargs"])
                 if _accepts_workspace(fn):
@@ -1382,11 +1512,29 @@ class ProcessBackend(ExecutionBackend):
         :func:`~repro.parallel.metrics.decode_record`).
         """
         from ..core.result import SpMSpVResult
+        from ..core.spmspv_column import ColumnPartial
         from ..core.workspace import unpack_arrays
         from .metrics import decode_record
 
         region = self._out_arenas[strip].view(token.out_regions[strip])
         results = []
+        if token.op == "partial":
+            for (r_desc, v_desc, g_desc, met_desc), nrows, rec_meta, info in \
+                    token.payloads[strip]:
+                rows, vals, gpos, metric_matrix = unpack_arrays(
+                    region, [r_desc, v_desc, g_desc, met_desc])
+                self._comm["slab_bytes_out"] += \
+                    rows.nbytes + vals.nbytes + gpos.nbytes + metric_matrix.nbytes
+                results.append(ColumnPartial(
+                    nrows=nrows, rows=rows.copy(), vals=vals.copy(),
+                    gpos=gpos.copy(),
+                    record=decode_record(rec_meta, metric_matrix), info=info))
+            hint = self._grant_hint[token.op]
+            if token.payloads[strip]:
+                total = _payload_nbytes(
+                    [d for descs, *_rest in token.payloads[strip] for d in descs])
+                hint[strip] = max(hint[strip], total + total // 4)
+            return results
         for (idx_desc, val_desc, met_desc), n, sorted_flag, rec_meta, info in \
                 token.payloads[strip]:
             idx, vals, metric_matrix = unpack_arrays(
@@ -1480,6 +1628,72 @@ class ProcessBackend(ExecutionBackend):
 
     def abandon(self, token: _Inflight) -> None:
         self._finalize(token)
+
+    def submit_partial(self, algorithm, slices, *, semiring, mask,
+                       mask_complement, out_dtype):
+        """Queue one column-partial fan-out over the slab comm plane.
+
+        Broadcast-once applies twice over: the (optional) full-row mask is
+        packed a single time for all strips, and each strip's frontier
+        *slice* — not the whole vector — rides the same input region (the
+        paper's work-efficiency point: a column strip reads only its
+        private piece of ``x``).  Per-strip slice specs travel in the
+        generic message's ``mask_specs`` slot, so the dispatch, retry and
+        re-grant machinery is untouched.
+        """
+        if self.scheme != "column":
+            raise NotSupportedError(
+                f"backend {self.name!r} was built for the "
+                f"{self.scheme!r} scheme; construct it with scheme='column' "
+                f"to run column partials")
+        sr = self._semiring_name(semiring)
+        arrays = []
+        if mask is not None:
+            arrays.append(np.ascontiguousarray(mask.indices))
+            arrays.append(np.ascontiguousarray(mask.values))
+        slice_at = []
+        for idx, vals, gpos in slices:
+            slice_at.append(len(arrays))
+            arrays.append(np.ascontiguousarray(idx))
+            arrays.append(np.ascontiguousarray(vals))
+            arrays.append(np.ascontiguousarray(gpos))
+        token = self._begin_call("partial", None)
+        region, in_ref, descs = self._pack_input(arrays)
+        token.input_region = region
+        mask_spec = None if mask is None else \
+            (descs[0], descs[1], mask.n, mask.sorted)
+        token.proto = (algorithm, sr, mask_complement,
+                       np.dtype(out_dtype).str, in_ref, mask_spec)
+        for s in range(self.num_strips):
+            at = slice_at[s]
+            token.mask_specs[s] = (descs[at], descs[at + 1], descs[at + 2])
+        if self._degraded_fallback:
+            token.call_args = {
+                "algorithm": algorithm, "slices": slices,
+                "semiring": semiring, "mask": mask,
+                "mask_complement": mask_complement,
+                "out_dtype": np.dtype(out_dtype)}
+        for w in range(self.num_workers):
+            if self.assignment[w]:
+                self._dispatch(token, w, self.assignment[w])
+        if self._audit:
+            for w in range(self.num_workers):
+                if not self.assignment[w]:
+                    continue
+                token.legacy_out += len(pickle.dumps(
+                    ("partial", token.call_id, self.assignment[w], algorithm,
+                     [slices[s] for s in self.assignment[w]], sr, mask,
+                     mask_complement)))
+        return token
+
+    def gather_partial(self, token: _Inflight) -> List:
+        return self.gather_multiply(token)
+
+    def run_partial(self, algorithm, slices, *, semiring, mask,
+                    mask_complement, out_dtype):
+        return self.gather_partial(self.submit_partial(
+            algorithm, slices, semiring=semiring, mask=mask,
+            mask_complement=mask_complement, out_dtype=out_dtype))
 
     def submit_block(self, block, *, semiring, sorted_output, strip_masks,
                      mask_complement, block_merge):
@@ -1650,7 +1864,7 @@ def register_backend(name: str, factory: Callable[..., ExecutionBackend], *,
 
     ``factory`` is called with the keyword arguments of
     :func:`make_backend` (``strips``, ``shard_ctx``, ``dtype``,
-    ``use_thread_pool``, ``workers``) and must return an
+    ``use_thread_pool``, ``workers``, ``scheme``) and must return an
     :class:`ExecutionBackend`.
     """
     if name in _BACKENDS and not overwrite:
@@ -1666,14 +1880,18 @@ def available_backends() -> List[str]:
 def make_backend(name: str, *, strips: Sequence[CSCMatrix],
                  shard_ctx: ExecutionContext, dtype,
                  use_thread_pool: bool = False,
-                 workers: int = 0) -> ExecutionBackend:
+                 workers: int = 0, scheme: str = "row") -> ExecutionBackend:
     """Build the backend ``name`` for one sharded engine's strips.
 
-    When the ``REPRO_BACKEND_FAULTS`` environment variable carries a fault
-    plan (see :mod:`repro.parallel.faults`), requests for the ``process``
-    backend are transparently rerouted to the ``chaos`` wrapper, so every
-    call site that selects the process backend — including suites that name
-    it explicitly — runs under the seeded injected faults.
+    ``scheme`` names the partition the strips came from: ``"row"``
+    (horizontal CSC strips, the default) or ``"column"`` (vertical
+    :class:`~repro.formats.dcsc.DCSCMatrix` strips, enabling the
+    ``run_partial`` column-split operation).  When the
+    ``REPRO_BACKEND_FAULTS`` environment variable carries a fault plan (see
+    :mod:`repro.parallel.faults`), requests for the ``process`` backend are
+    transparently rerouted to the ``chaos`` wrapper, so every call site
+    that selects the process backend — including suites that name it
+    explicitly — runs under the seeded injected faults.
     """
     if name == "process" and os.environ.get(_FAULTS_ENV):
         from . import faults  # noqa: F401  (registers the chaos backend)
@@ -1685,4 +1903,5 @@ def make_backend(name: str, *, strips: Sequence[CSCMatrix],
             f"unknown execution backend {name!r}; available: "
             f"{available_backends()}") from None
     return factory(strips=strips, shard_ctx=shard_ctx, dtype=dtype,
-                   use_thread_pool=use_thread_pool, workers=workers)
+                   use_thread_pool=use_thread_pool, workers=workers,
+                   scheme=scheme)

@@ -85,6 +85,15 @@ class ExecutionContext:
     backend: str = "emulated"
     #: worker-process cap for the process backend; 0 = min(shards, cpu_count)
     backend_workers: int = 0
+    #: default matrix-partitioning scheme for sharded engines built through
+    #: the algorithm entry points (``bfs``/``pagerank``/...): ``'row'`` (1-D
+    #: horizontal strips, no reduction, every strip scans the whole frontier),
+    #: ``'column'`` (1-D vertical DCSC strips, each reading only its private
+    #: frontier slice, merged in a reduction phase — the paper's
+    #: work-efficient scheme, §II-F) or ``'auto'`` (pick per matrix via the
+    #: paper's ``t > d`` crossover; see
+    #: :func:`repro.machine.cost_model.scheme_crossover`).
+    shard_scheme: str = "row"
     #: pin each process-backend worker to one CPU core
     #: (``os.sched_setaffinity``; silently a no-op on platforms without it).
     #: Off by default: pinning helps dedicated bench boxes and hurts shared
@@ -126,6 +135,10 @@ class ExecutionContext:
             raise ValueError(f"backend must be a non-empty name, got {self.backend!r}")
         if self.backend_workers < 0:
             raise ValueError(f"backend_workers must be >= 0, got {self.backend_workers}")
+        if self.shard_scheme not in ("row", "column", "auto"):
+            raise ValueError(
+                f"shard_scheme must be 'row', 'column' or 'auto', "
+                f"got {self.shard_scheme!r}")
         if self.backend_inflight < 1:
             raise ValueError(
                 f"backend_inflight must be >= 1, got {self.backend_inflight}")
@@ -164,6 +177,10 @@ class ExecutionContext:
         if workers is None:
             return replace(self, backend=backend)
         return replace(self, backend=backend, backend_workers=workers)
+
+    def with_shard_scheme(self, shard_scheme: str) -> "ExecutionContext":
+        """Return a copy with a different default sharding scheme."""
+        return replace(self, shard_scheme=shard_scheme)
 
     def with_deadline(self, deadline: Optional[float], *,
                       tighten: bool = False) -> "ExecutionContext":
@@ -209,6 +226,8 @@ def default_context(num_threads: int = 1, platform: Optional[Platform] = None,
     if platform is None:
         platform = EDISON
     kwargs.setdefault("backend", os.environ.get("REPRO_BACKEND") or "emulated")
+    kwargs.setdefault("shard_scheme",
+                      os.environ.get("REPRO_SHARD_SCHEME") or "row")
     if os.environ.get("REPRO_BACKEND_FAULTS"):
         kwargs.setdefault("retry", RetryPolicy(max_attempts=3))
         kwargs.setdefault("degraded_fallback", True)

@@ -260,6 +260,27 @@ class ChaosBackend(ExecutionBackend):
         self._before_gather(token)
         return self._inner.gather_multiply(token)
 
+    def submit_partial(self, algorithm, slices, *, semiring, mask,
+                       mask_complement, out_dtype):
+        # poison targets the multiply op's kernel table; a column partial
+        # has no swappable kernel, so only kill/overflow/delay events apply
+        i, ev, _ = self._before_submit("partial", None)
+        token = self._inner.submit_partial(
+            algorithm, slices, semiring=semiring, mask=mask,
+            mask_complement=mask_complement, out_dtype=out_dtype)
+        self._after_submit(i, ev, token)
+        return token
+
+    def gather_partial(self, token) -> List:
+        self._before_gather(token)
+        return self._inner.gather_partial(token)
+
+    def run_partial(self, algorithm, slices, *, semiring, mask,
+                    mask_complement, out_dtype):
+        return self.gather_partial(self.submit_partial(
+            algorithm, slices, semiring=semiring, mask=mask,
+            mask_complement=mask_complement, out_dtype=out_dtype))
+
     def submit_block(self, block, *, semiring, sorted_output, strip_masks,
                      mask_complement, block_merge):
         i, ev, _ = self._before_submit("block", None)
@@ -291,6 +312,12 @@ class ChaosBackend(ExecutionBackend):
     def abandon(self, token) -> None:
         self._pending_delay.pop(id(token), None)
         self._inner.abandon(token)
+
+    def update_strip(self, strip, matrix) -> None:
+        # no faults on the (rare) compaction path: the versioned
+        # ack-before-unlink protocol is exercised by the inner backend's
+        # own suite; chaos targets the per-call hot path
+        self._inner.update_strip(strip, matrix)
 
     def workspace_stats(self):
         return self._inner.workspace_stats()
@@ -333,7 +360,7 @@ class ChaosBackend(ExecutionBackend):
 
 
 def _chaos_factory(*, strips, shard_ctx, dtype, use_thread_pool=False,
-                   workers=0) -> ChaosBackend:
+                   workers=0, scheme="row") -> ChaosBackend:
     """Backend factory: plan from the environment, real pool underneath."""
     plan = plan_from_env() or FaultPlan()
     if plan.poison:
@@ -342,7 +369,8 @@ def _chaos_factory(*, strips, shard_ctx, dtype, use_thread_pool=False,
         # surfaces as an unknown-algorithm kernel error instead
         _register_poison()
     inner = ProcessBackend(strips=strips, shard_ctx=shard_ctx, dtype=dtype,
-                           use_thread_pool=use_thread_pool, workers=workers)
+                           use_thread_pool=use_thread_pool, workers=workers,
+                           scheme=scheme)
     return ChaosBackend(inner, plan)
 
 

@@ -105,8 +105,29 @@ def test_grid_partition_reassembles():
 
 
 def test_grid_partition_requires_square_thread_count():
-    with pytest.raises(ReproError):
+    with pytest.raises(ReproError, match=r"\(pr, pc\)"):
         grid_partition(random_csc(4, 4), 3)
+
+
+def test_grid_partition_explicit_rectangular_tuple():
+    mat = random_csc(9, 12, 0.3, seed=23)
+    grid = grid_partition(mat, (3, 2))
+    assert grid.grid_shape == (3, 2)
+    rows = [np.hstack([blk.to_dense() for blk in row]) for row in grid.blocks]
+    np.testing.assert_allclose(np.vstack(rows), mat.to_dense())
+    # a square count and its equivalent tuple agree block-for-block
+    by_int = grid_partition(mat, 4)
+    by_tuple = grid_partition(mat, (2, 2))
+    assert by_int.row_ranges == by_tuple.row_ranges
+    assert by_int.col_ranges == by_tuple.col_ranges
+
+
+def test_grid_partition_tuple_validation():
+    mat = random_csc(4, 4)
+    with pytest.raises(ReproError, match="3-tuple"):
+        grid_partition(mat, (2, 2, 2))
+    with pytest.raises(ReproError, match=">= 1"):
+        grid_partition(mat, (0, 2))
 
 
 def test_partition_nonzeros():

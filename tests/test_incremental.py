@@ -16,6 +16,7 @@ from repro.algorithms import (bfs, incremental_bfs, incremental_pagerank,
                               pagerank, validate_bfs_tree)
 from repro.algorithms.pagerank import column_stochastic
 from repro.core.engine import SpMSpVEngine
+from repro.errors import NotSupportedError
 from repro.formats import CSCMatrix, DeltaLog, SparseVector, apply_delta
 from repro.graphs.generators import rmat
 from repro.parallel import default_context
@@ -121,6 +122,86 @@ def test_incremental_bfs_duplicate_seeds_pick_min_parent():
     assert inc.levels[3] == 2
     assert inc.parents[3] == 1
     assert validate_bfs_tree(updated, inc)
+
+
+def deleted_graph(matrix, rows, cols):
+    delta = DeltaLog(matrix.shape)
+    delta.delete_edges(rows, cols)
+    return apply_delta(matrix, delta)
+
+
+def test_incremental_bfs_rejects_undeclared_deletion_repair():
+    """Deletions can never yield stale levels: the default is a hard error.
+
+    The diamond 0 -> 1 -> 3 / 0 -> 2 -> 3 with the shortcut 0 -> 3 makes
+    vertex 3 level 1; deleting the shortcut moves it to level 2.  Reusing
+    the previous levels would keep the stale level 1, so the repair must
+    refuse.
+    """
+    n = 4
+    dense = np.zeros((n, n))
+    dense[1, 0] = dense[2, 0] = dense[3, 1] = dense[3, 2] = dense[3, 0] = 1.0
+    matrix = CSCMatrix.from_dense(dense)
+    prev = bfs(matrix, source=0)
+    assert prev.levels[3] == 1
+    updated = deleted_graph(matrix, [3], [0])
+    with pytest.raises(NotSupportedError, match="deletion"):
+        incremental_bfs(updated, prev, [], [], deleted_rows=[3],
+                        deleted_cols=[0])
+    # nothing about the updated graph was touched: a cold run still works
+    assert bfs(updated, source=0).levels[3] == 2
+
+
+def test_incremental_bfs_deletion_recompute_fallback_is_never_stale():
+    n = 4
+    dense = np.zeros((n, n))
+    dense[1, 0] = dense[2, 0] = dense[3, 1] = dense[3, 2] = dense[3, 0] = 1.0
+    matrix = CSCMatrix.from_dense(dense)
+    prev = bfs(matrix, source=0)
+    updated = deleted_graph(matrix, [3], [0])
+    inc = incremental_bfs(updated, prev, [], [], deleted_rows=[3],
+                          deleted_cols=[0], on_delete="recompute")
+    cold = bfs(updated, source=0)
+    assert inc.recomputed
+    assert np.array_equal(inc.levels, cold.levels)
+    assert np.array_equal(inc.parents, cold.parents)
+    assert validate_bfs_tree(updated, inc)
+    # the stale previous level is provably gone
+    assert inc.levels[3] == 2 and prev.levels[3] == 1
+
+
+def test_incremental_bfs_deletion_recompute_with_mixed_batch(rmat_graph):
+    """Insertions riding along with deletions also go through the cold path."""
+    rng = np.random.default_rng(7)
+    n = rmat_graph.nrows
+    prev = bfs(rmat_graph, source=0)
+    ins_rows = rng.integers(0, n, size=10)
+    ins_cols = rng.integers(0, n, size=10)
+    coo = rmat_graph.to_coo()
+    del_rows, del_cols = coo.rows[:5], coo.cols[:5]
+    updated = deleted_graph(updated_graph(rmat_graph, ins_rows, ins_cols),
+                            del_rows, del_cols)
+    inc = incremental_bfs(updated, prev, ins_rows, ins_cols,
+                          deleted_rows=del_rows, deleted_cols=del_cols,
+                          on_delete="recompute")
+    cold = bfs(updated, source=0)
+    assert inc.recomputed
+    assert np.array_equal(inc.levels, cold.levels)
+    # pure insertions stay on the (exact) repair path, unmarked
+    repaired = incremental_bfs(updated_graph(rmat_graph, ins_rows, ins_cols),
+                               prev, ins_rows, ins_cols)
+    assert not repaired.recomputed
+
+
+def test_incremental_bfs_deletion_validation():
+    matrix = CSCMatrix.from_dense(np.eye(3, k=-1))
+    prev = bfs(matrix, source=0)
+    with pytest.raises(ValueError, match="on_delete"):
+        incremental_bfs(matrix, prev, [], [], deleted_rows=[1],
+                        deleted_cols=[0], on_delete="ignore")
+    with pytest.raises(ValueError, match="match in length"):
+        incremental_bfs(matrix, prev, [], [], deleted_rows=[1],
+                        deleted_cols=[0, 1])
 
 
 def test_incremental_bfs_validation_errors(rmat_graph):
